@@ -1,0 +1,121 @@
+// Ablations of the design choices DESIGN.md calls out:
+//
+//   A1  CEMPaR cascade fan-in        — merge-tree width vs quality/SV count
+//   A2  CEMPaR regions per tag       — 1 home vs R regional homes per tag
+//   A3  PACE ensemble size (top-k)   — selective vs broad voting
+//   A4  PACE clusters per peer       — centroid granularity
+//   A5  hashed-lexicon width         — feature collisions vs accuracy
+//
+// Each row is a full simulated experiment (64 peers, by-user data).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace p2pdt_bench;
+
+namespace {
+
+Result<ExperimentResult> RunWith(const VectorizedCorpus& corpus,
+                                 ExperimentOptions opt) {
+  opt.max_test_documents = 250;
+  return RunExperiment(corpus, opt);
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Ablations ===\n\n");
+  const VectorizedCorpus& corpus = SharedCorpus(64, 12);
+  CsvWriter csv({"ablation", "setting", "micro_f1", "train_MiB", "extra"});
+
+  // A1: cascade fan-in.
+  std::printf("-- A1: CEMPaR cascade fan-in --\n");
+  std::printf("%8s %10s %12s\n", "fan-in", "microF1", "train(MiB)");
+  for (std::size_t fan_in : {2u, 4u, 8u, 16u}) {
+    ExperimentOptions opt = MacroDefaults(AlgorithmType::kCempar, 64);
+    opt.cempar.cascade_fan_in = fan_in;
+    Result<ExperimentResult> r = RunWith(corpus, opt);
+    if (!r.ok()) continue;
+    std::printf("%8zu %10.4f %12.2f\n", fan_in, r->metrics.micro_f1,
+                r->train_bytes / 1048576.0);
+    csv.AddRow({"cascade_fan_in", std::to_string(fan_in),
+                std::to_string(r->metrics.micro_f1),
+                std::to_string(r->train_bytes / 1048576.0), ""});
+  }
+
+  // A2: regions per tag.
+  std::printf("\n-- A2: CEMPaR regions per tag --\n");
+  std::printf("%8s %10s %12s %12s\n", "regions", "microF1", "train(MiB)",
+              "pred(MiB)");
+  for (std::size_t regions : {1u, 2u, 4u}) {
+    ExperimentOptions opt = MacroDefaults(AlgorithmType::kCempar, 64);
+    opt.cempar.regions_per_tag = regions;
+    Result<ExperimentResult> r = RunWith(corpus, opt);
+    if (!r.ok()) continue;
+    std::printf("%8zu %10.4f %12.2f %12.2f\n", regions, r->metrics.micro_f1,
+                r->train_bytes / 1048576.0, r->predict_bytes / 1048576.0);
+    csv.AddRow({"regions_per_tag", std::to_string(regions),
+                std::to_string(r->metrics.micro_f1),
+                std::to_string(r->train_bytes / 1048576.0),
+                std::to_string(r->predict_bytes / 1048576.0)});
+  }
+
+  // A3: PACE top-k.
+  std::printf("\n-- A3: PACE ensemble size (top-k of 64 models) --\n");
+  std::printf("%8s %10s\n", "top-k", "microF1");
+  for (std::size_t k : {1u, 4u, 8u, 12u, 24u, 64u}) {
+    ExperimentOptions opt = MacroDefaults(AlgorithmType::kPace, 64);
+    opt.pace.top_k = k;
+    Result<ExperimentResult> r = RunWith(corpus, opt);
+    if (!r.ok()) continue;
+    std::printf("%8zu %10.4f\n", k, r->metrics.micro_f1);
+    csv.AddRow({"pace_top_k", std::to_string(k),
+                std::to_string(r->metrics.micro_f1), "", ""});
+  }
+
+  // A4: PACE clusters per peer.
+  std::printf("\n-- A4: PACE centroids per peer --\n");
+  std::printf("%9s %10s %12s\n", "clusters", "microF1", "train(MiB)");
+  for (std::size_t clusters : {1u, 4u, 8u, 16u}) {
+    ExperimentOptions opt = MacroDefaults(AlgorithmType::kPace, 64);
+    opt.pace.clustering.k = clusters;
+    Result<ExperimentResult> r = RunWith(corpus, opt);
+    if (!r.ok()) continue;
+    std::printf("%9zu %10.4f %12.2f\n", clusters, r->metrics.micro_f1,
+                r->train_bytes / 1048576.0);
+    csv.AddRow({"pace_clusters", std::to_string(clusters),
+                std::to_string(r->metrics.micro_f1),
+                std::to_string(r->train_bytes / 1048576.0), ""});
+  }
+
+  // A5: hashed-lexicon width (feature collisions). Rebuild the corpus at
+  // each width so the vectors actually change.
+  std::printf("\n-- A5: hashed-lexicon width (CEMPaR accuracy) --\n");
+  std::printf("%10s %10s\n", "dims", "microF1");
+  for (uint32_t bits : {8u, 10u, 12u, 14u, 18u}) {
+    CorpusOptions co;
+    co.num_users = 64;
+    co.min_docs_per_user = 50;
+    co.max_docs_per_user = 80;
+    co.num_tags = 12;
+    co.vocabulary_size = 3000;
+    co.seed = 20100913;
+    Result<GeneratedCorpus> raw = GenerateCorpus(co);
+    if (!raw.ok()) continue;
+    PreprocessorOptions po;
+    po.hashed_dimensions = 1u << bits;
+    Preprocessor pre(po);
+    Result<VectorizedCorpus> vec = VectorizeCorpus(raw.value(), pre);
+    if (!vec.ok()) continue;
+    ExperimentOptions opt = MacroDefaults(AlgorithmType::kCempar, 64);
+    Result<ExperimentResult> r = RunWith(vec.value(), opt);
+    if (!r.ok()) continue;
+    std::printf("%10u %10.4f\n", 1u << bits, r->metrics.micro_f1);
+    csv.AddRow({"hashed_dims", std::to_string(1u << bits),
+                std::to_string(r->metrics.micro_f1), "", ""});
+  }
+
+  WriteResults(csv, "ablations.csv");
+  return 0;
+}

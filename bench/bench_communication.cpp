@@ -1,0 +1,81 @@
+// CLAIM1 — the communication-cost argument of Sec. 2: CEMPaR propagates
+// each local model once to a super-peer (≈ O(N) total model traffic),
+// PACE broadcasts every model to every peer (≈ O(N²) deliveries), and the
+// centralized strawman ships raw data. This bench breaks traffic down by
+// message type and phase for each algorithm as N grows.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace p2pdt_bench;
+
+namespace {
+
+struct Traffic {
+  uint64_t total_messages = 0;
+  uint64_t total_bytes = 0;
+  uint64_t by_type_bytes[NetworkStats::kNumTypes] = {};
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== CLAIM1: communication-cost breakdown ===\n\n");
+  const VectorizedCorpus& corpus = SharedCorpus(128, 12);
+  CsvWriter csv({"algorithm", "peers", "phase_or_type", "messages", "MiB"});
+
+  for (std::size_t peers : {32u, 64u, 128u}) {
+    std::printf("-- %zu peers --\n", peers);
+    std::printf("%-12s %14s %14s %14s %14s\n", "algorithm", "train(MiB)",
+                "predict(MiB)", "maint(MiB)", "msgs(total)");
+    for (AlgorithmType algo :
+         {AlgorithmType::kCempar, AlgorithmType::kPace,
+          AlgorithmType::kModelAvg, AlgorithmType::kCentralized}) {
+      ExperimentOptions opt = MacroDefaults(algo, peers);
+      Result<ExperimentResult> r = RunExperiment(corpus, opt);
+      if (!r.ok()) {
+        std::fprintf(stderr, "failed: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      double mib = 1.0 / (1024.0 * 1024.0);
+      std::printf("%-12s %14.2f %14.2f %14.2f %14llu\n", r->algorithm.c_str(),
+                  r->train_bytes * mib, r->predict_bytes * mib,
+                  r->maintenance_bytes * mib,
+                  static_cast<unsigned long long>(r->train_messages +
+                                                  r->predict_messages +
+                                                  r->maintenance_messages));
+      csv.AddRow({r->algorithm, std::to_string(peers), "train",
+                  std::to_string(r->train_messages),
+                  std::to_string(r->train_bytes * mib)});
+      csv.AddRow({r->algorithm, std::to_string(peers), "predict",
+                  std::to_string(r->predict_messages),
+                  std::to_string(r->predict_bytes * mib)});
+      csv.AddRow({r->algorithm, std::to_string(peers), "maintenance",
+                  std::to_string(r->maintenance_messages),
+                  std::to_string(r->maintenance_bytes * mib)});
+    }
+    std::printf("\n");
+  }
+
+  // Scaling fit: per-peer training bytes for CEMPaR vs PACE.
+  std::printf("-- per-peer training cost growth --\n");
+  std::printf("%6s %16s %16s\n", "peers", "cempar KiB/peer", "pace KiB/peer");
+  for (std::size_t peers : {32u, 64u, 128u}) {
+    double row[2] = {0, 0};
+    int idx = 0;
+    for (AlgorithmType algo : {AlgorithmType::kCempar, AlgorithmType::kPace}) {
+      ExperimentOptions opt = MacroDefaults(algo, peers);
+      Result<ExperimentResult> r = RunExperiment(corpus, opt);
+      if (r.ok()) row[idx] = r->train_bytes_per_peer() / 1024.0;
+      ++idx;
+    }
+    std::printf("%6zu %16.1f %16.1f\n", peers, row[0], row[1]);
+    csv.AddRow({"cempar_per_peer", std::to_string(peers), "train_per_peer",
+                "", std::to_string(row[0] / 1024.0)});
+    csv.AddRow({"pace_per_peer", std::to_string(peers), "train_per_peer", "",
+                std::to_string(row[1] / 1024.0)});
+  }
+  WriteResults(csv, "claim1_communication.csv");
+  return 0;
+}

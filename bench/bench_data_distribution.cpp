@@ -1,0 +1,65 @@
+// DEMO5 — "vary the data distribution on the peers by varying the size and
+// class distributions" (paper Sec. 3): uniform vs Zipf peer sizes crossed
+// with IID vs non-IID (Dirichlet) vs by-user class assignment.
+//
+// Expected shape: collaboration (CEMPaR/PACE) is robust to skew because
+// knowledge is pooled; LocalOnly is hurt badly by non-IID assignment (peers
+// never see most tags); size skew mostly moves the communication balance.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace p2pdt_bench;
+
+int main() {
+  std::printf("=== DEMO5: size and class distribution of peer data ===\n\n");
+  const VectorizedCorpus& corpus = SharedCorpus(128, 12);
+  CsvWriter csv({"algorithm", "size_dist", "class_dist", "micro_f1",
+                 "size_gini", "tag_coverage", "train_MiB"});
+
+  struct Point {
+    SizeDistribution size;
+    ClassDistribution cls;
+  };
+  std::vector<Point> points = {
+      {SizeDistribution::kUniform, ClassDistribution::kIid},
+      {SizeDistribution::kUniform, ClassDistribution::kNonIidDirichlet},
+      {SizeDistribution::kZipf, ClassDistribution::kIid},
+      {SizeDistribution::kZipf, ClassDistribution::kNonIidDirichlet},
+      {SizeDistribution::kUniform, ClassDistribution::kByUser},
+  };
+
+  std::printf("%-12s %-9s %-18s %8s %6s %9s\n", "algorithm", "sizes",
+              "classes", "microF1", "gini", "coverage");
+  for (AlgorithmType algo :
+       {AlgorithmType::kCempar, AlgorithmType::kPace,
+        AlgorithmType::kLocalOnly}) {
+    for (const Point& point : points) {
+      ExperimentOptions opt = MacroDefaults(algo, 128);
+      opt.distribution.size = point.size;
+      opt.distribution.cls = point.cls;
+      opt.distribution.dirichlet_alpha = 0.2;
+      Result<ExperimentResult> r = RunExperiment(corpus, opt);
+      if (!r.ok()) {
+        std::fprintf(stderr, "failed: %s\n", r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-12s %-9s %-18s %8.4f %6.3f %9.3f\n",
+                  r->algorithm.c_str(),
+                  SizeDistributionToString(point.size),
+                  ClassDistributionToString(point.cls), r->metrics.micro_f1,
+                  r->distribution.size_gini,
+                  r->distribution.mean_tag_coverage);
+      csv.AddRow({r->algorithm, SizeDistributionToString(point.size),
+                  ClassDistributionToString(point.cls),
+                  std::to_string(r->metrics.micro_f1),
+                  std::to_string(r->distribution.size_gini),
+                  std::to_string(r->distribution.mean_tag_coverage),
+                  std::to_string(r->train_bytes / (1024.0 * 1024.0))});
+    }
+    std::printf("\n");
+  }
+  WriteResults(csv, "demo5_data_distribution.csv");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// Interactive responsiveness — the demo lets the audience "interact with
+// the system to assign or refine the tags" (Sec. 3), so time-to-answer for
+// a Suggest/AutoTag request matters. This bench measures the *simulated*
+// latency distribution of predictions (request issue → answer) for each
+// algorithm, at two network scales.
+//
+// Expected shape: PACE answers locally (≈0 network latency); CEMPaR pays
+// one DHT resolution (first query per requester) then cached
+// request/response round-trips; centralized pays exactly one RTT to the
+// coordinator. Cold (first query, cache misses) vs warm separates the
+// lookup cost.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace p2pdt_bench;
+
+namespace {
+
+struct LatencyStats {
+  double p50 = 0, p95 = 0, max = 0;
+};
+
+LatencyStats Percentiles(std::vector<double> samples) {
+  LatencyStats out;
+  if (samples.empty()) return out;
+  std::sort(samples.begin(), samples.end());
+  out.p50 = samples[samples.size() / 2];
+  out.p95 = samples[static_cast<std::size_t>(
+      static_cast<double>(samples.size() - 1) * 0.95)];
+  out.max = samples.back();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== prediction latency (simulated seconds) ===\n\n");
+  const VectorizedCorpus& corpus = SharedCorpus(64, 12);
+  CorpusSplit split = SplitCorpus(corpus, 0.2, 21);
+  CsvWriter csv({"algorithm", "peers", "phase", "p50_ms", "p95_ms",
+                 "max_ms"});
+
+  for (std::size_t peers : {64u, 128u}) {
+    std::printf("-- %zu peers --\n", peers);
+    std::printf("%-12s %-6s %10s %10s %10s\n", "algorithm", "phase",
+                "p50(ms)", "p95(ms)", "max(ms)");
+    for (AlgorithmType algo :
+         {AlgorithmType::kCempar, AlgorithmType::kPace,
+          AlgorithmType::kCentralized}) {
+      ExperimentOptions opt = MacroDefaults(algo, peers);
+      auto env = std::move(Environment::Create(opt.env)).value();
+      auto classifier = std::move(MakeClassifier(*env, opt)).value();
+      auto peer_data =
+          std::move(DistributeData(split.train, peers, opt.distribution,
+                                   &split.train_user))
+              .value();
+      if (!classifier->Setup(std::move(peer_data),
+                             corpus.dataset.num_tags())
+               .ok()) {
+        continue;
+      }
+      bool trained = false;
+      classifier->Train([&](Status) { trained = true; });
+      env->RunUntilFlag(trained, 3600);
+
+      // Cold phase: every requester's first query (lookup-heavy for
+      // CEMPaR). Warm phase: repeat queries from the same requesters.
+      Rng rng(500 + peers);
+      auto measure = [&](std::size_t count, bool reuse_requester) {
+        std::vector<double> latencies;
+        NodeId fixed = rng.NextU64(peers);
+        for (std::size_t i = 0; i < count; ++i) {
+          const auto& ex = split.test[i % split.test.size()];
+          NodeId requester = reuse_requester ? fixed : rng.NextU64(peers);
+          double issued = env->sim().Now();
+          bool done = false;
+          classifier->Predict(requester, ex.x, [&](P2PPrediction) {
+            done = true;
+          });
+          // Step event-by-event so Now() stops exactly at the answer
+          // (RunUntilFlag's coarse slices would quantize latencies).
+          while (!done && env->sim().Step()) {
+          }
+          latencies.push_back((env->sim().Now() - issued) * 1e3);
+        }
+        return Percentiles(std::move(latencies));
+      };
+
+      LatencyStats cold = measure(60, /*reuse_requester=*/false);
+      LatencyStats warm = measure(60, /*reuse_requester=*/true);
+      std::printf("%-12s %-6s %10.1f %10.1f %10.1f\n",
+                  classifier->name().c_str(), "cold", cold.p50, cold.p95,
+                  cold.max);
+      std::printf("%-12s %-6s %10.1f %10.1f %10.1f\n",
+                  classifier->name().c_str(), "warm", warm.p50, warm.p95,
+                  warm.max);
+      csv.AddRow({classifier->name(), std::to_string(peers), "cold",
+                  std::to_string(cold.p50), std::to_string(cold.p95),
+                  std::to_string(cold.max)});
+      csv.AddRow({classifier->name(), std::to_string(peers), "warm",
+                  std::to_string(warm.p50), std::to_string(warm.p95),
+                  std::to_string(warm.max)});
+    }
+    std::printf("\n");
+  }
+  WriteResults(csv, "latency.csv");
+  return 0;
+}

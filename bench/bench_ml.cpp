@@ -1,0 +1,180 @@
+// CLAIM4 — base-learner costs: linear SVM (PACE's learner) vs kernel SVM
+// (CEMPaR's learner) training and prediction, cascade merging, k-means,
+// and LSH retrieval vs. exhaustive scan.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ml/kernel_svm.h"
+#include "ml/kmeans.h"
+#include "ml/linear_svm.h"
+#include "ml/lsh.h"
+
+namespace {
+
+using namespace p2pdt;
+
+std::vector<Example> MakeProblem(std::size_t n, std::size_t dim,
+                                 std::size_t nnz, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Example> data;
+  data.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    bool pos = i % 2 == 0;
+    std::vector<SparseVector::Entry> f;
+    // Class-dependent region of the feature space plus noise.
+    uint32_t base = pos ? 0 : static_cast<uint32_t>(dim / 2);
+    for (std::size_t j = 0; j < nnz; ++j) {
+      f.emplace_back(base + static_cast<uint32_t>(rng.NextU64(dim / 2)),
+                     rng.Uniform(0.1, 1.0));
+    }
+    SparseVector x = SparseVector::FromPairs(std::move(f));
+    x.L2Normalize();
+    data.push_back({std::move(x), pos ? 1.0 : -1.0});
+  }
+  return data;
+}
+
+void BM_LinearSvmTrain(benchmark::State& state) {
+  auto data = MakeProblem(state.range(0), 2000, 40, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrainLinearSvm(data));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LinearSvmTrain)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_KernelSvmTrain(benchmark::State& state) {
+  auto data = MakeProblem(state.range(0), 2000, 40, 2);
+  KernelSvmOptions opt;
+  opt.kernel = Kernel::Rbf(1.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrainKernelSvm(data, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KernelSvmTrain)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_LinearSvmPredict(benchmark::State& state) {
+  auto data = MakeProblem(512, 2000, 40, 3);
+  LinearSvmModel model = std::move(TrainLinearSvm(data)).value();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Decision(data[i++ % data.size()].x));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LinearSvmPredict);
+
+void BM_KernelSvmPredict(benchmark::State& state) {
+  auto data = MakeProblem(state.range(0), 2000, 40, 4);
+  KernelSvmOptions opt;
+  opt.kernel = Kernel::Rbf(1.0);
+  KernelSvmModel model = std::move(TrainKernelSvm(data, opt)).value();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Decision(data[i++ % data.size()].x));
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.counters["support_vectors"] =
+      static_cast<double>(model.num_support_vectors());
+}
+BENCHMARK(BM_KernelSvmPredict)->Arg(64)->Arg(256);
+
+void BM_CascadeMerge(benchmark::State& state) {
+  const std::size_t num_models = state.range(0);
+  KernelSvmOptions opt;
+  opt.kernel = Kernel::Linear();
+  std::vector<KernelSvmModel> locals;
+  for (std::size_t m = 0; m < num_models; ++m) {
+    locals.push_back(
+        std::move(TrainKernelSvm(MakeProblem(24, 2000, 40, 10 + m), opt))
+            .value());
+  }
+  std::vector<const KernelSvmModel*> ptrs;
+  for (const auto& m : locals) ptrs.push_back(&m);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(CascadeTree(ptrs, opt, 8));
+  }
+}
+BENCHMARK(BM_CascadeMerge)->Arg(4)->Arg(16)->Arg(64);
+
+void BM_KMeans(benchmark::State& state) {
+  auto data = MakeProblem(state.range(0), 2000, 40, 5);
+  std::vector<SparseVector> points;
+  for (const auto& ex : data) points.push_back(ex.x);
+  KMeansOptions opt;
+  opt.k = 8;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(KMeansCluster(points, opt));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_KMeans)->Arg(64)->Arg(256)->Arg(1024);
+
+// LSH retrieval vs. exhaustive scan over model centroids — the lookup PACE
+// does per prediction.
+struct LshFixture {
+  std::vector<SparseVector> items;
+  std::vector<SparseVector> queries;
+  CosineLsh index;
+
+  explicit LshFixture(std::size_t n) : index(LshOptions{}) {
+    Rng rng(6);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto data = MakeProblem(1, 2000, 40, 100 + i);
+      items.push_back(data[0].x);
+      index.Insert(i, items.back());
+    }
+    for (std::size_t q = 0; q < 64; ++q) {
+      queries.push_back(MakeProblem(1, 2000, 40, 900 + q)[0].x);
+    }
+  }
+};
+
+void BM_LshQuery(benchmark::State& state) {
+  static LshFixture* fixture = nullptr;
+  static int64_t fixture_size = 0;
+  if (fixture == nullptr || fixture_size != state.range(0)) {
+    delete fixture;
+    fixture = new LshFixture(state.range(0));
+    fixture_size = state.range(0);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        fixture->index.QueryAtLeast(fixture->queries[i++ % 64], 16));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LshQuery)->Arg(256)->Arg(1024)->Arg(4096);
+
+void BM_ExhaustiveScan(benchmark::State& state) {
+  static LshFixture* fixture = nullptr;
+  static int64_t fixture_size = 0;
+  if (fixture == nullptr || fixture_size != state.range(0)) {
+    delete fixture;
+    fixture = new LshFixture(state.range(0));
+    fixture_size = state.range(0);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const SparseVector& q = fixture->queries[i++ % 64];
+    double best = 1e300;
+    std::size_t best_id = 0;
+    for (std::size_t id = 0; id < fixture->items.size(); ++id) {
+      double d = q.SquaredDistance(fixture->items[id]);
+      if (d < best) {
+        best = d;
+        best_id = id;
+      }
+    }
+    benchmark::DoNotOptimize(best_id);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExhaustiveScan)->Arg(256)->Arg(1024)->Arg(4096);
+
+}  // namespace
+
+BENCHMARK_MAIN();

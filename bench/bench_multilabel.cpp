@@ -1,0 +1,103 @@
+// CLAIM2 — the paper argues that decomposing multi-label tagging into
+// one-against-all binary problems "does not incur additional cost compared
+// with the single label classification approach" because SVMs already
+// handle multi-class that way. This bench measures the actual scaling of
+// one-vs-all training and prediction with the number of tags.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "ml/linear_svm.h"
+#include "ml/multilabel.h"
+
+namespace {
+
+using namespace p2pdt;
+
+MultiLabelDataset MakeDataset(std::size_t n, TagId num_tags, uint64_t seed) {
+  Rng rng(seed);
+  MultiLabelDataset data(num_tags);
+  for (std::size_t i = 0; i < n; ++i) {
+    TagId primary = static_cast<TagId>(i % num_tags);
+    MultiLabelExample ex;
+    std::vector<SparseVector::Entry> f;
+    for (int j = 0; j < 30; ++j) {
+      f.emplace_back(primary * 50 + static_cast<uint32_t>(rng.NextU64(50)),
+                     rng.Uniform(0.1, 1.0));
+    }
+    ex.x = SparseVector::FromPairs(std::move(f));
+    ex.x.L2Normalize();
+    ex.tags = {primary};
+    if (rng.Bernoulli(0.4)) {
+      ex.tags.push_back(static_cast<TagId>((primary + 1) % num_tags));
+    }
+    data.Add(std::move(ex));
+  }
+  return data;
+}
+
+BinaryTrainer LinearTrainer() {
+  return [](const std::vector<Example>& ex)
+             -> Result<std::unique_ptr<BinaryClassifier>> {
+    Result<LinearSvmModel> m = TrainLinearSvm(ex);
+    if (!m.ok()) return m.status();
+    return std::unique_ptr<BinaryClassifier>(
+        std::make_unique<LinearSvmModel>(std::move(m).value()));
+  };
+}
+
+void BM_OneVsAllTrain(benchmark::State& state) {
+  const TagId num_tags = static_cast<TagId>(state.range(0));
+  MultiLabelDataset data = MakeDataset(256, num_tags, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TrainOneVsAll(data, LinearTrainer()));
+  }
+  state.counters["tags"] = num_tags;
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_OneVsAllTrain)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_OneVsAllPredict(benchmark::State& state) {
+  const TagId num_tags = static_cast<TagId>(state.range(0));
+  MultiLabelDataset data = MakeDataset(256, num_tags, 2);
+  OneVsAllModel model =
+      std::move(TrainOneVsAll(data, LinearTrainer())).value();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.PredictTags(data[i++ % data.size()].x));
+  }
+  state.counters["tags"] = num_tags;
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_OneVsAllPredict)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_OneVsAllWireSize(benchmark::State& state) {
+  // Not a timing bench per se: reports how the broadcast payload scales
+  // with the tag universe (what PACE ships per peer).
+  const TagId num_tags = static_cast<TagId>(state.range(0));
+  MultiLabelDataset data = MakeDataset(256, num_tags, 3);
+  OneVsAllModel model =
+      std::move(TrainOneVsAll(data, LinearTrainer())).value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.WireSize());
+  }
+  state.counters["wire_bytes"] = static_cast<double>(model.WireSize());
+  state.counters["tags"] = num_tags;
+}
+BENCHMARK(BM_OneVsAllWireSize)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_DecideTags(benchmark::State& state) {
+  Rng rng(4);
+  std::vector<double> scores(state.range(0));
+  for (auto& s : scores) s = rng.Uniform(-1.0, 1.0);
+  TagDecisionPolicy policy;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(DecideTags(scores, policy));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DecideTags)->Arg(8)->Arg(64)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,146 @@
+// FIG2 — P2PDMT itself: the simulation toolkit's capabilities and costs.
+// Exercises every architecture box of Fig. 2 headlessly: event-engine
+// throughput, physical-network message rates, overlay generation time,
+// stabilization overhead, and churn processing.
+
+#include <benchmark/benchmark.h>
+
+#include "p2pdmt/environment.h"
+
+namespace {
+
+using namespace p2pdt;
+
+void BM_EventEngineThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    const int n = 100000;
+    int fired = 0;
+    for (int i = 0; i < n; ++i) {
+      sim.Schedule(static_cast<double>(i % 977) * 1e-3,
+                   [&fired] { ++fired; });
+    }
+    sim.RunAll();
+    benchmark::DoNotOptimize(fired);
+    state.SetItemsProcessed(state.items_processed() + n);
+  }
+}
+BENCHMARK(BM_EventEngineThroughput);
+
+void BM_MessageDelivery(benchmark::State& state) {
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(64);
+  Rng rng(1);
+  for (auto _ : state) {
+    const int n = 10000;
+    for (int i = 0; i < n; ++i) {
+      net.Send(rng.NextU64(64), rng.NextU64(64), 128,
+               MessageType::kGossip, nullptr);
+    }
+    sim.RunAll();
+    state.SetItemsProcessed(state.items_processed() + n);
+  }
+}
+BENCHMARK(BM_MessageDelivery);
+
+void BM_BuildChordOverlay(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  for (auto _ : state) {
+    Simulator sim;
+    PhysicalNetwork net(sim);
+    net.AddNodes(n);
+    ChordOverlay chord(sim, net, {});
+    for (NodeId i = 0; i < n; ++i) chord.AddNode(i);
+    chord.Bootstrap();
+    benchmark::DoNotOptimize(chord.num_members());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BuildChordOverlay)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_BuildUnstructuredOverlay(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  for (auto _ : state) {
+    Simulator sim;
+    PhysicalNetwork net(sim);
+    net.AddNodes(n);
+    UnstructuredOverlay overlay(sim, net, {});
+    for (NodeId i = 0; i < n; ++i) overlay.AddNode(i);
+    benchmark::DoNotOptimize(overlay.MeanDegree());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_BuildUnstructuredOverlay)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_ChordLookup(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(n);
+  ChordOverlay chord(sim, net, {});
+  for (NodeId i = 0; i < n; ++i) chord.AddNode(i);
+  chord.Bootstrap();
+  Rng rng(2);
+  for (auto _ : state) {
+    bool done = false;
+    chord.Lookup(rng.NextU64(n), rng.NextU64(),
+                 [&done](ChordOverlay::LookupResult) { done = true; });
+    while (!done && sim.Step()) {
+    }
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChordLookup)->Arg(64)->Arg(512)->Arg(2048);
+
+void BM_StabilizationRound(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(n);
+  ChordOverlay chord(sim, net, {});
+  for (NodeId i = 0; i < n; ++i) chord.AddNode(i);
+  for (auto _ : state) {
+    chord.Bootstrap();  // a full refresh of every node
+    sim.RunUntil(sim.Now() + 1.0);
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_StabilizationRound)->Arg(64)->Arg(512);
+
+void BM_ChurnProcessing(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulator sim;
+    PhysicalNetwork net(sim);
+    net.AddNodes(256);
+    ChurnDriver driver(sim, net,
+                       std::make_shared<ExponentialChurn>(10.0, 5.0), 3);
+    driver.Start();
+    sim.RunUntil(120.0);
+    benchmark::DoNotOptimize(driver.num_failures());
+    state.SetItemsProcessed(state.items_processed() +
+                            static_cast<int64_t>(driver.num_failures() +
+                                                 driver.num_rejoins()));
+  }
+}
+BENCHMARK(BM_ChurnProcessing);
+
+void BM_FullEnvironmentSetup(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  for (auto _ : state) {
+    EnvironmentOptions opt;
+    opt.num_peers = n;
+    opt.churn = ChurnType::kExponential;
+    auto env = std::move(Environment::Create(opt)).value();
+    env->StartDynamics();
+    env->sim().RunUntil(5.0);
+    benchmark::DoNotOptimize(env->net().num_online());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_FullEnvironmentSetup)->Arg(128)->Arg(512);
+
+}  // namespace
+
+BENCHMARK_MAIN();

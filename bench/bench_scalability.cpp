@@ -1,0 +1,53 @@
+// DEMO2 — "modifying the network parameters, such as the network size"
+// (paper Sec. 3): accuracy and communication cost as the number of peers
+// grows from 16 to 512 on the same corpus.
+//
+// Expected shape: accuracy roughly flat for CEMPaR / Centralized (the same
+// pooled knowledge, just spread thinner per peer); PACE degrades slightly
+// at scale (top-k of ever-more ever-smaller models); LocalOnly collapses as
+// per-peer data shrinks. CEMPaR train bytes grow ~O(N); PACE grows ~O(N²).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace p2pdt_bench;
+
+int main() {
+  std::printf("=== DEMO2: scalability with network size ===\n\n");
+  const VectorizedCorpus& corpus = SharedCorpus(/*num_users=*/512,
+                                                /*num_tags=*/16);
+  CsvWriter csv({"algorithm", "peers", "micro_f1", "train_MiB",
+                 "train_KiB_per_peer", "predict_MiB", "failed"});
+
+  std::printf("%-12s %6s %8s %12s %14s %12s\n", "algorithm", "peers",
+              "microF1", "train(MiB)", "KiB/peer", "pred(MiB)");
+  for (std::size_t peers : {16u, 32u, 64u, 128u, 256u, 512u}) {
+    for (AlgorithmType algo :
+         {AlgorithmType::kCempar, AlgorithmType::kPace,
+          AlgorithmType::kCentralized, AlgorithmType::kLocalOnly}) {
+      ExperimentOptions opt = MacroDefaults(algo, peers);
+      Result<ExperimentResult> r = RunExperiment(corpus, opt);
+      if (!r.ok()) {
+        std::fprintf(stderr, "%s/%zu failed: %s\n",
+                     AlgorithmTypeToString(algo), peers,
+                     r.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%-12s %6zu %8.4f %12.2f %14.1f %12.2f\n",
+                  r->algorithm.c_str(), peers, r->metrics.micro_f1,
+                  r->train_bytes / (1024.0 * 1024.0),
+                  r->train_bytes_per_peer() / 1024.0,
+                  r->predict_bytes / (1024.0 * 1024.0));
+      csv.AddRow({r->algorithm, std::to_string(peers),
+                  std::to_string(r->metrics.micro_f1),
+                  std::to_string(r->train_bytes / (1024.0 * 1024.0)),
+                  std::to_string(r->train_bytes_per_peer() / 1024.0),
+                  std::to_string(r->predict_bytes / (1024.0 * 1024.0)),
+                  std::to_string(r->failed_predictions)});
+    }
+    std::printf("\n");
+  }
+  WriteResults(csv, "demo2_scalability.csv");
+  return 0;
+}

@@ -1,0 +1,67 @@
+#ifndef P2PDT_BENCH_BENCH_UTIL_H_
+#define P2PDT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/csv.h"
+#include "p2pdmt/experiment.h"
+
+namespace p2pdt_bench {
+
+using namespace p2pdt;  // NOLINT — bench-local convenience
+
+/// Corpus used by the macro experiments: Delicious-like, 512 users with
+/// 50–200 docs each is too slow to rebuild per bench point, so benches
+/// share one sized-down instance per binary (generated once, reused for
+/// every sweep point — exactly how the paper reuses its crawl).
+inline const VectorizedCorpus& SharedCorpus(std::size_t num_users = 128,
+                                            std::size_t num_tags = 12) {
+  static const VectorizedCorpus corpus = [num_users, num_tags] {
+    CorpusOptions opt;
+    opt.num_users = num_users;
+    opt.min_docs_per_user = 50;
+    opt.max_docs_per_user = 80;
+    opt.num_tags = num_tags;
+    opt.vocabulary_size = 3000;
+    opt.seed = 20100913;  // VLDB 2010 opening day
+    Result<VectorizedCorpus> r = MakeVectorizedCorpus(opt);
+    if (!r.ok()) {
+      std::fprintf(stderr, "corpus generation failed: %s\n",
+                   r.status().ToString().c_str());
+      std::abort();
+    }
+    return std::move(r).value();
+  }();
+  return corpus;
+}
+
+/// Writes a CSV table under bench_results/, creating the directory.
+inline void WriteResults(const CsvWriter& csv, const std::string& name) {
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results", ec);
+  std::string path = "bench_results/" + name;
+  Status s = csv.WriteFile(path);
+  if (s.ok()) {
+    std::printf("\n[results written to %s]\n", path.c_str());
+  } else {
+    std::fprintf(stderr, "could not write %s: %s\n", path.c_str(),
+                 s.ToString().c_str());
+  }
+}
+
+/// Common experiment defaults for the macro benches.
+inline ExperimentOptions MacroDefaults(AlgorithmType algorithm,
+                                       std::size_t num_peers) {
+  ExperimentOptions opt;
+  opt.algorithm = algorithm;
+  opt.env.num_peers = num_peers;
+  opt.distribution.cls = ClassDistribution::kByUser;
+  opt.max_test_documents = 300;
+  return opt;
+}
+
+}  // namespace p2pdt_bench
+
+#endif  // P2PDT_BENCH_BENCH_UTIL_H_

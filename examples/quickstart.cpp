@@ -1,0 +1,127 @@
+// Quickstart: the full P2PDocTagger pipeline of Fig. 1 on a single machine.
+//
+//   1. Generate a small Delicious-like corpus (substitute for the paper's
+//      delicious.com crawl).
+//   2. Manage documents with DocTagger: manual seed tagging, local
+//      training, suggestions with confidence, AutoTag, refinement.
+//   3. Browse the results through the Library and the Tag Cloud.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/doc_tagger.h"
+#include "corpus/generator.h"
+
+using namespace p2pdt;
+
+int main() {
+  std::printf("=== P2PDocTagger quickstart ===\n\n");
+
+  // --- 1. A small corpus ----------------------------------------------------
+  CorpusOptions corpus_options;
+  corpus_options.num_users = 1;
+  corpus_options.min_docs_per_user = 120;
+  corpus_options.max_docs_per_user = 120;
+  corpus_options.num_tags = 6;
+  corpus_options.vocabulary_size = 1200;
+  corpus_options.seed = 42;
+  Result<GeneratedCorpus> corpus = GenerateCorpus(corpus_options);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus generation failed: %s\n",
+                 corpus.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("generated %zu documents over %zu tags\n",
+              corpus->documents.size(), corpus->tag_names.size());
+
+  // --- 2. Add documents to the tagger ---------------------------------------
+  DocTaggerOptions options;
+  options.policy.threshold = 0.0;
+  DocTagger tagger(options);
+  for (const RawDocument& doc : corpus->documents) {
+    tagger.AddDocument(doc.title, doc.text);
+  }
+
+  // Manually seed-tag the first 40 documents (the paper: "users have to
+  // manually tag some of their documents" before the system can learn).
+  const std::size_t seed_count = 40;
+  for (DocId id = 0; id < seed_count; ++id) {
+    Status s = tagger.ManualTag(id, corpus->documents[id].tags);
+    if (!s.ok()) {
+      std::fprintf(stderr, "manual tagging failed: %s\n",
+                   s.ToString().c_str());
+      return 1;
+    }
+  }
+  std::printf("manually tagged %zu documents\n", seed_count);
+
+  // --- 3. Train the local model and auto-tag the rest -----------------------
+  Status train = tagger.TrainLocal();
+  if (!train.ok()) {
+    std::fprintf(stderr, "training failed: %s\n", train.ToString().c_str());
+    return 1;
+  }
+  Result<std::size_t> tagged = tagger.AutoTagAll();
+  if (!tagged.ok()) {
+    std::fprintf(stderr, "autotag failed: %s\n",
+                 tagged.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("AutoTag assigned tags to %zu documents\n\n", tagged.value());
+
+  // Accuracy of the auto tags against the generator's ground truth.
+  std::size_t correct = 0, total = 0;
+  for (DocId id = seed_count; id < tagger.num_documents(); ++id) {
+    const Document& doc = *tagger.GetDocument(id).value();
+    for (const TagAssignment& a : doc.tags) {
+      ++total;
+      for (const std::string& truth : corpus->documents[id].tags) {
+        if (a.tag == truth) {
+          ++correct;
+          break;
+        }
+      }
+    }
+  }
+  std::printf("auto-tag precision vs ground truth: %.1f%% (%zu/%zu)\n\n",
+              total ? 100.0 * correct / total : 0.0, correct, total);
+
+  // --- 4. Suggestions with confidence (the Suggestion Cloud, Fig. 3) --------
+  DocId sample = seed_count;
+  std::printf("suggestion cloud for '%s' (truth:",
+              corpus->documents[sample].title.c_str());
+  for (const auto& t : corpus->documents[sample].tags) {
+    std::printf(" %s", t.c_str());
+  }
+  std::printf("):\n");
+  Result<std::vector<TagSuggestion>> suggestions =
+      tagger.SuggestTags(sample, /*min_confidence=*/0.30);
+  if (suggestions.ok()) {
+    for (const TagSuggestion& s : suggestions.value()) {
+      std::printf("  %-16s confidence=%.2f\n", s.tag.c_str(), s.confidence);
+    }
+  }
+
+  // --- 5. Refinement: correct one document, model adapts --------------------
+  Status refined = tagger.Refine(sample, corpus->documents[sample].tags);
+  std::printf("\nrefined tags on doc %zu: %s\n", sample,
+              refined.ToString().c_str());
+
+  // --- 6. Library search and Tag Cloud (Fig. 4) ------------------------------
+  auto counts = tagger.library().TagCounts();
+  std::printf("\nlibrary: %zu tags over %zu documents\n",
+              tagger.library().num_tags(), tagger.library().num_documents());
+  for (const auto& [tag, count] : counts) {
+    std::printf("  %-16s %zu docs\n", tag.c_str(), count);
+  }
+
+  TagCloud cloud = tagger.BuildTagCloud();
+  std::printf("\ntag cloud: %zu nodes, %zu edges, %zu cluster(s)\n",
+              cloud.nodes().size(), cloud.edges().size(),
+              cloud.num_clusters());
+  std::printf("%s", cloud.Render().c_str());
+
+  std::printf("\nquickstart complete.\n");
+  return 0;
+}

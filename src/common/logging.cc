@@ -1,0 +1,69 @@
+#include "common/logging.h"
+
+#include <cstdio>
+
+namespace p2pdt {
+
+Logger& Logger::Instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::BeginCapture() {
+  capturing_ = true;
+  capture_.clear();
+}
+
+std::string Logger::EndCapture() {
+  capturing_ = false;
+  std::string out;
+  out.swap(capture_);
+  return out;
+}
+
+void Logger::Write(LogLevel level, const std::string& message) {
+  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (capturing_) {
+    capture_ += message;
+    capture_ += '\n';
+    return;
+  }
+  std::fprintf(stderr, "%s\n", message.c_str());
+}
+
+namespace internal {
+
+namespace {
+const char* LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "D";
+    case LogLevel::kInfo:
+      return "I";
+    case LogLevel::kWarning:
+      return "W";
+    case LogLevel::kError:
+      return "E";
+    case LogLevel::kOff:
+      return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  // Keep only the basename to keep log lines short.
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelTag(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  Logger::Instance().Write(level_, stream_.str());
+}
+
+}  // namespace internal
+}  // namespace p2pdt

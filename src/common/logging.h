@@ -1,0 +1,68 @@
+#ifndef P2PDT_COMMON_LOGGING_H_
+#define P2PDT_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace p2pdt {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Process-wide logger with a settable severity threshold and an optional
+/// capture sink for tests. Not thread-safe by design: the simulator is
+/// single-threaded (discrete-event), and benchmarks set the level once.
+class Logger {
+ public:
+  static Logger& Instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Redirects output into an internal buffer instead of stderr. Tests use
+  /// this to assert on log content without polluting test output.
+  void BeginCapture();
+  /// Stops capturing and returns everything captured since BeginCapture().
+  std::string EndCapture();
+
+  void Write(LogLevel level, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarning;
+  bool capturing_ = false;
+  std::string capture_;
+};
+
+namespace internal {
+
+/// Stream-style single-message builder; flushes on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace p2pdt
+
+#define P2PDT_LOG(level)                                               \
+  ::p2pdt::internal::LogMessage(::p2pdt::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+#endif  // P2PDT_COMMON_LOGGING_H_

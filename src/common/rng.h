@@ -1,0 +1,120 @@
+#ifndef P2PDT_COMMON_RNG_H_
+#define P2PDT_COMMON_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace p2pdt {
+
+/// Deterministic pseudo-random number generator (xoshiro256** seeded via
+/// SplitMix64) with the sampling distributions the corpus generator and the
+/// P2P simulator need.
+///
+/// Every stochastic component in the library takes an explicit `Rng` (or a
+/// seed) so that corpora, peer data partitions, overlay topologies and churn
+/// traces are exactly reproducible from a scenario seed. The standard
+/// library's distributions are deliberately avoided: their output is
+/// implementation-defined, which would make experiment outputs differ across
+/// standard libraries.
+class Rng {
+ public:
+  /// Seeds the generator. Two `Rng`s with the same seed produce identical
+  /// streams on every platform.
+  explicit Rng(uint64_t seed = 0xA02DCCF3ULL);
+
+  /// Next raw 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform in [0, bound). `bound` must be > 0. Uses rejection sampling to
+  /// avoid modulo bias.
+  uint64_t NextU64(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Standard normal via Box–Muller.
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Exponential with the given mean (= 1/rate). Used by churn models for
+  /// session lifetimes.
+  double Exponential(double mean);
+
+  /// Pareto (heavy-tailed) with scale `xm` > 0 and shape `alpha` > 0. Used by
+  /// churn models: peer lifetimes in deployed P2P systems are heavy-tailed.
+  double Pareto(double xm, double alpha);
+
+  /// Zipf-distributed integer in [0, n). Exponent `s` >= 0; s = 0 degenerates
+  /// to uniform. Implemented by inverting the empirical CDF built once per
+  /// (n, s) — callers that sample many values from the same distribution
+  /// should prefer ZipfSampler below.
+  uint64_t Zipf(uint64_t n, double s);
+
+  /// Samples a probability vector from a symmetric Dirichlet(alpha) of the
+  /// given dimension. Small alpha => highly skewed vectors; used to create
+  /// non-IID class distributions across peers.
+  std::vector<double> Dirichlet(std::size_t dim, double alpha);
+
+  /// Gamma(shape, 1) via Marsaglia–Tsang; building block for Dirichlet.
+  double Gamma(double shape);
+
+  /// Samples an index from an (unnormalized, non-negative) weight vector.
+  /// Returns weights.size() when all weights are zero/empty.
+  std::size_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher–Yates shuffles `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    if (v.size() < 2) return;
+    for (std::size_t i = v.size() - 1; i > 0; --i) {
+      std::size_t j = static_cast<std::size_t>(NextU64(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Draws `k` distinct indices from [0, n) (k <= n), in random order.
+  std::vector<std::size_t> SampleWithoutReplacement(std::size_t n,
+                                                    std::size_t k);
+
+  /// Derives an independent child generator; the child's stream does not
+  /// overlap this generator's under practical use. Used to give each peer its
+  /// own deterministic stream.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Precomputed inverse-CDF sampler for a Zipf distribution over [0, n).
+/// O(n) setup, O(log n) per sample.
+class ZipfSampler {
+ public:
+  /// `n` > 0; exponent `s` >= 0.
+  ZipfSampler(uint64_t n, double s);
+
+  uint64_t Sample(Rng& rng) const;
+
+  /// Probability mass of rank `k` (0-based).
+  double Pmf(uint64_t k) const;
+
+  uint64_t n() const { return n_; }
+  double s() const { return s_; }
+
+ private:
+  uint64_t n_;
+  double s_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_COMMON_RNG_H_

@@ -1,0 +1,35 @@
+#include "core/document.h"
+
+#include <algorithm>
+
+namespace p2pdt {
+
+const char* TagSourceToString(TagSource source) {
+  switch (source) {
+    case TagSource::kManual:
+      return "manual";
+    case TagSource::kAuto:
+      return "auto";
+    case TagSource::kSuggested:
+      return "suggested";
+  }
+  return "unknown";
+}
+
+bool Document::HasTag(const std::string& tag) const {
+  for (const auto& a : tags) {
+    if (a.tag == tag) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Document::TagNames() const {
+  std::vector<std::string> names;
+  names.reserve(tags.size());
+  for (const auto& a : tags) names.push_back(a.tag);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,51 @@
+#ifndef P2PDT_CORE_DOCUMENT_H_
+#define P2PDT_CORE_DOCUMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sparse_vector.h"
+
+namespace p2pdt {
+
+/// Application-level document identifier.
+using DocId = std::size_t;
+inline constexpr DocId kInvalidDoc = static_cast<DocId>(-1);
+
+/// Where a tag assignment came from — surfaced in the UI and used by
+/// refinement (manual assignments are never overwritten by AutoTag).
+enum class TagSource : uint8_t {
+  kManual = 0,  // typed by the user ("Add" button, Fig. 3)
+  kAuto,        // assigned by AutoTag
+  kSuggested,   // accepted from the Suggestion Cloud
+};
+
+const char* TagSourceToString(TagSource source);
+
+/// One tag on one document, with the confidence it was assigned at
+/// (manual tags get confidence 1.0).
+struct TagAssignment {
+  std::string tag;
+  TagSource source = TagSource::kManual;
+  double confidence = 1.0;
+};
+
+/// A document under management: the user selected it (File Browser),
+/// the pipeline vectorized it, and zero or more tags are assigned.
+struct Document {
+  DocId id = kInvalidDoc;
+  std::string title;
+  std::string text;
+  /// Preprocessed representation (set when the document is added).
+  SparseVector vector;
+  std::vector<TagAssignment> tags;
+
+  bool HasTag(const std::string& tag) const;
+  /// Sorted tag names (for set comparisons).
+  std::vector<std::string> TagNames() const;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_CORE_DOCUMENT_H_

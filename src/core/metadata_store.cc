@@ -1,0 +1,95 @@
+#include "core/metadata_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/string_util.h"
+
+namespace p2pdt {
+
+namespace fs = std::filesystem;
+
+MetadataStore::MetadataStore(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string MetadataStore::PathFor(DocId id) const {
+  return directory_ + "/" + std::to_string(id) + ".tags";
+}
+
+Status MetadataStore::Save(const Document& doc) const {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    return Status::IOError("cannot create " + directory_ + ": " +
+                           ec.message());
+  }
+  std::ofstream f(PathFor(doc.id), std::ios::trunc);
+  if (!f) return Status::IOError("cannot open " + PathFor(doc.id));
+  for (const TagAssignment& a : doc.tags) {
+    f << a.tag << '\t' << TagSourceToString(a.source) << '\t' << a.confidence
+      << '\n';
+  }
+  if (!f) return Status::IOError("short write to " + PathFor(doc.id));
+  return Status::OK();
+}
+
+Result<std::vector<TagAssignment>> MetadataStore::Load(DocId id) const {
+  std::ifstream f(PathFor(id));
+  if (!f) return Status::NotFound("no sidecar for doc " + std::to_string(id));
+  std::vector<TagAssignment> out;
+  std::string line;
+  while (std::getline(f, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.empty() || fields[0].empty()) {
+      return Status::IOError("malformed sidecar line: " + line);
+    }
+    TagAssignment a;
+    a.tag = fields[0];
+    if (fields.size() > 1) {
+      if (fields[1] == "auto") {
+        a.source = TagSource::kAuto;
+      } else if (fields[1] == "suggested") {
+        a.source = TagSource::kSuggested;
+      } else {
+        a.source = TagSource::kManual;
+      }
+    }
+    if (fields.size() > 2) {
+      char* end = nullptr;
+      double c = std::strtod(fields[2].c_str(), &end);
+      if (end != fields[2].c_str()) a.confidence = c;
+    }
+    out.push_back(std::move(a));
+  }
+  return out;
+}
+
+Status MetadataStore::Erase(DocId id) const {
+  std::error_code ec;
+  fs::remove(PathFor(id), ec);
+  if (ec) return Status::IOError("cannot remove sidecar: " + ec.message());
+  return Status::OK();
+}
+
+Result<std::vector<DocId>> MetadataStore::ListDocuments() const {
+  std::vector<DocId> out;
+  std::error_code ec;
+  fs::directory_iterator it(directory_, ec);
+  if (ec) return out;  // missing directory = empty store
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (!EndsWith(name, ".tags")) continue;
+    char* end = nullptr;
+    unsigned long long id = std::strtoull(name.c_str(), &end, 10);
+    if (end != name.c_str()) out.push_back(static_cast<DocId>(id));
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace p2pdt

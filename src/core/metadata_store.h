@@ -1,0 +1,45 @@
+#ifndef P2PDT_CORE_METADATA_STORE_H_
+#define P2PDT_CORE_METADATA_STORE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "core/document.h"
+
+namespace p2pdt {
+
+/// Persists tag assignments as per-document sidecar files.
+///
+/// The paper stores tags "as the files' meta-data, which are supported by
+/// numerous operating systems" (xattrs / NTFS streams). Sidecar files in a
+/// directory are the portable equivalent: other PIM tools can read them,
+/// and they survive across this process's restarts. Format (one line per
+/// tag): `tag<TAB>source<TAB>confidence`.
+class MetadataStore {
+ public:
+  explicit MetadataStore(std::string directory);
+
+  /// Writes (replaces) the sidecar for one document.
+  Status Save(const Document& doc) const;
+
+  /// Loads tag assignments for a document id; NotFound when no sidecar
+  /// exists.
+  Result<std::vector<TagAssignment>> Load(DocId id) const;
+
+  /// Removes a document's sidecar (missing file is not an error).
+  Status Erase(DocId id) const;
+
+  /// Document ids that currently have sidecars.
+  Result<std::vector<DocId>> ListDocuments() const;
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  std::string PathFor(DocId id) const;
+  std::string directory_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_CORE_METADATA_STORE_H_

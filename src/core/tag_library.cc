@@ -1,0 +1,94 @@
+#include "core/tag_library.h"
+
+#include <algorithm>
+
+namespace p2pdt {
+
+void TagLibrary::Index(const Document& doc) {
+  Remove(doc.id);
+  if (doc.tags.empty()) return;
+  auto& tags = doc_to_tags_[doc.id];
+  for (const TagAssignment& a : doc.tags) {
+    tags.insert(a.tag);
+    tag_to_docs_[a.tag].insert(doc.id);
+  }
+}
+
+void TagLibrary::Remove(DocId doc) {
+  auto it = doc_to_tags_.find(doc);
+  if (it == doc_to_tags_.end()) return;
+  for (const std::string& tag : it->second) {
+    auto tag_it = tag_to_docs_.find(tag);
+    if (tag_it != tag_to_docs_.end()) {
+      tag_it->second.erase(doc);
+      if (tag_it->second.empty()) tag_to_docs_.erase(tag_it);
+    }
+  }
+  doc_to_tags_.erase(it);
+}
+
+std::vector<DocId> TagLibrary::WithTag(const std::string& tag) const {
+  auto it = tag_to_docs_.find(tag);
+  if (it == tag_to_docs_.end()) return {};
+  return std::vector<DocId>(it->second.begin(), it->second.end());
+}
+
+std::vector<DocId> TagLibrary::WithAllTags(
+    const std::vector<std::string>& tags) const {
+  if (tags.empty()) return {};
+  std::vector<DocId> acc = WithTag(tags.front());
+  for (std::size_t i = 1; i < tags.size() && !acc.empty(); ++i) {
+    std::vector<DocId> next = WithTag(tags[i]);
+    std::vector<DocId> merged;
+    std::set_intersection(acc.begin(), acc.end(), next.begin(), next.end(),
+                          std::back_inserter(merged));
+    acc = std::move(merged);
+  }
+  return acc;
+}
+
+std::vector<DocId> TagLibrary::WithAnyTag(
+    const std::vector<std::string>& tags) const {
+  std::set<DocId> acc;
+  for (const std::string& tag : tags) {
+    auto it = tag_to_docs_.find(tag);
+    if (it != tag_to_docs_.end()) acc.insert(it->second.begin(),
+                                             it->second.end());
+  }
+  return std::vector<DocId>(acc.begin(), acc.end());
+}
+
+std::vector<DocId> TagLibrary::AllDocuments() const {
+  std::vector<DocId> out;
+  out.reserve(doc_to_tags_.size());
+  for (const auto& [doc, _] : doc_to_tags_) out.push_back(doc);
+  return out;  // std::map keys are already ascending
+}
+
+std::vector<std::pair<std::string, std::size_t>> TagLibrary::TagCounts()
+    const {
+  std::vector<std::pair<std::string, std::size_t>> out;
+  out.reserve(tag_to_docs_.size());
+  for (const auto& [tag, docs] : tag_to_docs_) {
+    out.emplace_back(tag, docs.size());
+  }
+  return out;  // std::map iteration is already alphabetical
+}
+
+std::size_t TagLibrary::CoOccurrence(const std::string& a,
+                                     const std::string& b) const {
+  auto ia = tag_to_docs_.find(a);
+  auto ib = tag_to_docs_.find(b);
+  if (ia == tag_to_docs_.end() || ib == tag_to_docs_.end()) return 0;
+  const auto& small = ia->second.size() <= ib->second.size() ? ia->second
+                                                             : ib->second;
+  const auto& large = ia->second.size() <= ib->second.size() ? ib->second
+                                                             : ia->second;
+  std::size_t n = 0;
+  for (DocId d : small) {
+    if (large.count(d) > 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,56 @@
+#ifndef P2PDT_CORE_TAG_LIBRARY_H_
+#define P2PDT_CORE_TAG_LIBRARY_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/document.h"
+
+namespace p2pdt {
+
+/// The Library component (demo Sec. 3): "where all tagged documents are
+/// tracked to allow users to browse or search documents using tags."
+///
+/// Maintains an inverted index tag → documents, kept in sync by DocTagger
+/// whenever assignments change.
+class TagLibrary {
+ public:
+  /// (Re)indexes a document's current tag set.
+  void Index(const Document& doc);
+
+  /// Removes a document from the index entirely.
+  void Remove(DocId doc);
+
+  /// All documents carrying `tag`, ascending.
+  std::vector<DocId> WithTag(const std::string& tag) const;
+
+  /// Documents carrying *all* of `tags` (AND search).
+  std::vector<DocId> WithAllTags(const std::vector<std::string>& tags) const;
+
+  /// Documents carrying *any* of `tags` (OR search / filtering).
+  std::vector<DocId> WithAnyTag(const std::vector<std::string>& tags) const;
+
+  /// Every known tag with its document count, alphabetical — the data
+  /// behind the Tag Cloud's alphabetical layout (Fig. 3).
+  std::vector<std::pair<std::string, std::size_t>> TagCounts() const;
+
+  /// Co-occurrence count of two tags (documents carrying both) — the edge
+  /// weights of the Tag Cloud graph (Fig. 4).
+  std::size_t CoOccurrence(const std::string& a, const std::string& b) const;
+
+  /// Every indexed (i.e. tagged) document, ascending.
+  std::vector<DocId> AllDocuments() const;
+
+  std::size_t num_tags() const { return tag_to_docs_.size(); }
+  std::size_t num_documents() const { return doc_to_tags_.size(); }
+
+ private:
+  std::map<std::string, std::set<DocId>> tag_to_docs_;
+  std::map<DocId, std::set<std::string>> doc_to_tags_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_CORE_TAG_LIBRARY_H_

@@ -1,0 +1,209 @@
+#include "core/tag_query.h"
+
+#include <algorithm>
+#include <cctype>
+#include <functional>
+
+namespace p2pdt {
+
+namespace {
+
+struct Token {
+  enum class Kind { kTag, kAnd, kOr, kNot, kLParen, kRParen, kEnd } kind;
+  std::string text;
+};
+
+std::vector<Token> Lex(std::string_view query) {
+  std::vector<Token> tokens;
+  std::size_t i = 0;
+  while (i < query.size()) {
+    char c = query[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '(') {
+      tokens.push_back({Token::Kind::kLParen, "("});
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      tokens.push_back({Token::Kind::kRParen, ")"});
+      ++i;
+      continue;
+    }
+    // A tag word: everything up to whitespace or a parenthesis.
+    std::size_t start = i;
+    while (i < query.size() &&
+           !std::isspace(static_cast<unsigned char>(query[i])) &&
+           query[i] != '(' && query[i] != ')') {
+      ++i;
+    }
+    std::string word(query.substr(start, i - start));
+    std::string upper = word;
+    for (char& ch : upper) {
+      ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+    }
+    if (upper == "AND") {
+      tokens.push_back({Token::Kind::kAnd, word});
+    } else if (upper == "OR") {
+      tokens.push_back({Token::Kind::kOr, word});
+    } else if (upper == "NOT") {
+      tokens.push_back({Token::Kind::kNot, word});
+    } else {
+      tokens.push_back({Token::Kind::kTag, word});
+    }
+  }
+  tokens.push_back({Token::Kind::kEnd, ""});
+  return tokens;
+}
+
+}  // namespace
+
+Result<TagQuery> TagQuery::Parse(std::string_view query) {
+  const std::vector<Token> tokens = Lex(query);
+  std::size_t pos = 0;
+  using NodePtr = std::unique_ptr<Node>;
+  using ParseFn = std::function<Result<NodePtr>()>;
+
+  // Mutually recursive productions, forward-declared as std::functions.
+  ParseFn parse_or;
+
+  ParseFn parse_unary = [&]() -> Result<NodePtr> {
+    const Token& tok = tokens[pos];
+    switch (tok.kind) {
+      case Token::Kind::kNot: {
+        ++pos;
+        Result<NodePtr> operand = parse_unary();
+        if (!operand.ok()) return operand.status();
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::kNot;
+        node->left = std::move(operand).value();
+        return node;
+      }
+      case Token::Kind::kLParen: {
+        ++pos;
+        Result<NodePtr> inner = parse_or();
+        if (!inner.ok()) return inner.status();
+        if (tokens[pos].kind != Token::Kind::kRParen) {
+          return Status::InvalidArgument("expected ')'");
+        }
+        ++pos;
+        return inner;
+      }
+      case Token::Kind::kTag: {
+        ++pos;
+        auto node = std::make_unique<Node>();
+        node->kind = Node::Kind::kTag;
+        node->tag = tok.text;
+        return node;
+      }
+      default:
+        return Status::InvalidArgument(
+            "expected tag, NOT or '(', got '" +
+            (tok.text.empty() ? std::string("end of query") : tok.text) +
+            "'");
+    }
+  };
+
+  auto parse_binary = [&](Token::Kind op, Node::Kind kind,
+                          const ParseFn& next) -> Result<NodePtr> {
+    Result<NodePtr> left = next();
+    if (!left.ok()) return left.status();
+    NodePtr node = std::move(left).value();
+    while (tokens[pos].kind == op) {
+      ++pos;
+      Result<NodePtr> right = next();
+      if (!right.ok()) return right.status();
+      auto parent = std::make_unique<Node>();
+      parent->kind = kind;
+      parent->left = std::move(node);
+      parent->right = std::move(right).value();
+      node = std::move(parent);
+    }
+    return node;
+  };
+
+  ParseFn parse_and = [&]() -> Result<NodePtr> {
+    return parse_binary(Token::Kind::kAnd, Node::Kind::kAnd, parse_unary);
+  };
+  parse_or = [&]() -> Result<NodePtr> {
+    return parse_binary(Token::Kind::kOr, Node::Kind::kOr, parse_and);
+  };
+
+  Result<NodePtr> root = parse_or();
+  if (!root.ok()) return root.status();
+  if (tokens[pos].kind != Token::Kind::kEnd) {
+    return Status::InvalidArgument("unexpected '" + tokens[pos].text +
+                                   "' after end of query");
+  }
+  return TagQuery(std::move(root).value());
+}
+
+namespace {
+
+std::vector<DocId> Intersect(const std::vector<DocId>& a,
+                             const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+std::vector<DocId> Union(const std::vector<DocId>& a,
+                         const std::vector<DocId>& b) {
+  std::vector<DocId> out;
+  std::set_union(a.begin(), a.end(), b.begin(), b.end(),
+                 std::back_inserter(out));
+  return out;
+}
+
+std::vector<DocId> Complement(const std::vector<DocId>& universe,
+                              const std::vector<DocId>& a) {
+  std::vector<DocId> out;
+  std::set_difference(universe.begin(), universe.end(), a.begin(), a.end(),
+                      std::back_inserter(out));
+  return out;
+}
+
+}  // namespace
+
+std::vector<DocId> TagQuery::Evaluate(const TagLibrary& library) const {
+  std::vector<DocId> universe = library.AllDocuments();
+  std::function<std::vector<DocId>(const Node&)> eval =
+      [&](const Node& node) -> std::vector<DocId> {
+    switch (node.kind) {
+      case Node::Kind::kTag:
+        return library.WithTag(node.tag);
+      case Node::Kind::kAnd:
+        return Intersect(eval(*node.left), eval(*node.right));
+      case Node::Kind::kOr:
+        return Union(eval(*node.left), eval(*node.right));
+      case Node::Kind::kNot:
+        return Complement(universe, eval(*node.left));
+    }
+    return {};
+  };
+  return eval(*root_);
+}
+
+std::string TagQuery::ToString() const {
+  std::function<std::string(const Node&)> render =
+      [&](const Node& node) -> std::string {
+    switch (node.kind) {
+      case Node::Kind::kTag:
+        return node.tag;
+      case Node::Kind::kAnd:
+        return "(" + render(*node.left) + " AND " + render(*node.right) +
+               ")";
+      case Node::Kind::kOr:
+        return "(" + render(*node.left) + " OR " + render(*node.right) + ")";
+      case Node::Kind::kNot:
+        return "(NOT " + render(*node.left) + ")";
+    }
+    return "?";
+  };
+  return render(*root_);
+}
+
+}  // namespace p2pdt

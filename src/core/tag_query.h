@@ -1,0 +1,56 @@
+#ifndef P2PDT_CORE_TAG_QUERY_H_
+#define P2PDT_CORE_TAG_QUERY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "core/tag_library.h"
+
+namespace p2pdt {
+
+/// Boolean tag-query language for Library search — the "searching and
+/// filtering of documents using the Library component" of the demo
+/// (Sec. 3), grown into the filtering PHLAT [4] popularized:
+///
+///   research AND (p2p OR dht) AND NOT draft
+///
+/// Grammar (keywords case-insensitive; tags are bare words):
+///   expr    := or
+///   or      := and   ( OR  and  )*
+///   and     := unary ( AND unary )*
+///   unary   := NOT unary | '(' expr ')' | TAG
+///
+/// NOT is evaluated against the set of *tagged* documents in the library.
+class TagQuery {
+ public:
+  TagQuery(TagQuery&&) = default;
+  TagQuery& operator=(TagQuery&&) = default;
+
+  /// Parses a query; fails with InvalidArgument on syntax errors (empty
+  /// query, dangling operator, unbalanced parentheses, ...).
+  static Result<TagQuery> Parse(std::string_view query);
+
+  /// Documents matching the query, ascending.
+  std::vector<DocId> Evaluate(const TagLibrary& library) const;
+
+  /// Canonical rendering (fully parenthesized).
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    enum class Kind { kTag, kAnd, kOr, kNot } kind;
+    std::string tag;                    // kTag
+    std::unique_ptr<Node> left, right;  // kAnd/kOr both, kNot left only
+  };
+
+  explicit TagQuery(std::unique_ptr<Node> root) : root_(std::move(root)) {}
+
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_CORE_TAG_QUERY_H_

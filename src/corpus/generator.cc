@@ -1,0 +1,198 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <cctype>
+#include <unordered_set>
+
+#include "text/stopwords.h"
+
+namespace p2pdt {
+
+namespace corpus_internal {
+
+std::vector<std::string> MakeWordList(std::size_t count, Rng& rng,
+                                      const std::string& prefix) {
+  static const char* kSyllables[] = {
+      "ta", "ri", "mo", "ken", "lo",  "su",  "ve", "na",  "pi", "dor",
+      "ga", "le", "shi", "ran", "tu", "bel", "ko", "mi",  "za", "fen",
+      "cu", "bra", "del", "vo", "ha", "ser", "ne", "qua", "li", "tor",
+      "pa", "gre", "ni",  "sta", "re", "mu", "jo", "wen", "ce", "dal"};
+  constexpr std::size_t kNumSyllables =
+      sizeof(kSyllables) / sizeof(kSyllables[0]);
+
+  std::unordered_set<std::string> seen;
+  std::vector<std::string> words;
+  words.reserve(count);
+  while (words.size() < count) {
+    std::size_t syllables = 2 + rng.NextU64(3);  // 2..4
+    std::string w = prefix;
+    for (std::size_t s = 0; s < syllables; ++s) {
+      w += kSyllables[rng.NextU64(kNumSyllables)];
+    }
+    if (seen.insert(w).second) words.push_back(std::move(w));
+  }
+  return words;
+}
+
+}  // namespace corpus_internal
+
+namespace {
+
+/// Inflectional endings the Porter stemmer strips; applied at render time
+/// so stemming has real work to do.
+const char* kInflections[] = {"s", "ing", "ed", "er", "ness", "ation"};
+
+std::string RenderText(const std::vector<std::string>& content_words,
+                       const CorpusOptions& options, Rng& rng) {
+  const auto& stops = StopWordFilter::DefaultEnglishStopWords();
+  std::string text;
+  std::size_t words_in_sentence = 0;
+  std::size_t sentence_target = 6 + rng.NextU64(9);
+  bool sentence_start = true;
+
+  auto append_word = [&](const std::string& w, bool capitalize) {
+    if (!text.empty() && !sentence_start) text += ' ';
+    if (sentence_start && !text.empty()) text += ' ';
+    std::size_t at = text.size();
+    text += w;
+    if (capitalize && at < text.size()) {
+      text[at] = static_cast<char>(std::toupper(
+          static_cast<unsigned char>(text[at])));
+    }
+    sentence_start = false;
+  };
+
+  for (const std::string& base : content_words) {
+    // Optional stop word first (filtered out later by the pipeline).
+    if (rng.Bernoulli(options.stop_word_probability)) {
+      append_word(stops[rng.NextU64(stops.size())], sentence_start);
+      ++words_in_sentence;
+    }
+    std::string w = base;
+    if (rng.Bernoulli(options.inflection_probability)) {
+      w += kInflections[rng.NextU64(sizeof(kInflections) /
+                                    sizeof(kInflections[0]))];
+    }
+    append_word(w, sentence_start);
+    if (++words_in_sentence >= sentence_target) {
+      text += '.';
+      words_in_sentence = 0;
+      sentence_target = 6 + rng.NextU64(9);
+      sentence_start = true;
+    }
+  }
+  if (!text.empty() && text.back() != '.') text += '.';
+  return text;
+}
+
+}  // namespace
+
+Result<GeneratedCorpus> GenerateCorpus(const CorpusOptions& options) {
+  if (options.num_users == 0 || options.num_tags == 0 ||
+      options.vocabulary_size == 0) {
+    return Status::InvalidArgument(
+        "corpus requires users, tags and vocabulary");
+  }
+  if (options.min_docs_per_user > options.max_docs_per_user ||
+      options.min_doc_words > options.max_doc_words) {
+    return Status::InvalidArgument("corpus min/max ranges inverted");
+  }
+  if (options.topic_words_per_tag > options.vocabulary_size) {
+    return Status::InvalidArgument(
+        "topic_words_per_tag exceeds vocabulary_size");
+  }
+
+  Rng rng(options.seed);
+  GeneratedCorpus corpus;
+
+  // Vocabulary and (disjoint) tag names. The "xq" prefix guarantees tag
+  // names never collide with document words — per the paper, tags need not
+  // occur in the documents at all.
+  std::vector<std::string> vocab =
+      corpus_internal::MakeWordList(options.vocabulary_size, rng);
+  corpus.tag_names =
+      corpus_internal::MakeWordList(options.num_tags, rng, "xq");
+
+  // Per-tag topical word sets with Zipf-weighted frequencies.
+  corpus.topic_words.resize(options.num_tags);
+  std::vector<std::vector<std::size_t>> topic_word_ids(options.num_tags);
+  for (std::size_t t = 0; t < options.num_tags; ++t) {
+    std::vector<std::size_t> picks = rng.SampleWithoutReplacement(
+        options.vocabulary_size, options.topic_words_per_tag);
+    topic_word_ids[t] = picks;
+    for (std::size_t id : picks) corpus.topic_words[t].push_back(vocab[id]);
+  }
+  ZipfSampler topic_sampler(options.topic_words_per_tag,
+                            options.topic_word_zipf);
+  ZipfSampler background_sampler(options.vocabulary_size,
+                                 options.background_word_zipf);
+
+  // Global tag popularity (power law, shuffled so tag id != rank).
+  ZipfSampler tag_popularity(options.num_tags, options.tag_popularity_zipf);
+  std::vector<double> tag_weight(options.num_tags);
+  for (std::size_t t = 0; t < options.num_tags; ++t) {
+    tag_weight[t] = tag_popularity.Pmf(t);
+  }
+  rng.Shuffle(tag_weight);
+
+  corpus.user_documents.resize(options.num_users);
+  for (std::size_t user = 0; user < options.num_users; ++user) {
+    // User interest: Dirichlet-skewed reweighting of global popularity.
+    std::vector<double> interest =
+        rng.Dirichlet(options.num_tags, options.user_interest_alpha);
+    for (std::size_t t = 0; t < options.num_tags; ++t) {
+      interest[t] *= tag_weight[t];
+    }
+
+    std::size_t num_docs =
+        options.min_docs_per_user +
+        rng.NextU64(options.max_docs_per_user - options.min_docs_per_user +
+                    1);
+    for (std::size_t d = 0; d < num_docs; ++d) {
+      RawDocument doc;
+      doc.user = user;
+
+      // Tags: first from the user's interest, extras with decaying
+      // probability.
+      std::vector<std::size_t> tags;
+      std::size_t first = rng.Categorical(interest);
+      if (first >= options.num_tags) first = rng.NextU64(options.num_tags);
+      tags.push_back(first);
+      while (tags.size() < options.max_tags_per_doc &&
+             rng.Bernoulli(options.extra_tag_probability)) {
+        std::size_t extra = rng.Categorical(interest);
+        if (extra >= options.num_tags) break;
+        if (std::find(tags.begin(), tags.end(), extra) == tags.end()) {
+          tags.push_back(extra);
+        }
+      }
+      std::sort(tags.begin(), tags.end());
+      for (std::size_t t : tags) doc.tags.push_back(corpus.tag_names[t]);
+
+      // Content words: topic mixture plus background noise.
+      std::size_t length =
+          options.min_doc_words +
+          rng.NextU64(options.max_doc_words - options.min_doc_words + 1);
+      std::vector<std::string> content;
+      content.reserve(length);
+      for (std::size_t w = 0; w < length; ++w) {
+        if (rng.Bernoulli(options.background_word_fraction)) {
+          content.push_back(vocab[background_sampler.Sample(rng)]);
+        } else {
+          std::size_t topic = tags[rng.NextU64(tags.size())];
+          std::size_t rank = topic_sampler.Sample(rng);
+          content.push_back(vocab[topic_word_ids[topic][rank]]);
+        }
+      }
+
+      doc.title = "doc_u" + std::to_string(user) + "_" + std::to_string(d);
+      doc.text = RenderText(content, options, rng);
+
+      corpus.user_documents[user].push_back(corpus.documents.size());
+      corpus.documents.push_back(std::move(doc));
+    }
+  }
+  return corpus;
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,107 @@
+#ifndef P2PDT_CORPUS_GENERATOR_H_
+#define P2PDT_CORPUS_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace p2pdt {
+
+/// Parameters of the synthetic Delicious-like corpus.
+///
+/// The paper demonstrates on a crawl of delicious.com bookmarks (Wetzker et
+/// al. 2008): ~950k users, of whom those with 50–200 annotated bookmarks
+/// were kept. That dataset is not redistributable, so this generator
+/// produces a corpus with the same statistical shape (see DESIGN.md §2):
+///
+///  * power-law tag popularity (a few huge tags, a long tail),
+///  * multi-label documents (tags drawn per document, 1..max),
+///  * per-user topical interest profiles (users are *not* IID — exactly
+///    what makes P2P learning hard),
+///  * documents whose words are topic-dependent, with background noise,
+///    inflectional endings (for the stemmer) and stop words (for the
+///    filter),
+///  * tag names disjoint from the document vocabulary, reflecting the
+///    paper's emphasis that "tags may not necessarily be contained within
+///    the documents".
+struct CorpusOptions {
+  std::size_t num_users = 64;
+  /// Paper: users with at least 50 and fewer than 200 bookmarks were kept.
+  std::size_t min_docs_per_user = 50;
+  std::size_t max_docs_per_user = 200;
+
+  std::size_t num_tags = 20;
+  std::size_t vocabulary_size = 4000;
+  /// Distinct topical words per tag.
+  std::size_t topic_words_per_tag = 60;
+
+  /// Document length in (pre-filter) content words.
+  std::size_t min_doc_words = 40;
+  std::size_t max_doc_words = 160;
+
+  /// Tags per document: 1 + Binomial-ish up to this cap.
+  std::size_t max_tags_per_doc = 4;
+  /// Probability of each additional tag beyond the first.
+  double extra_tag_probability = 0.45;
+
+  /// Zipf exponent of global tag popularity.
+  double tag_popularity_zipf = 0.9;
+  /// Zipf exponent of word frequency inside a topic.
+  double topic_word_zipf = 1.05;
+  /// Fraction of words drawn from the background (all-vocabulary)
+  /// distribution instead of the document's topics.
+  double background_word_fraction = 0.25;
+  /// Zipf exponent of the background word distribution.
+  double background_word_zipf = 1.1;
+
+  /// Dirichlet concentration of per-user interest over tags; smaller is
+  /// more skewed (each user cares about fewer topics).
+  double user_interest_alpha = 0.25;
+
+  /// Probability of appending an inflectional ending (-s/-ing/-ed/...) to
+  /// a content word at render time; the Porter stemmer removes these.
+  double inflection_probability = 0.20;
+  /// Probability of inserting a stop word between content words.
+  double stop_word_probability = 0.20;
+
+  uint64_t seed = 2010;
+};
+
+/// A generated document: raw text (as the preprocessing pipeline would read
+/// it from disk), its ground-truth tags (by name), and the owning user.
+struct RawDocument {
+  std::string title;
+  std::string text;
+  std::vector<std::string> tags;
+  std::size_t user = 0;
+};
+
+/// A full synthetic corpus plus its generation metadata.
+struct GeneratedCorpus {
+  std::vector<RawDocument> documents;
+  /// Tag-name universe, index = dense tag id used downstream.
+  std::vector<std::string> tag_names;
+  /// Document indexes per user.
+  std::vector<std::vector<std::size_t>> user_documents;
+  /// Ground-truth topical words per tag (diagnostics / tests).
+  std::vector<std::vector<std::string>> topic_words;
+
+  std::size_t num_users() const { return user_documents.size(); }
+};
+
+/// Generates a corpus; deterministic in `options.seed`.
+Result<GeneratedCorpus> GenerateCorpus(const CorpusOptions& options);
+
+namespace corpus_internal {
+/// Generates `count` distinct pronounceable pseudo-words (syllable
+/// concatenations); exposed for tests.
+std::vector<std::string> MakeWordList(std::size_t count, Rng& rng,
+                                      const std::string& prefix = "");
+}  // namespace corpus_internal
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_CORPUS_GENERATOR_H_

@@ -1,0 +1,38 @@
+#include "corpus/vectorize.h"
+
+namespace p2pdt {
+
+Result<VectorizedCorpus> VectorizeCorpus(const GeneratedCorpus& corpus,
+                                         Preprocessor& preprocessor) {
+  VectorizedCorpus out;
+  out.tag_names = corpus.tag_names;
+  out.num_users = corpus.num_users();
+  for (std::size_t t = 0; t < corpus.tag_names.size(); ++t) {
+    out.tag_ids.emplace(corpus.tag_names[t], static_cast<TagId>(t));
+  }
+  out.dataset.set_num_tags(static_cast<TagId>(corpus.tag_names.size()));
+
+  for (const RawDocument& doc : corpus.documents) {
+    MultiLabelExample ex;
+    ex.x = preprocessor.Process(doc.text);
+    for (const std::string& tag : doc.tags) {
+      auto it = out.tag_ids.find(tag);
+      if (it == out.tag_ids.end()) {
+        return Status::Internal("document references unknown tag: " + tag);
+      }
+      ex.tags.push_back(it->second);
+    }
+    out.doc_user.push_back(doc.user);
+    out.dataset.Add(std::move(ex));
+  }
+  return out;
+}
+
+Result<VectorizedCorpus> MakeVectorizedCorpus(const CorpusOptions& options) {
+  Result<GeneratedCorpus> corpus = GenerateCorpus(options);
+  if (!corpus.ok()) return corpus.status();
+  Preprocessor preprocessor;
+  return VectorizeCorpus(corpus.value(), preprocessor);
+}
+
+}  // namespace p2pdt

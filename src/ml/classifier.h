@@ -1,0 +1,40 @@
+#ifndef P2PDT_ML_CLASSIFIER_H_
+#define P2PDT_ML_CLASSIFIER_H_
+
+#include <cstddef>
+#include <memory>
+
+#include "common/sparse_vector.h"
+
+namespace p2pdt {
+
+/// Abstract binary decision function f: X → R; the predicted class is
+/// sign(Decision(x)). Implemented by the linear SVM (PACE's base learner),
+/// the kernel SVM (CEMPaR's base learner) and the cascaded models built
+/// from them.
+class BinaryClassifier {
+ public:
+  virtual ~BinaryClassifier() = default;
+
+  /// Signed decision value; positive means the positive class (tag
+  /// assigned).
+  virtual double Decision(const SparseVector& x) const = 0;
+
+  /// Predicted label in {-1, +1}.
+  double Predict(const SparseVector& x) const {
+    return Decision(x) >= 0.0 ? 1.0 : -1.0;
+  }
+
+  /// Number of bytes this model occupies on the simulated wire. This is the
+  /// quantity the paper's communication-cost argument is about: linear
+  /// models (PACE) ship a sparse weight vector, kernel models (CEMPaR) ship
+  /// their support vectors.
+  virtual std::size_t WireSize() const = 0;
+
+  /// Deep copy.
+  virtual std::unique_ptr<BinaryClassifier> Clone() const = 0;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_ML_CLASSIFIER_H_

@@ -1,0 +1,113 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace p2pdt {
+
+bool MultiLabelExample::HasTag(TagId tag) const {
+  return std::binary_search(tags.begin(), tags.end(), tag);
+}
+
+void MultiLabelDataset::Add(MultiLabelExample example) {
+  std::sort(example.tags.begin(), example.tags.end());
+  example.tags.erase(std::unique(example.tags.begin(), example.tags.end()),
+                     example.tags.end());
+  for (TagId t : example.tags) {
+    if (t >= num_tags_) num_tags_ = t + 1;
+  }
+  examples_.push_back(std::move(example));
+}
+
+std::vector<Example> MultiLabelDataset::OneAgainstAll(TagId tag) const {
+  std::vector<Example> out;
+  out.reserve(examples_.size());
+  for (const auto& ex : examples_) {
+    out.push_back({ex.x, ex.HasTag(tag) ? 1.0 : -1.0});
+  }
+  return out;
+}
+
+std::vector<std::size_t> MultiLabelDataset::TagCounts() const {
+  std::vector<std::size_t> counts(num_tags_, 0);
+  for (const auto& ex : examples_) {
+    for (TagId t : ex.tags) ++counts[t];
+  }
+  return counts;
+}
+
+std::pair<MultiLabelDataset, MultiLabelDataset> MultiLabelDataset::Split(
+    double train_fraction, Rng& rng) const {
+  assert(train_fraction >= 0.0 && train_fraction <= 1.0);
+  std::vector<std::size_t> order(examples_.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng.Shuffle(order);
+  std::size_t n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(examples_.size()) + 0.5);
+  MultiLabelDataset train(num_tags_), test(num_tags_);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    const auto& ex = examples_[order[i]];
+    if (i < n_train) {
+      train.Add(ex);
+    } else {
+      test.Add(ex);
+    }
+  }
+  return {std::move(train), std::move(test)};
+}
+
+void MultiLabelDataset::Merge(const MultiLabelDataset& other) {
+  num_tags_ = std::max(num_tags_, other.num_tags_);
+  examples_.insert(examples_.end(), other.examples_.begin(),
+                   other.examples_.end());
+}
+
+std::size_t MultiLabelDataset::WireSize() const {
+  std::size_t bytes = 0;
+  for (const auto& ex : examples_) {
+    bytes += ex.x.WireSize() + 4 + 4 * ex.tags.size();
+  }
+  return bytes;
+}
+
+void FeatureRemapper::Observe(const SparseVector& v) {
+  for (const auto& [id, _] : v.entries()) {
+    auto [it, inserted] = global_to_compact_.try_emplace(
+        id, static_cast<uint32_t>(compact_to_global_.size()));
+    if (inserted) compact_to_global_.push_back(id);
+  }
+}
+
+SparseVector FeatureRemapper::ToCompact(const SparseVector& v) const {
+  std::vector<SparseVector::Entry> entries;
+  entries.reserve(v.nnz());
+  for (const auto& [id, w] : v.entries()) {
+    auto it = global_to_compact_.find(id);
+    if (it != global_to_compact_.end()) entries.emplace_back(it->second, w);
+  }
+  return SparseVector::FromPairs(std::move(entries));
+}
+
+SparseVector FeatureRemapper::ToGlobal(const SparseVector& v) const {
+  std::vector<SparseVector::Entry> entries;
+  entries.reserve(v.nnz());
+  for (const auto& [id, w] : v.entries()) {
+    assert(id < compact_to_global_.size());
+    entries.emplace_back(compact_to_global_[id], w);
+  }
+  return SparseVector::FromPairs(std::move(entries));
+}
+
+SparseVector FeatureRemapper::DenseToGlobal(
+    const std::vector<double>& dense) const {
+  std::vector<SparseVector::Entry> entries;
+  for (std::size_t i = 0; i < dense.size(); ++i) {
+    if (dense[i] != 0.0) {
+      assert(i < compact_to_global_.size());
+      entries.emplace_back(compact_to_global_[i], dense[i]);
+    }
+  }
+  return SparseVector::FromPairs(std::move(entries));
+}
+
+}  // namespace p2pdt

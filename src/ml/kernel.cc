@@ -1,0 +1,23 @@
+#include "ml/kernel.h"
+
+#include <cstdio>
+
+namespace p2pdt {
+
+std::string Kernel::ToString() const {
+  char buf[96];
+  switch (type) {
+    case KernelType::kLinear:
+      return "linear";
+    case KernelType::kRbf:
+      std::snprintf(buf, sizeof(buf), "rbf(gamma=%g)", gamma);
+      return buf;
+    case KernelType::kPolynomial:
+      std::snprintf(buf, sizeof(buf), "poly(gamma=%g, coef0=%g, degree=%d)",
+                    gamma, coef0, degree);
+      return buf;
+  }
+  return "unknown";
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,53 @@
+#ifndef P2PDT_ML_KERNEL_H_
+#define P2PDT_ML_KERNEL_H_
+
+#include <cmath>
+#include <string>
+
+#include "common/sparse_vector.h"
+
+namespace p2pdt {
+
+/// Kernel family for the non-linear SVM (CEMPaR's base learner).
+enum class KernelType {
+  kLinear,
+  kRbf,
+  kPolynomial,
+};
+
+/// A kernel function K(a, b) with its parameters.
+struct Kernel {
+  KernelType type = KernelType::kRbf;
+  /// RBF: exp(-gamma ||a-b||²); polynomial: (gamma a·b + coef0)^degree.
+  double gamma = 1.0;
+  double coef0 = 0.0;
+  int degree = 3;
+
+  double operator()(const SparseVector& a, const SparseVector& b) const {
+    switch (type) {
+      case KernelType::kLinear:
+        return a.Dot(b);
+      case KernelType::kRbf:
+        return std::exp(-gamma * a.SquaredDistance(b));
+      case KernelType::kPolynomial: {
+        double base = gamma * a.Dot(b) + coef0;
+        double out = 1.0;
+        for (int i = 0; i < degree; ++i) out *= base;
+        return out;
+      }
+    }
+    return 0.0;
+  }
+
+  static Kernel Linear() { return {KernelType::kLinear, 0.0, 0.0, 0}; }
+  static Kernel Rbf(double gamma) { return {KernelType::kRbf, gamma, 0.0, 0}; }
+  static Kernel Polynomial(double gamma, double coef0, int degree) {
+    return {KernelType::kPolynomial, gamma, coef0, degree};
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_ML_KERNEL_H_

@@ -1,0 +1,91 @@
+#ifndef P2PDT_ML_KERNEL_SVM_H_
+#define P2PDT_ML_KERNEL_SVM_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "ml/kernel.h"
+
+namespace p2pdt {
+
+/// Hyperparameters for the SMO kernel-SVM trainer.
+struct KernelSvmOptions {
+  Kernel kernel = Kernel::Rbf(1.0);
+  /// Soft-margin penalty C (> 0).
+  double c = 1.0;
+  /// KKT violation tolerance for the stopping criterion.
+  double tolerance = 1e-3;
+  /// Cap on working-set-selection iterations (safety valve; typical
+  /// convergence is far earlier for the per-peer dataset sizes here).
+  int max_iterations = 10000;
+};
+
+/// One support vector: the training vector, its label and its dual weight.
+struct SupportVector {
+  SparseVector x;
+  double y = 1.0;      // label in {-1, +1}
+  double alpha = 0.0;  // dual coefficient, 0 < alpha <= C
+};
+
+/// Non-linear (kernel) SVM model, represented by its support vectors.
+///
+/// In CEMPaR this is what peers upload to their super-peer: "these SVM
+/// models (support vectors) are propagated once to one of the super-peers"
+/// (paper Sec. 2). WireSize() therefore charges the support vectors
+/// themselves — which is also why CEMPaR's privacy argument is only about
+/// word-id obfuscation: actual document vectors travel.
+class KernelSvmModel final : public BinaryClassifier {
+ public:
+  KernelSvmModel() = default;
+  KernelSvmModel(Kernel kernel, std::vector<SupportVector> svs, double bias)
+      : kernel_(kernel), svs_(std::move(svs)), bias_(bias) {}
+
+  double Decision(const SparseVector& x) const override;
+
+  std::size_t WireSize() const override;
+
+  std::unique_ptr<BinaryClassifier> Clone() const override {
+    return std::make_unique<KernelSvmModel>(*this);
+  }
+
+  const std::vector<SupportVector>& support_vectors() const { return svs_; }
+  const Kernel& kernel() const { return kernel_; }
+  double bias() const { return bias_; }
+  std::size_t num_support_vectors() const { return svs_.size(); }
+
+ private:
+  Kernel kernel_;
+  std::vector<SupportVector> svs_;
+  double bias_ = 0.0;
+};
+
+/// Trains a C-SVM with Sequential Minimal Optimization using
+/// maximal-violating-pair working-set selection (Keerthi et al. / LIBSVM
+/// WSS1). The full kernel matrix is materialized, which is appropriate for
+/// the per-peer training-set sizes in P2PDocTagger (tens to a few hundred
+/// examples); the cascade keeps merged sets small by construction.
+Result<KernelSvmModel> TrainKernelSvm(const std::vector<Example>& data,
+                                      const KernelSvmOptions& options = {});
+
+/// Cascade-SVM merge step: pools the support vectors of several models into
+/// a training set (deduplicating identical vectors) and retrains a single
+/// SVM on the pool. This is the super-peer operation in CEMPaR: "super-peers
+/// which collect the local models of peers cascade them to construct
+/// regional cascaded models."
+Result<KernelSvmModel> CascadeMerge(
+    const std::vector<const KernelSvmModel*>& models,
+    const KernelSvmOptions& options);
+
+/// Multi-level cascade: merges models pairwise (fan-in `fan_in`) level by
+/// level until a single model remains. Equivalent to CascadeMerge for small
+/// inputs but bounds the size of any single retraining problem.
+Result<KernelSvmModel> CascadeTree(
+    const std::vector<const KernelSvmModel*>& models,
+    const KernelSvmOptions& options, std::size_t fan_in = 4);
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_ML_KERNEL_SVM_H_

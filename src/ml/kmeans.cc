@@ -1,0 +1,129 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "ml/dataset.h"
+
+namespace p2pdt {
+
+Result<KMeansResult> KMeansCluster(const std::vector<SparseVector>& points,
+                                   const KMeansOptions& options) {
+  if (points.empty()) {
+    return Status::InvalidArgument("k-means requires at least one point");
+  }
+  if (options.k == 0) {
+    return Status::InvalidArgument("k-means requires k > 0");
+  }
+  const std::size_t n = points.size();
+  const std::size_t k = std::min(options.k, n);
+
+  // Work in a compact feature space so dense centroid buffers stay small
+  // even under the hashing trick's huge nominal dimensionality.
+  FeatureRemapper remap;
+  for (const auto& p : points) remap.Observe(p);
+  const std::size_t dim = remap.num_features();
+  std::vector<SparseVector> x(n);
+  std::vector<double> xnorm2(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    x[i] = remap.ToCompact(points[i]);
+    xnorm2[i] = x[i].SquaredNorm();
+  }
+
+  Rng rng(options.seed);
+
+  // Dense centroids with cached squared norms.
+  std::vector<std::vector<double>> centroid(k, std::vector<double>(dim, 0.0));
+  std::vector<double> cnorm2(k, 0.0);
+
+  auto dist2 = [&](std::size_t i, std::size_t c) {
+    double d = xnorm2[i] + cnorm2[c] - 2.0 * x[i].DotDense(centroid[c]);
+    return std::max(d, 0.0);
+  };
+  auto set_centroid = [&](std::size_t c, const SparseVector& v) {
+    std::fill(centroid[c].begin(), centroid[c].end(), 0.0);
+    for (const auto& [id, w] : v.entries()) centroid[c][id] = w;
+    cnorm2[c] = v.SquaredNorm();
+  };
+
+  // k-means++ seeding.
+  set_centroid(0, x[rng.NextU64(n)]);
+  std::vector<double> min_d2(n, std::numeric_limits<double>::infinity());
+  for (std::size_t c = 1; c < k; ++c) {
+    for (std::size_t i = 0; i < n; ++i) {
+      min_d2[i] = std::min(min_d2[i], dist2(i, c - 1));
+    }
+    std::size_t pick = rng.Categorical(min_d2);
+    if (pick >= n) pick = rng.NextU64(n);  // all distances zero
+    set_centroid(c, x[pick]);
+  }
+
+  std::vector<std::size_t> assignment(n, 0);
+  int iter = 0;
+  for (; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_c = 0;
+      for (std::size_t c = 0; c < k; ++c) {
+        double d = dist2(i, c);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (assignment[i] != best_c) {
+        assignment[i] = best_c;
+        changed = true;
+      }
+    }
+    if (!changed && iter > 0 && options.early_stop) break;
+
+    // Recompute centroids.
+    std::vector<std::size_t> count(k, 0);
+    for (auto& cv : centroid) std::fill(cv.begin(), cv.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::size_t c = assignment[i];
+      ++count[c];
+      for (const auto& [id, w] : x[i].entries()) centroid[c][id] += w;
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (count[c] == 0) {
+        // Empty cluster: reseed on the point farthest from its centroid.
+        std::size_t far = 0;
+        double far_d = -1.0;
+        for (std::size_t i = 0; i < n; ++i) {
+          double d = dist2(i, assignment[i]);
+          if (d > far_d) {
+            far_d = d;
+            far = i;
+          }
+        }
+        set_centroid(c, x[far]);
+        continue;
+      }
+      double inv = 1.0 / static_cast<double>(count[c]);
+      double norm2 = 0.0;
+      for (double& v : centroid[c]) {
+        v *= inv;
+        norm2 += v * v;
+      }
+      cnorm2[c] = norm2;
+    }
+  }
+
+  KMeansResult result;
+  result.iterations = iter;
+  result.assignment = assignment;
+  result.inertia = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    result.inertia += dist2(i, assignment[i]);
+  }
+  result.centroids.reserve(k);
+  for (std::size_t c = 0; c < k; ++c) {
+    result.centroids.push_back(remap.DenseToGlobal(centroid[c]));
+  }
+  return result;
+}
+
+}  // namespace p2pdt

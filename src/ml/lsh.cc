@@ -1,0 +1,86 @@
+#include "ml/lsh.h"
+
+namespace p2pdt {
+
+namespace {
+
+// Stateless 64-bit mix (SplitMix64 finalizer) for deriving projection
+// components.
+uint64_t Mix(uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+CosineLsh::CosineLsh(LshOptions options)
+    : options_(options), tables_(options.num_tables) {}
+
+double CosineLsh::ProjectionComponent(std::size_t table, std::size_t bit,
+                                      uint32_t feature) const {
+  uint64_t h = Mix(options_.seed ^ Mix((static_cast<uint64_t>(table) << 40) ^
+                                       (static_cast<uint64_t>(bit) << 20) ^
+                                       feature));
+  return (h & 1) ? 1.0 : -1.0;
+}
+
+uint64_t CosineLsh::Signature(std::size_t table, const SparseVector& v) const {
+  uint64_t sig = 0;
+  for (std::size_t bit = 0; bit < options_.num_bits; ++bit) {
+    double dot = 0.0;
+    for (const auto& [id, w] : v.entries()) {
+      dot += w * ProjectionComponent(table, bit, id);
+    }
+    if (dot >= 0.0) sig |= (uint64_t{1} << bit);
+  }
+  return sig;
+}
+
+void CosineLsh::Insert(std::size_t id, const SparseVector& v) {
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    tables_[t][Signature(t, v)].push_back(id);
+  }
+  ++num_items_;
+}
+
+void CosineLsh::Collect(std::size_t table, uint64_t sig,
+                        std::unordered_map<std::size_t, bool>& out) const {
+  auto it = tables_[table].find(sig);
+  if (it == tables_[table].end()) return;
+  for (std::size_t id : it->second) out[id] = true;
+}
+
+std::vector<std::size_t> CosineLsh::Query(const SparseVector& v) const {
+  std::unordered_map<std::size_t, bool> seen;
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    Collect(t, Signature(t, v), seen);
+  }
+  std::vector<std::size_t> out;
+  out.reserve(seen.size());
+  for (const auto& [id, _] : seen) out.push_back(id);
+  return out;
+}
+
+std::vector<std::size_t> CosineLsh::QueryAtLeast(
+    const SparseVector& v, std::size_t min_results) const {
+  std::unordered_map<std::size_t, bool> seen;
+  std::vector<uint64_t> sigs(tables_.size());
+  for (std::size_t t = 0; t < tables_.size(); ++t) {
+    sigs[t] = Signature(t, v);
+    Collect(t, sigs[t], seen);
+  }
+  // Multi-probe: flip one bit at a time in every table.
+  for (std::size_t bit = 0;
+       seen.size() < min_results && bit < options_.num_bits; ++bit) {
+    for (std::size_t t = 0; t < tables_.size(); ++t) {
+      Collect(t, sigs[t] ^ (uint64_t{1} << bit), seen);
+    }
+  }
+  std::vector<std::size_t> out;
+  out.reserve(seen.size());
+  for (const auto& [id, _] : seen) out.push_back(id);
+  return out;
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,70 @@
+#ifndef P2PDT_ML_LSH_H_
+#define P2PDT_ML_LSH_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/sparse_vector.h"
+
+namespace p2pdt {
+
+struct LshOptions {
+  /// Number of independent hash tables; more tables raise recall.
+  std::size_t num_tables = 8;
+  /// Bits per table signature; more bits raise precision.
+  std::size_t num_bits = 12;
+  uint64_t seed = 1;
+};
+
+/// Locality-sensitive hash index for cosine similarity, using signed random
+/// projections (Charikar 2002). PACE peers "index the models using the
+/// centroids (based on locality sensitive hashing)" (paper Sec. 2); this is
+/// that index.
+///
+/// Projection directions are never materialized: the component of direction
+/// (table, bit) along feature id is a deterministic pseudo-random ±1 derived
+/// by hashing (seed, table, bit, id). This keeps the index memory-free in
+/// the feature dimension, which matters under the hashing trick's 2^18-wide
+/// feature space, and means two peers with the same seed build *identical*
+/// hash functions without exchanging any state — the same trick that makes
+/// the hashed lexicon coordination-free.
+class CosineLsh {
+ public:
+  explicit CosineLsh(LshOptions options = {});
+
+  /// Signature of `v` in table `t`.
+  uint64_t Signature(std::size_t table, const SparseVector& v) const;
+
+  /// Inserts an item with caller-supplied id.
+  void Insert(std::size_t id, const SparseVector& v);
+
+  /// Returns ids colliding with `v` in at least one table (deduplicated,
+  /// unsorted). An empty result means no bucket collision — callers should
+  /// fall back to a wider search.
+  std::vector<std::size_t> Query(const SparseVector& v) const;
+
+  /// Like Query, but widens via multi-probe (flipping each signature bit in
+  /// turn) until at least `min_results` candidates are found or probes are
+  /// exhausted.
+  std::vector<std::size_t> QueryAtLeast(const SparseVector& v,
+                                        std::size_t min_results) const;
+
+  std::size_t size() const { return num_items_; }
+  const LshOptions& options() const { return options_; }
+
+ private:
+  double ProjectionComponent(std::size_t table, std::size_t bit,
+                             uint32_t feature) const;
+  void Collect(std::size_t table, uint64_t sig,
+               std::unordered_map<std::size_t, bool>& out) const;
+
+  LshOptions options_;
+  std::size_t num_items_ = 0;
+  // One bucket map per table: signature -> item ids.
+  std::vector<std::unordered_map<uint64_t, std::vector<std::size_t>>> tables_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_ML_LSH_H_

@@ -1,0 +1,119 @@
+#include "ml/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+
+namespace p2pdt {
+
+namespace {
+
+double SafeDiv(double num, double den) { return den == 0.0 ? 0.0 : num / den; }
+
+double F1(double precision, double recall) {
+  return SafeDiv(2.0 * precision * recall, precision + recall);
+}
+
+}  // namespace
+
+MultiLabelMetrics EvaluateMultiLabel(
+    const std::vector<std::vector<TagId>>& truth,
+    const std::vector<std::vector<TagId>>& predicted, TagId num_tags) {
+  assert(truth.size() == predicted.size());
+  MultiLabelMetrics m;
+  m.num_examples = truth.size();
+  m.num_tags = num_tags;
+  if (truth.empty()) return m;
+
+  std::vector<std::size_t> tp(num_tags, 0), fp(num_tags, 0), fn(num_tags, 0);
+  std::size_t exact = 0;
+  double jaccard_sum = 0.0;
+  std::size_t hamming_errors = 0;
+
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    const auto& t = truth[i];
+    const auto& p = predicted[i];
+    std::vector<TagId> inter;
+    std::set_intersection(t.begin(), t.end(), p.begin(), p.end(),
+                          std::back_inserter(inter));
+    std::size_t union_size = t.size() + p.size() - inter.size();
+    jaccard_sum += union_size == 0
+                       ? 1.0
+                       : static_cast<double>(inter.size()) /
+                             static_cast<double>(union_size);
+    if (t == p) ++exact;
+    hamming_errors += (t.size() - inter.size()) + (p.size() - inter.size());
+    for (TagId tag : inter) {
+      if (tag < num_tags) ++tp[tag];
+    }
+    for (TagId tag : p) {
+      if (tag < num_tags && !std::binary_search(t.begin(), t.end(), tag)) {
+        ++fp[tag];
+      }
+    }
+    for (TagId tag : t) {
+      if (tag < num_tags && !std::binary_search(p.begin(), p.end(), tag)) {
+        ++fn[tag];
+      }
+    }
+  }
+
+  std::size_t tp_sum = 0, fp_sum = 0, fn_sum = 0;
+  double macro_f1_sum = 0.0;
+  std::size_t occurring_tags = 0;
+  m.per_tag.resize(num_tags);
+  for (TagId tag = 0; tag < num_tags; ++tag) {
+    auto& row = m.per_tag[tag];
+    row.support = tp[tag] + fn[tag];
+    row.precision = SafeDiv(static_cast<double>(tp[tag]),
+                            static_cast<double>(tp[tag] + fp[tag]));
+    row.recall = SafeDiv(static_cast<double>(tp[tag]),
+                         static_cast<double>(tp[tag] + fn[tag]));
+    row.f1 = F1(row.precision, row.recall);
+    tp_sum += tp[tag];
+    fp_sum += fp[tag];
+    fn_sum += fn[tag];
+    if (row.support > 0) {
+      macro_f1_sum += row.f1;
+      ++occurring_tags;
+    }
+  }
+
+  m.micro_precision = SafeDiv(static_cast<double>(tp_sum),
+                              static_cast<double>(tp_sum + fp_sum));
+  m.micro_recall = SafeDiv(static_cast<double>(tp_sum),
+                           static_cast<double>(tp_sum + fn_sum));
+  m.micro_f1 = F1(m.micro_precision, m.micro_recall);
+  m.macro_f1 = SafeDiv(macro_f1_sum, static_cast<double>(occurring_tags));
+  m.hamming_loss =
+      SafeDiv(static_cast<double>(hamming_errors),
+              static_cast<double>(truth.size()) * static_cast<double>(
+                  num_tags == 0 ? 1 : num_tags));
+  m.subset_accuracy =
+      static_cast<double>(exact) / static_cast<double>(truth.size());
+  m.jaccard_accuracy = jaccard_sum / static_cast<double>(truth.size());
+  return m;
+}
+
+std::string MultiLabelMetrics::ToString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "microF1=%.4f macroF1=%.4f jaccard=%.4f subset=%.4f "
+                "hamming=%.4f (n=%zu, tags=%u)",
+                micro_f1, macro_f1, jaccard_accuracy, subset_accuracy,
+                hamming_loss, num_examples, num_tags);
+  return buf;
+}
+
+double BinaryAccuracy(const std::vector<double>& truth,
+                      const std::vector<double>& predicted) {
+  assert(truth.size() == predicted.size());
+  if (truth.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    if ((truth[i] >= 0) == (predicted[i] >= 0)) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,61 @@
+#ifndef P2PDT_ML_METRICS_H_
+#define P2PDT_ML_METRICS_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/dataset.h"
+
+namespace p2pdt {
+
+/// Standard multi-label evaluation metrics over (true tag set, predicted
+/// tag set) pairs. "Tagging accuracy" in the paper maps to these; we report
+/// the full family so experiment shapes can be compared robustly.
+struct MultiLabelMetrics {
+  std::size_t num_examples = 0;
+  TagId num_tags = 0;
+
+  /// Micro-averaged precision/recall/F1 (pooled over all (doc, tag) pairs).
+  double micro_precision = 0.0;
+  double micro_recall = 0.0;
+  double micro_f1 = 0.0;
+
+  /// Macro-averaged F1 (unweighted mean of per-tag F1 over tags that occur).
+  double macro_f1 = 0.0;
+
+  /// Fraction of (doc, tag) decisions that are wrong.
+  double hamming_loss = 0.0;
+
+  /// Fraction of documents whose predicted tag set matches exactly.
+  double subset_accuracy = 0.0;
+
+  /// Example-based Jaccard accuracy: mean |T ∩ P| / |T ∪ P|.
+  double jaccard_accuracy = 0.0;
+
+  /// Per-tag (precision, recall, F1, support) rows, indexed by tag.
+  struct PerTag {
+    double precision = 0.0;
+    double recall = 0.0;
+    double f1 = 0.0;
+    std::size_t support = 0;
+  };
+  std::vector<PerTag> per_tag;
+
+  std::string ToString() const;
+};
+
+/// Computes all metrics. `truth[i]` and `predicted[i]` must be sorted
+/// unique tag lists for document i; both vectors must be the same length.
+/// `num_tags` bounds the tag universe for Hamming loss.
+MultiLabelMetrics EvaluateMultiLabel(
+    const std::vector<std::vector<TagId>>& truth,
+    const std::vector<std::vector<TagId>>& predicted, TagId num_tags);
+
+/// Binary-classification convenience: accuracy of sign predictions over
+/// {-1,+1}-labeled examples.
+double BinaryAccuracy(const std::vector<double>& truth,
+                      const std::vector<double>& predicted);
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_ML_METRICS_H_

@@ -1,0 +1,43 @@
+#include "ml/online.h"
+
+#include <algorithm>
+
+namespace p2pdt {
+
+double PassiveAggressiveUpdate(LinearSvmModel& model, const SparseVector& x,
+                               double y,
+                               const OnlineUpdateOptions& options) {
+  y = y >= 0.0 ? 1.0 : -1.0;
+  double loss = std::max(0.0, 1.0 - y * model.Decision(x));
+  if (loss == 0.0) return 0.0;
+  // PA-II step size: τ = loss / (||x||² + 1/(2C)); the bias participates as
+  // an always-on feature of value 1.
+  double denom = x.SquaredNorm() + 1.0 + 1.0 / (2.0 * options.c);
+  double tau = loss / denom;
+  model.Update(x, tau * y, 1.0);
+  return loss;
+}
+
+std::size_t RefineTags(OneVsAllModel& model, const SparseVector& x,
+                       const std::vector<TagId>& predicted_tags,
+                       const std::vector<TagId>& corrected_tags,
+                       const OnlineUpdateOptions& options) {
+  std::size_t updated = 0;
+  auto update = [&](TagId tag, double y) {
+    auto* linear = dynamic_cast<LinearSvmModel*>(model.mutable_model(tag));
+    if (linear == nullptr) return;
+    PassiveAggressiveUpdate(*linear, x, y, options);
+    ++updated;
+  };
+  // Positive corrections: tags the user says belong on the document.
+  for (TagId t : corrected_tags) update(t, 1.0);
+  // Negative corrections: tags the system predicted but the user removed.
+  for (TagId t : predicted_tags) {
+    if (!std::binary_search(corrected_tags.begin(), corrected_tags.end(), t)) {
+      update(t, -1.0);
+    }
+  }
+  return updated;
+}
+
+}  // namespace p2pdt

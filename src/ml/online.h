@@ -1,0 +1,40 @@
+#ifndef P2PDT_ML_ONLINE_H_
+#define P2PDT_ML_ONLINE_H_
+
+#include "ml/dataset.h"
+#include "ml/linear_svm.h"
+#include "ml/multilabel.h"
+
+namespace p2pdt {
+
+/// Passive-aggressive online update (Crammer et al. 2006), used to
+/// implement the paper's Tag Refinement step: "Upon the refinement of tags,
+/// P2PDocTagger will automatically update the classification model(s) in
+/// the back-end, to adapt to their personal preference" (Sec. 2).
+struct OnlineUpdateOptions {
+  /// Aggressiveness bound C for PA-II; larger values move the model more
+  /// per correction.
+  double c = 1.0;
+};
+
+/// Applies one PA-II update to `model` for example (x, y), y ∈ {-1, +1}.
+/// Returns the hinge loss *before* the update (0 means the model already
+/// agreed with margin ≥ 1 and nothing changed).
+double PassiveAggressiveUpdate(LinearSvmModel& model, const SparseVector& x,
+                               double y,
+                               const OnlineUpdateOptions& options = {});
+
+/// Refines a one-vs-all model from a corrected tag assignment: for every
+/// tag in `corrected_tags` the per-tag model is nudged positive on x, for
+/// every previously-predicted tag not in the corrected set it is nudged
+/// negative. Only linear per-tag models are updated (kernel models are
+/// cascade-owned and rebuilt on the next training round); returns the
+/// number of per-tag models actually updated.
+std::size_t RefineTags(OneVsAllModel& model, const SparseVector& x,
+                       const std::vector<TagId>& predicted_tags,
+                       const std::vector<TagId>& corrected_tags,
+                       const OnlineUpdateOptions& options = {});
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_ML_ONLINE_H_

@@ -1,0 +1,47 @@
+#ifndef P2PDT_ML_SERIALIZATION_H_
+#define P2PDT_ML_SERIALIZATION_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "ml/kernel_svm.h"
+#include "ml/linear_svm.h"
+#include "ml/multilabel.h"
+
+namespace p2pdt {
+
+/// Binary (de)serialization of trained models, so a peer's models survive
+/// restarts and can be exchanged out-of-band. The format is an explicit
+/// little-endian byte layout (not a memory dump): a 4-byte magic, a 2-byte
+/// version, then length-prefixed sections. Deserializers validate every
+/// length against the remaining buffer and fail with InvalidArgument on
+/// malformed input rather than reading out of bounds.
+///
+/// This also grounds the WireSize() accounting: the serialized size of a
+/// model is within a small constant of what the simulator charges.
+
+/// Appends the serialized form of `v` to `out`.
+void SerializeSparseVector(const SparseVector& v, std::string& out);
+
+/// Reads a sparse vector from `data` at `offset`, advancing it.
+Result<SparseVector> DeserializeSparseVector(const std::string& data,
+                                             std::size_t& offset);
+
+std::string SerializeLinearSvm(const LinearSvmModel& model);
+Result<LinearSvmModel> DeserializeLinearSvm(const std::string& data);
+
+std::string SerializeKernelSvm(const KernelSvmModel& model);
+Result<KernelSvmModel> DeserializeKernelSvm(const std::string& data);
+
+/// One-vs-all bundles: every per-tag model tagged by kind (linear, kernel,
+/// constant, absent).
+std::string SerializeOneVsAll(const OneVsAllModel& model);
+Result<OneVsAllModel> DeserializeOneVsAll(const std::string& data);
+
+/// File helpers.
+Status SaveOneVsAll(const OneVsAllModel& model, const std::string& path);
+Result<OneVsAllModel> LoadOneVsAll(const std::string& path);
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_ML_SERIALIZATION_H_

@@ -1,0 +1,43 @@
+#include "p2pdmt/activity_log.h"
+
+#include <cstdio>
+
+#include "common/csv.h"
+
+namespace p2pdt {
+
+void ActivityLog::Record(SimTime time, std::string actor,
+                         std::string category, std::string detail) {
+  entries_.push_back(Entry{time, std::move(actor), std::move(category),
+                           std::move(detail)});
+}
+
+std::vector<ActivityLog::Entry> ActivityLog::FilterByCategory(
+    const std::string& category) const {
+  std::vector<Entry> out;
+  for (const Entry& e : entries_) {
+    if (e.category == category) out.push_back(e);
+  }
+  return out;
+}
+
+std::size_t ActivityLog::CountCategory(const std::string& category) const {
+  std::size_t n = 0;
+  for (const Entry& e : entries_) {
+    if (e.category == category) ++n;
+  }
+  return n;
+}
+
+Status ActivityLog::WriteCsv(const std::string& path) const {
+  CsvWriter csv({"time", "actor", "category", "detail"});
+  for (const Entry& e : entries_) {
+    char time_buf[32];
+    std::snprintf(time_buf, sizeof(time_buf), "%.6f", e.time);
+    P2PDT_RETURN_IF_ERROR(
+        csv.AddRow({time_buf, e.actor, e.category, e.detail}));
+  }
+  return csv.WriteFile(path);
+}
+
+}  // namespace p2pdt

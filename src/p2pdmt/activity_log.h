@@ -1,0 +1,45 @@
+#ifndef P2PDT_P2PDMT_ACTIVITY_LOG_H_
+#define P2PDT_P2PDMT_ACTIVITY_LOG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "p2psim/simulator.h"
+
+namespace p2pdt {
+
+/// Structured record of simulation activity ("Log activities" in P2PDMT's
+/// architecture, Fig. 2): timestamped (actor, category, detail) rows with
+/// CSV export, so a run can be audited or charted after the fact.
+class ActivityLog {
+ public:
+  struct Entry {
+    SimTime time = 0.0;
+    std::string actor;     // "peer/17", "superpeer/3", "system"
+    std::string category;  // "churn", "train", "predict", "repair", ...
+    std::string detail;
+  };
+
+  void Record(SimTime time, std::string actor, std::string category,
+              std::string detail);
+
+  const std::vector<Entry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Entries matching a category, in time order.
+  std::vector<Entry> FilterByCategory(const std::string& category) const;
+
+  /// Count of entries in a category.
+  std::size_t CountCategory(const std::string& category) const;
+
+  Status WriteCsv(const std::string& path) const;
+  void Clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PDMT_ACTIVITY_LOG_H_

@@ -1,0 +1,81 @@
+#ifndef P2PDT_P2PDMT_ENVIRONMENT_H_
+#define P2PDT_P2PDMT_ENVIRONMENT_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "p2psim/chord.h"
+#include "p2psim/churn.h"
+#include "p2psim/network.h"
+#include "p2psim/simulator.h"
+#include "p2psim/unstructured.h"
+
+namespace p2pdt {
+
+enum class OverlayType { kChord, kUnstructured };
+enum class ChurnType { kNone, kExponential, kPareto };
+
+const char* OverlayTypeToString(OverlayType t);
+const char* ChurnTypeToString(ChurnType t);
+
+/// One-stop configuration of a simulated P2P environment — the "Configure
+/// physical network / Generate P2P network / Simulate node failures" block
+/// of P2PDMT's architecture (Fig. 2).
+struct EnvironmentOptions {
+  std::size_t num_peers = 64;
+  PhysicalNetworkOptions physical;
+  OverlayType overlay = OverlayType::kChord;
+  ChordOptions chord;
+  UnstructuredOptions unstructured;
+  ChurnType churn = ChurnType::kNone;
+  /// Mean online session length (seconds) for exponential/Pareto churn.
+  double churn_mean_online_sec = 600.0;
+  /// Mean offline gap (seconds).
+  double churn_mean_offline_sec = 120.0;
+  /// Pareto shape for heavy-tailed lifetimes.
+  double churn_pareto_alpha = 1.5;
+  uint64_t seed = 99;
+};
+
+/// Owns an assembled simulation: simulator + underlay + overlay + churn,
+/// with the churn driver wired to the overlay's transition handling.
+class Environment {
+ public:
+  /// Builds the environment and joins all peers to the overlay.
+  static Result<std::unique_ptr<Environment>> Create(
+      const EnvironmentOptions& options);
+
+  Simulator& sim() { return *sim_; }
+  PhysicalNetwork& net() { return *net_; }
+  Overlay& overlay() { return *overlay_; }
+  /// Non-null only when the overlay is Chord.
+  ChordOverlay* chord() { return chord_; }
+  UnstructuredOverlay* unstructured() { return unstructured_; }
+  ChurnDriver& churn() { return *churn_; }
+  const EnvironmentOptions& options() const { return options_; }
+
+  /// Starts churn transitions and (for Chord) periodic stabilization.
+  void StartDynamics();
+
+  /// Runs the simulator until `flag` becomes true or `max_sim_seconds`
+  /// elapse; returns the simulated seconds consumed. This is the standard
+  /// way to drive an async protocol to quiescence under recurring churn /
+  /// maintenance events (plain RunAll would never return).
+  double RunUntilFlag(const bool& flag, double max_sim_seconds);
+
+ private:
+  Environment() = default;
+
+  EnvironmentOptions options_;
+  std::unique_ptr<Simulator> sim_;
+  std::unique_ptr<PhysicalNetwork> net_;
+  std::unique_ptr<Overlay> overlay_;
+  ChordOverlay* chord_ = nullptr;
+  UnstructuredOverlay* unstructured_ = nullptr;
+  std::unique_ptr<ChurnDriver> churn_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PDMT_ENVIRONMENT_H_

@@ -1,0 +1,59 @@
+#include "p2pdmt/evaluation.h"
+
+#include <cmath>
+#include <limits>
+#include <memory>
+
+namespace p2pdt {
+
+EvaluationSchedule::EvaluationSchedule(Simulator& sim,
+                                       std::vector<std::string> metric_names)
+    : sim_(sim), metric_names_(std::move(metric_names)) {}
+
+void EvaluationSchedule::Fire(const Probe& probe) {
+  std::vector<double> values = probe();
+  std::vector<double> row;
+  row.reserve(metric_names_.size() + 1);
+  row.push_back(sim_.Now());
+  if (values.size() != metric_names_.size()) {
+    ++dropped_;
+    row.insert(row.end(), metric_names_.size(),
+               std::numeric_limits<double>::quiet_NaN());
+  } else {
+    row.insert(row.end(), values.begin(), values.end());
+  }
+  rows_.push_back(std::move(row));
+}
+
+void EvaluationSchedule::ScheduleAt(std::vector<SimTime> times, Probe probe) {
+  auto shared = std::make_shared<Probe>(std::move(probe));
+  for (SimTime t : times) {
+    sim_.ScheduleAt(t, [this, shared] { Fire(*shared); });
+  }
+}
+
+void EvaluationSchedule::SchedulePeriodic(double period, std::size_t count,
+                                          Probe probe) {
+  std::vector<SimTime> times;
+  times.reserve(count);
+  for (std::size_t i = 1; i <= count; ++i) {
+    times.push_back(sim_.Now() + period * static_cast<double>(i));
+  }
+  ScheduleAt(std::move(times), std::move(probe));
+}
+
+CsvWriter EvaluationSchedule::ToCsv() const {
+  std::vector<std::string> header = {"time"};
+  header.insert(header.end(), metric_names_.begin(), metric_names_.end());
+  CsvWriter csv(std::move(header));
+  for (const auto& row : rows_) {
+    csv.AddNumericRow(row);
+  }
+  return csv;
+}
+
+Status EvaluationSchedule::WriteCsv(const std::string& path) const {
+  return ToCsv().WriteFile(path);
+}
+
+}  // namespace p2pdt

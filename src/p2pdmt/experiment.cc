@@ -1,0 +1,237 @@
+#include "p2pdmt/experiment.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "common/stopwatch.h"
+
+namespace p2pdt {
+
+const char* AlgorithmTypeToString(AlgorithmType t) {
+  switch (t) {
+    case AlgorithmType::kCempar:
+      return "cempar";
+    case AlgorithmType::kPace:
+      return "pace";
+    case AlgorithmType::kCentralized:
+      return "centralized";
+    case AlgorithmType::kLocalOnly:
+      return "local_only";
+    case AlgorithmType::kModelAvg:
+      return "model_avg";
+  }
+  return "unknown";
+}
+
+CorpusSplit SplitCorpus(const VectorizedCorpus& corpus, double train_fraction,
+                        uint64_t seed) {
+  CorpusSplit split;
+  split.train.set_num_tags(corpus.dataset.num_tags());
+  split.test.set_num_tags(corpus.dataset.num_tags());
+  Rng rng(seed);
+  std::vector<std::size_t> order(corpus.dataset.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.Shuffle(order);
+  std::size_t n_train = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(order.size()) + 0.5);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    std::size_t idx = order[i];
+    if (i < n_train) {
+      split.train.Add(corpus.dataset[idx]);
+      split.train_user.push_back(corpus.doc_user[idx]);
+    } else {
+      split.test.Add(corpus.dataset[idx]);
+      split.test_user.push_back(corpus.doc_user[idx]);
+    }
+  }
+  return split;
+}
+
+Result<std::unique_ptr<P2PClassifier>> MakeClassifier(
+    Environment& env, const ExperimentOptions& options) {
+  switch (options.algorithm) {
+    case AlgorithmType::kCempar: {
+      if (env.chord() == nullptr) {
+        return Status::FailedPrecondition(
+            "CEMPaR requires a DHT (Chord) overlay");
+      }
+      return std::unique_ptr<P2PClassifier>(std::make_unique<Cempar>(
+          env.sim(), env.net(), *env.chord(), options.cempar));
+    }
+    case AlgorithmType::kPace:
+      return std::unique_ptr<P2PClassifier>(std::make_unique<Pace>(
+          env.sim(), env.net(), env.overlay(), options.pace));
+    case AlgorithmType::kCentralized:
+      return std::unique_ptr<P2PClassifier>(
+          std::make_unique<CentralizedClassifier>(env.sim(), env.net(),
+                                                  options.centralized));
+    case AlgorithmType::kLocalOnly:
+      return std::unique_ptr<P2PClassifier>(
+          std::make_unique<LocalOnlyClassifier>(env.sim(), env.net(),
+                                                options.local_only));
+    case AlgorithmType::kModelAvg:
+      return std::unique_ptr<P2PClassifier>(
+          std::make_unique<ModelAveragingClassifier>(
+              env.sim(), env.net(), env.overlay(), options.model_avg));
+  }
+  return Status::InvalidArgument("unknown algorithm");
+}
+
+namespace {
+
+struct StatsSnapshot {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t maintenance_messages = 0;
+  uint64_t maintenance_bytes = 0;
+
+  static StatsSnapshot Take(const NetworkStats& stats) {
+    StatsSnapshot s;
+    s.messages = stats.messages_sent();
+    s.bytes = stats.bytes_sent();
+    s.maintenance_messages =
+        stats.messages_sent(MessageType::kOverlayMaintenance);
+    s.maintenance_bytes = stats.bytes_sent(MessageType::kOverlayMaintenance);
+    return s;
+  }
+};
+
+}  // namespace
+
+Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
+                                       const ExperimentOptions& options) {
+  Stopwatch wall;
+  ExperimentResult result;
+  result.algorithm = AlgorithmTypeToString(options.algorithm);
+  result.overlay = OverlayTypeToString(options.env.overlay);
+  result.churn = ChurnTypeToString(options.env.churn);
+  result.num_peers = options.env.num_peers;
+
+  // 1. Split and distribute.
+  CorpusSplit split =
+      SplitCorpus(corpus, options.train_fraction, options.seed);
+  result.train_documents = split.train.size();
+  Result<std::vector<MultiLabelDataset>> peers = DistributeData(
+      split.train, options.env.num_peers, options.distribution,
+      &split.train_user);
+  if (!peers.ok()) return peers.status();
+  result.distribution =
+      SummarizeDistribution(peers.value(), corpus.dataset.num_tags());
+
+  // 2. Environment + algorithm.
+  Result<std::unique_ptr<Environment>> env_result =
+      Environment::Create(options.env);
+  if (!env_result.ok()) return env_result.status();
+  Environment& env = *env_result.value();
+  Result<std::unique_ptr<P2PClassifier>> algo_result =
+      MakeClassifier(env, options);
+  if (!algo_result.ok()) return algo_result.status();
+  P2PClassifier& algo = *algo_result.value();
+  P2PDT_RETURN_IF_ERROR(
+      algo.Setup(std::move(peers).value(), corpus.dataset.num_tags()));
+
+  env.StartDynamics();
+  if (options.warmup_sim_seconds > 0.0) {
+    env.sim().RunUntil(env.sim().Now() + options.warmup_sim_seconds);
+  }
+
+  // 3. Train.
+  StatsSnapshot before_train = StatsSnapshot::Take(env.net().stats());
+  bool train_done = false;
+  Status train_status = Status::OK();
+  algo.Train([&](Status s) {
+    train_status = s;
+    train_done = true;
+  });
+  result.train_sim_seconds =
+      env.RunUntilFlag(train_done, options.max_train_sim_seconds);
+  if (!train_done) {
+    return Status::Internal("training protocol did not quiesce in " +
+                            std::to_string(options.max_train_sim_seconds) +
+                            " simulated seconds");
+  }
+  P2PDT_RETURN_IF_ERROR(train_status);
+  StatsSnapshot after_train = StatsSnapshot::Take(env.net().stats());
+  result.train_messages = (after_train.messages - before_train.messages) -
+                          (after_train.maintenance_messages -
+                           before_train.maintenance_messages);
+  result.train_bytes =
+      (after_train.bytes - before_train.bytes) -
+      (after_train.maintenance_bytes - before_train.maintenance_bytes);
+
+  // 4. Evaluate: sample test documents, predict from random online peers.
+  Rng eval_rng(options.seed ^ 0xE7A1);
+  std::vector<std::size_t> test_idx(split.test.size());
+  std::iota(test_idx.begin(), test_idx.end(), 0);
+  eval_rng.Shuffle(test_idx);
+  if (options.max_test_documents > 0 &&
+      test_idx.size() > options.max_test_documents) {
+    test_idx.resize(options.max_test_documents);
+  }
+  result.test_documents = test_idx.size();
+
+  std::vector<std::vector<TagId>> truth(test_idx.size());
+  std::vector<std::vector<TagId>> predicted(test_idx.size());
+  std::size_t outstanding = test_idx.size();
+  bool predict_done = (outstanding == 0);
+  std::size_t failed = 0;
+
+  auto pick_requester = [&]() -> NodeId {
+    // Prefer an online peer; bounded retries keep this deterministic.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      NodeId n = eval_rng.NextU64(env.net().num_nodes());
+      if (env.net().IsOnline(n)) return n;
+    }
+    return eval_rng.NextU64(env.net().num_nodes());
+  };
+
+  for (std::size_t i = 0; i < test_idx.size(); ++i) {
+    const MultiLabelExample& ex = split.test[test_idx[i]];
+    truth[i] = ex.tags;
+    NodeId requester = pick_requester();
+    algo.Predict(requester, ex.x, [&, i](P2PPrediction p) {
+      if (!p.success) ++failed;
+      predicted[i] = std::move(p.tags);
+      if (--outstanding == 0) predict_done = true;
+    });
+  }
+  result.predict_sim_seconds =
+      env.RunUntilFlag(predict_done, options.max_predict_sim_seconds);
+  if (!predict_done) {
+    return Status::Internal("prediction phase did not quiesce");
+  }
+  StatsSnapshot after_predict = StatsSnapshot::Take(env.net().stats());
+  result.predict_messages =
+      (after_predict.messages - after_train.messages) -
+      (after_predict.maintenance_messages - after_train.maintenance_messages);
+  result.predict_bytes = (after_predict.bytes - after_train.bytes) -
+                         (after_predict.maintenance_bytes -
+                          after_train.maintenance_bytes);
+  result.maintenance_messages = after_predict.maintenance_messages;
+  result.maintenance_bytes = after_predict.maintenance_bytes;
+  result.failed_predictions = failed;
+
+  result.metrics =
+      EvaluateMultiLabel(truth, predicted, corpus.dataset.num_tags());
+  result.wall_seconds = wall.ElapsedSeconds();
+  return result;
+}
+
+std::string ExperimentResult::ToString() const {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "%-12s peers=%-5zu overlay=%-12s churn=%-11s microF1=%.4f "
+      "jaccard=%.4f train=%.2fMiB (%.1fKiB/peer) predict=%.2fMiB "
+      "failed=%zu/%zu",
+      algorithm.c_str(), num_peers, overlay.c_str(), churn.c_str(),
+      metrics.micro_f1, metrics.jaccard_accuracy,
+      static_cast<double>(train_bytes) / (1024.0 * 1024.0),
+      train_bytes_per_peer() / 1024.0,
+      static_cast<double>(predict_bytes) / (1024.0 * 1024.0),
+      failed_predictions, test_documents);
+  return buf;
+}
+
+}  // namespace p2pdt

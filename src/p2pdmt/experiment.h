@@ -1,0 +1,126 @@
+#ifndef P2PDT_P2PDMT_EXPERIMENT_H_
+#define P2PDT_P2PDMT_EXPERIMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "corpus/vectorize.h"
+#include "ml/metrics.h"
+#include "p2pdmt/data_distribution.h"
+#include "p2pdmt/environment.h"
+#include "p2pml/baselines.h"
+#include "p2pml/cempar.h"
+#include "p2pml/pace.h"
+
+namespace p2pdt {
+
+/// The pluggable P2P classification algorithms an experiment can run.
+enum class AlgorithmType {
+  kCempar,
+  kPace,
+  kCentralized,
+  kLocalOnly,
+  kModelAvg,
+};
+
+const char* AlgorithmTypeToString(AlgorithmType t);
+
+/// Full description of one experiment run — P2PDMT's "Set parameters"
+/// surface (Fig. 2): network, churn, overlay, data distribution, algorithm
+/// and evaluation settings.
+struct ExperimentOptions {
+  EnvironmentOptions env;
+  DataDistributionOptions distribution;
+  AlgorithmType algorithm = AlgorithmType::kPace;
+  CemparOptions cempar;
+  PaceOptions pace;
+  CentralizedOptions centralized;
+  LocalOnlyOptions local_only;
+  ModelAveragingOptions model_avg;
+
+  /// Fraction of tagged documents used for training; the paper's
+  /// demonstration uses 20 % ("20 percent of the documents with tags are
+  /// used for training", Sec. 3).
+  double train_fraction = 0.2;
+  /// Cap on evaluated test documents (sampled) to bound run time; 0 = all.
+  std::size_t max_test_documents = 400;
+  /// Simulated-time budgets for protocol quiescence.
+  double max_train_sim_seconds = 3600.0;
+  double max_predict_sim_seconds = 3600.0;
+  /// Warm-up simulated seconds before training starts (lets churn and
+  /// stabilization reach steady state).
+  double warmup_sim_seconds = 0.0;
+  uint64_t seed = 777;
+};
+
+/// Everything one run produces: quality, cost, timing and context.
+struct ExperimentResult {
+  std::string algorithm;
+  std::string overlay;
+  std::string churn;
+  std::size_t num_peers = 0;
+  std::size_t train_documents = 0;
+  std::size_t test_documents = 0;
+
+  MultiLabelMetrics metrics;
+  std::size_t failed_predictions = 0;
+
+  /// Communication, split by phase (snapshot deltas around each phase).
+  uint64_t train_messages = 0;
+  uint64_t train_bytes = 0;
+  uint64_t predict_messages = 0;
+  uint64_t predict_bytes = 0;
+  uint64_t maintenance_messages = 0;
+  uint64_t maintenance_bytes = 0;
+
+  double train_sim_seconds = 0.0;
+  double predict_sim_seconds = 0.0;
+  double wall_seconds = 0.0;
+
+  DistributionSummary distribution;
+
+  /// Mean bytes per peer spent on training — the per-user cost the paper's
+  /// efficiency argument is about.
+  double train_bytes_per_peer() const {
+    return num_peers == 0 ? 0.0
+                          : static_cast<double>(train_bytes) /
+                                static_cast<double>(num_peers);
+  }
+  /// Mean bytes per prediction request.
+  double predict_bytes_per_doc() const {
+    return test_documents == 0 ? 0.0
+                               : static_cast<double>(predict_bytes) /
+                                     static_cast<double>(test_documents);
+  }
+
+  std::string ToString() const;
+};
+
+/// Runs one experiment end to end: split → distribute → build environment
+/// → train protocol → evaluate predictions, all in simulated time.
+/// `corpus` can be shared across many runs (it is read-only here), so
+/// sweeps re-use one expensive preprocessing pass.
+Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
+                                       const ExperimentOptions& options);
+
+/// Builds the classifier for `options` against an environment (exposed for
+/// benches that need direct protocol access, e.g. fault injection).
+Result<std::unique_ptr<P2PClassifier>> MakeClassifier(
+    Environment& env, const ExperimentOptions& options);
+
+/// Deterministically splits `corpus` into train/test keeping the user
+/// mapping (needed for by-user distribution).
+struct CorpusSplit {
+  MultiLabelDataset train;
+  std::vector<std::size_t> train_user;
+  MultiLabelDataset test;
+  std::vector<std::size_t> test_user;
+};
+CorpusSplit SplitCorpus(const VectorizedCorpus& corpus, double train_fraction,
+                        uint64_t seed);
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PDMT_EXPERIMENT_H_

@@ -1,0 +1,20 @@
+#include "p2pdmt/sim_scorer.h"
+
+namespace p2pdt {
+
+GlobalScorer MakeSimScorer(P2PClassifier& algo, Environment& env, NodeId self,
+                           double max_sim_seconds) {
+  return [&algo, &env, self, max_sim_seconds](
+             const SparseVector& x) -> std::vector<double> {
+    bool done = false;
+    std::vector<double> scores;
+    algo.Predict(self, x, [&done, &scores](P2PPrediction p) {
+      if (p.success) scores = std::move(p.scores);
+      done = true;
+    });
+    env.RunUntilFlag(done, max_sim_seconds);
+    return scores;
+  };
+}
+
+}  // namespace p2pdt

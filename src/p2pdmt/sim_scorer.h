@@ -1,0 +1,23 @@
+#ifndef P2PDT_P2PDMT_SIM_SCORER_H_
+#define P2PDT_P2PDMT_SIM_SCORER_H_
+
+#include "core/doc_tagger.h"
+#include "p2pdmt/environment.h"
+#include "p2pml/p2p_classifier.h"
+
+namespace p2pdt {
+
+/// Bridges a trained P2PClassifier running inside a simulation to the
+/// synchronous GlobalScorer interface DocTagger consumes: each call issues
+/// a prediction on behalf of peer `self` and drives the simulator until
+/// the answer arrives (bounded by `max_sim_seconds`). On failure (e.g. the
+/// peer's super-peers are unreachable), returns all-zero scores.
+///
+/// This is exactly the demo's architecture: the UI thread asks the P2P
+/// back-end for suggestions and blocks briefly while the network answers.
+GlobalScorer MakeSimScorer(P2PClassifier& algo, Environment& env, NodeId self,
+                           double max_sim_seconds = 120.0);
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PDMT_SIM_SCORER_H_

@@ -1,0 +1,30 @@
+#ifndef P2PDT_P2PDMT_VISUALIZE_H_
+#define P2PDT_P2PDMT_VISUALIZE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "p2psim/chord.h"
+#include "p2psim/unstructured.h"
+
+namespace p2pdt {
+
+/// Graphviz DOT exporters — P2PDMT's "Visualize network" (Fig. 2) in
+/// headless form: feed the output to `dot -Tsvg` to see the overlay.
+
+/// Renders the unstructured overlay graph. Offline peers are drawn dashed.
+std::string UnstructuredToDot(const UnstructuredOverlay& overlay,
+                              const PhysicalNetwork& net);
+
+/// Renders the Chord ring (successor edges solid, a sample of finger edges
+/// dashed). `max_finger_edges_per_node` bounds clutter.
+std::string ChordToDot(const ChordOverlay& overlay,
+                       const PhysicalNetwork& net,
+                       std::size_t max_finger_edges_per_node = 3);
+
+/// Writes a DOT string to a file.
+Status WriteDotFile(const std::string& dot, const std::string& path);
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PDMT_VISUALIZE_H_

@@ -1,0 +1,348 @@
+#include "p2pml/cempar.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace p2pdt {
+
+namespace {
+
+/// Wire size of a prediction request: the document vector plus a small
+/// header naming the homes being queried.
+std::size_t RequestBytes(const SparseVector& x) { return x.WireSize() + 16; }
+
+/// Wire size of a response carrying `n` per-tag scores.
+std::size_t ResponseBytes(std::size_t n) { return 16 + 12 * n; }
+
+}  // namespace
+
+Cempar::Cempar(Simulator& sim, PhysicalNetwork& net, ChordOverlay& chord,
+               CemparOptions options)
+    : sim_(sim), net_(net), chord_(chord), options_(options) {
+  if (options_.regions_per_tag == 0) options_.regions_per_tag = 1;
+}
+
+uint64_t Cempar::HomeKey(TagId tag, std::size_t region) const {
+  return chord_.HashToKey((uint64_t{tag} << 20) | region);
+}
+
+Status Cempar::Setup(std::vector<MultiLabelDataset> peer_data,
+                     TagId num_tags) {
+  if (peer_data.size() != net_.num_nodes()) {
+    return Status::InvalidArgument(
+        "peer_data size must equal the number of underlay nodes");
+  }
+  peer_data_ = std::move(peer_data);
+  num_tags_ = num_tags;
+  homes_.assign(static_cast<std::size_t>(num_tags_) *
+                    options_.regions_per_tag,
+                Home{});
+  local_models_.assign(peer_data_.size(), {});
+  owner_cache_.assign(peer_data_.size(), {});
+  trained_ = false;
+  return Status::OK();
+}
+
+void Cempar::UploadModel(NodeId peer, TagId tag, std::size_t region,
+                         KernelSvmModel model,
+                         std::shared_ptr<std::function<void()>> barrier) {
+  const std::size_t h = HomeIndex(tag, region);
+  chord_.Lookup(peer, HomeKey(tag, region),
+                [this, peer, h, model = std::move(model),
+                 barrier](ChordOverlay::LookupResult res) {
+    if (!res.success) {
+      (*barrier)();
+      return;
+    }
+    if (options_.cache_super_peer_lookups) {
+      owner_cache_[peer][h] = res.owner;
+    }
+    net_.Send(
+        peer, res.owner, model.WireSize() + 16, MessageType::kModelUpload,
+        [this, h, peer, owner = res.owner, model, barrier] {
+          Home& home = homes_[h];
+          if (home.owner == kInvalidNode) home.owner = owner;
+          if (home.owner == owner) {
+            home.locals.emplace(peer, model);
+            home.dirty = true;
+          }
+          // A model delivered to a node that is not the home's collection
+          // point (possible under churn-induced lookup disagreement) is
+          // simply unused — it was still paid for on the wire.
+          (*barrier)();
+        },
+        [barrier] { (*barrier)(); });
+  });
+}
+
+void Cempar::Train(std::function<void(Status)> on_complete) {
+  auto pending = std::make_shared<std::size_t>(1);  // root token
+  auto barrier = std::make_shared<std::function<void()>>();
+  *barrier = [this, pending, on_complete = std::move(on_complete)] {
+    if (--*pending > 0) return;
+    CascadeAll();
+    trained_ = true;
+    on_complete(Status::OK());
+  };
+
+  for (NodeId peer = 0; peer < peer_data_.size(); ++peer) {
+    if (!net_.IsOnline(peer) || peer_data_[peer].empty()) continue;
+    const MultiLabelDataset& data = peer_data_[peer];
+    std::vector<std::size_t> counts = data.TagCounts();
+    const std::size_t region = peer % options_.regions_per_tag;
+    for (TagId tag = 0; tag < num_tags_; ++tag) {
+      if (tag >= counts.size() || counts[tag] == 0) continue;
+      Result<KernelSvmModel> model =
+          TrainKernelSvm(data.OneAgainstAll(tag), options_.svm);
+      if (!model.ok()) {
+        P2PDT_LOG(Warning) << "peer " << peer << " tag " << tag
+                           << " local SVM failed: "
+                           << model.status().ToString();
+        continue;
+      }
+      local_models_[peer].emplace(HomeIndex(tag, region), model.value());
+      ++*pending;
+      UploadModel(peer, tag, region, std::move(model).value(), barrier);
+    }
+  }
+  (*barrier)();  // consume the root token
+}
+
+void Cempar::CascadeAll() {
+  for (Home& home : homes_) {
+    if (home.locals.empty() || !home.dirty) continue;
+    home.dirty = false;
+    std::vector<const KernelSvmModel*> locals;
+    locals.reserve(home.locals.size());
+    for (const auto& [peer, model] : home.locals) locals.push_back(&model);
+    Result<KernelSvmModel> regional =
+        CascadeTree(locals, options_.svm, options_.cascade_fan_in);
+    if (!regional.ok()) {
+      P2PDT_LOG(Warning) << "cascade failed: " << regional.status().ToString();
+      continue;
+    }
+    home.regional = std::move(regional).value();
+    home.has_regional = true;
+    home.weight = static_cast<double>(home.locals.size());
+  }
+}
+
+void Cempar::Predict(NodeId requester, const SparseVector& x,
+                     std::function<void(P2PPrediction)> done) {
+  if (!trained_ || requester >= peer_data_.size() ||
+      !net_.IsOnline(requester)) {
+    sim_.Schedule(0.0, [done = std::move(done)] {
+      done({{}, {}, false});
+    });
+    return;
+  }
+
+  struct PredictCtx {
+    std::vector<double> weight_sum;
+    std::vector<double> score_sum;
+    std::size_t remaining = 0;
+    std::size_t responded = 0;
+    std::function<void(P2PPrediction)> done;
+  };
+  auto ctx = std::make_shared<PredictCtx>();
+  ctx->weight_sum.assign(num_tags_, 0.0);
+  ctx->score_sum.assign(num_tags_, 0.0);
+  ctx->done = std::move(done);
+
+  auto finalize_one = [this, ctx] {
+    if (--ctx->remaining > 0) return;
+    P2PPrediction out;
+    out.scores.assign(num_tags_, 0.0);
+    for (TagId t = 0; t < num_tags_; ++t) {
+      if (ctx->weight_sum[t] > 0.0) {
+        out.scores[t] = ctx->score_sum[t] / ctx->weight_sum[t];
+      }
+    }
+    out.success = ctx->responded > 0;
+    out.tags = out.success ? DecideTags(out.scores, options_.policy)
+                           : std::vector<TagId>{};
+    ctx->done(std::move(out));
+  };
+
+  // Resolve the owner of every home (from cache when allowed), then group
+  // homes by owner so the document vector travels once per super-peer.
+  struct Resolution {
+    std::vector<std::pair<std::size_t, NodeId>> resolved;  // (home, owner)
+    std::size_t outstanding = 0;
+  };
+  auto res = std::make_shared<Resolution>();
+
+  auto dispatch = [this, ctx, requester, x, finalize_one](
+                      const std::vector<std::pair<std::size_t, NodeId>>&
+                          resolved) {
+    // Group home indexes by owner.
+    std::map<NodeId, std::vector<std::size_t>> groups;
+    for (const auto& [h, owner] : resolved) {
+      if (owner == kInvalidNode) continue;
+      groups[owner].push_back(h);
+    }
+    if (groups.empty()) {
+      ++ctx->remaining;
+      sim_.Schedule(0.0, finalize_one);
+      return;
+    }
+    ctx->remaining = groups.size();
+    for (const auto& [owner, home_list] : groups) {
+      if (owner == requester) {
+        // Local super-peer: evaluate without network traffic.
+        sim_.Schedule(0.0, [this, ctx, owner, home_list, x, finalize_one] {
+          for (std::size_t h : home_list) {
+            const Home& home = homes_[h];
+            if (home.owner != owner || !home.has_regional) continue;
+            TagId tag =
+                static_cast<TagId>(h / options_.regions_per_tag);
+            ctx->score_sum[tag] += home.weight * home.regional.Decision(x);
+            ctx->weight_sum[tag] += home.weight;
+          }
+          ++ctx->responded;
+          finalize_one();
+        });
+        continue;
+      }
+      net_.Send(
+          requester, owner, RequestBytes(x), MessageType::kPredictionRequest,
+          [this, ctx, requester, owner, home_list, x, finalize_one] {
+            // Super-peer evaluates all queried homes it actually hosts.
+            struct Partial {
+              TagId tag;
+              double score;
+              double weight;
+            };
+            auto partials = std::make_shared<std::vector<Partial>>();
+            for (std::size_t h : home_list) {
+              const Home& home = homes_[h];
+              if (home.owner != owner || !home.has_regional) continue;
+              TagId tag =
+                  static_cast<TagId>(h / options_.regions_per_tag);
+              partials->push_back(
+                  {tag, home.regional.Decision(x), home.weight});
+            }
+            net_.Send(
+                owner, requester, ResponseBytes(partials->size()),
+                MessageType::kPredictionResponse,
+                [ctx, partials, finalize_one] {
+                  for (const auto& p : *partials) {
+                    ctx->score_sum[p.tag] += p.weight * p.score;
+                    ctx->weight_sum[p.tag] += p.weight;
+                  }
+                  ++ctx->responded;
+                  finalize_one();
+                },
+                finalize_one);
+          },
+          [this, ctx, requester, home_list, finalize_one] {
+            // Request lost: invalidate cached owners so the next
+            // prediction re-resolves through the DHT.
+            if (options_.cache_super_peer_lookups) {
+              for (std::size_t h : home_list) {
+                owner_cache_[requester].erase(h);
+              }
+            }
+            finalize_one();
+          });
+    }
+  };
+
+  // Resolution phase.
+  res->outstanding = 1;  // root token
+  auto res_done = std::make_shared<std::function<void()>>();
+  *res_done = [res, dispatch]() {
+    if (--res->outstanding > 0) return;
+    dispatch(res->resolved);
+  };
+  for (std::size_t h = 0; h < homes_.size(); ++h) {
+    auto& cache = owner_cache_[requester];
+    auto it = cache.find(h);
+    if (options_.cache_super_peer_lookups && it != cache.end()) {
+      res->resolved.emplace_back(h, it->second);
+      continue;
+    }
+    ++res->outstanding;
+    TagId tag = static_cast<TagId>(h / options_.regions_per_tag);
+    std::size_t region = h % options_.regions_per_tag;
+    chord_.Lookup(requester, HomeKey(tag, region),
+                  [this, requester, h, res, res_done](
+                      ChordOverlay::LookupResult lr) {
+      if (lr.success) {
+        res->resolved.emplace_back(h, lr.owner);
+        if (options_.cache_super_peer_lookups) {
+          owner_cache_[requester][h] = lr.owner;
+        }
+      }
+      (*res_done)();
+    });
+  }
+  (*res_done)();  // consume the root token
+}
+
+void Cempar::RepairRound(std::function<void()> on_complete) {
+  // Detect dead homes: collection point offline (or never established).
+  std::vector<bool> stale(homes_.size(), false);
+  for (std::size_t h = 0; h < homes_.size(); ++h) {
+    Home& home = homes_[h];
+    bool dead = home.owner == kInvalidNode || !net_.IsOnline(home.owner);
+    if (dead) {
+      stale[h] = true;
+      // Models held at the dead node are gone.
+      home.locals.clear();
+      home.has_regional = false;
+      home.weight = 0.0;
+      home.owner = kInvalidNode;
+    }
+  }
+
+  auto pending = std::make_shared<std::size_t>(1);
+  auto barrier = std::make_shared<std::function<void()>>();
+  *barrier = [this, pending, on_complete = std::move(on_complete)] {
+    if (--*pending > 0) return;
+    CascadeAll();
+    on_complete();
+  };
+
+  for (NodeId peer = 0; peer < local_models_.size(); ++peer) {
+    if (!net_.IsOnline(peer)) continue;
+    for (const auto& [h, model] : local_models_[peer]) {
+      if (!stale[h]) continue;
+      TagId tag = static_cast<TagId>(h / options_.regions_per_tag);
+      std::size_t region = h % options_.regions_per_tag;
+      owner_cache_[peer].erase(h);
+      ++*pending;
+      UploadModel(peer, tag, region, model, barrier);
+    }
+  }
+  (*barrier)();
+}
+
+std::size_t Cempar::NumLiveHomes() const {
+  std::size_t live = 0;
+  for (const Home& home : homes_) {
+    if (home.has_regional && home.owner != kInvalidNode &&
+        net_.IsOnline(home.owner)) {
+      ++live;
+    }
+  }
+  return live;
+}
+
+std::vector<NodeId> Cempar::HomeOwners() const {
+  std::vector<NodeId> owners;
+  owners.reserve(homes_.size());
+  for (const Home& home : homes_) owners.push_back(home.owner);
+  return owners;
+}
+
+std::size_t Cempar::TotalRegionalSupportVectors() const {
+  std::size_t total = 0;
+  for (const Home& home : homes_) {
+    if (home.has_regional) total += home.regional.num_support_vectors();
+  }
+  return total;
+}
+
+}  // namespace p2pdt

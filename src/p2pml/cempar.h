@@ -1,0 +1,120 @@
+#ifndef P2PDT_P2PML_CEMPAR_H_
+#define P2PDT_P2PML_CEMPAR_H_
+
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/kernel_svm.h"
+#include "ml/multilabel.h"
+#include "p2pml/p2p_classifier.h"
+#include "p2psim/chord.h"
+
+namespace p2pdt {
+
+struct CemparOptions {
+  /// Base learner for local and cascaded models.
+  KernelSvmOptions svm;
+  /// Fan-in of the cascade tree at super-peers.
+  std::size_t cascade_fan_in = 8;
+  /// Number of regions per tag. With R regions, peer p uploads its tag-t
+  /// model to the super-peer owning Hash(t, p mod R); predictions query all
+  /// R regional models and combine by weighted majority voting. R = 1
+  /// reproduces the single-super-peer reading of the paper; R > 1 matches
+  /// CEMPaR's regional cascades and bounds any single cascade's size.
+  std::size_t regions_per_tag = 1;
+  /// Tag-assignment policy applied to the voted scores.
+  TagDecisionPolicy policy;
+  /// Requesters cache tag→super-peer resolutions learned from lookups and
+  /// invalidate them when a request is dropped.
+  bool cache_super_peer_lookups = true;
+};
+
+/// CEMPaR (Ang et al., ECML/PKDD 2009): communication-efficient P2P
+/// classification via cascade SVM over a DHT.
+///
+/// Training: every peer trains one non-linear SVM per tag on its local
+/// documents (one-against-all) and uploads the support vectors *once* to
+/// the tag's super-peer — the DHT owner of Hash(tag, region) — located
+/// with a Chord lookup. Super-peers cascade the collected local models
+/// into regional models.
+///
+/// Prediction: the requester sends the untagged document vector to each
+/// (distinct) super-peer it resolves, which evaluates all its regional tag
+/// models and replies with scores; tags are chosen by weighted majority
+/// voting across regions.
+///
+/// Fault tolerance: when a super-peer fails, the DHT re-resolves the tag
+/// key to the next owner. RepairRound() lets peers re-upload their local
+/// models to the new owner, restoring regional models — this is what the
+/// fault-tolerance experiment (CLAIM6) drives.
+class Cempar final : public P2PClassifier {
+ public:
+  Cempar(Simulator& sim, PhysicalNetwork& net, ChordOverlay& chord,
+         CemparOptions options = {});
+
+  Status Setup(std::vector<MultiLabelDataset> peer_data,
+               TagId num_tags) override;
+  void Train(std::function<void(Status)> on_complete) override;
+  void Predict(NodeId requester, const SparseVector& x,
+               std::function<void(P2PPrediction)> done) override;
+  std::string name() const override { return "cempar"; }
+
+  /// Re-resolves every (tag, region) home and re-uploads local models to
+  /// homes whose owner changed (e.g. after super-peer failures);
+  /// `on_complete` fires when the repair traffic quiesces.
+  void RepairRound(std::function<void()> on_complete);
+
+  /// Number of (tag, region) homes whose regional model is currently
+  /// hosted on an *online* node.
+  std::size_t NumLiveHomes() const;
+
+  /// Total support vectors across all regional models (diagnostics).
+  std::size_t TotalRegionalSupportVectors() const;
+
+  /// Current collection-point node of every (tag, region) home
+  /// (kInvalidNode where none was established). Used by fault-injection
+  /// experiments to kill exactly the super-peers.
+  std::vector<NodeId> HomeOwners() const;
+
+ private:
+  struct Home {
+    NodeId owner = kInvalidNode;
+    /// Local models uploaded by peers, keyed by contributor.
+    std::map<NodeId, KernelSvmModel> locals;
+    KernelSvmModel regional;
+    bool has_regional = false;
+    /// Locals changed since the last cascade.
+    bool dirty = false;
+    /// Vote weight: number of contributing local models.
+    double weight = 0.0;
+  };
+
+  std::size_t HomeIndex(TagId tag, std::size_t region) const {
+    return static_cast<std::size_t>(tag) * options_.regions_per_tag + region;
+  }
+  uint64_t HomeKey(TagId tag, std::size_t region) const;
+  void UploadModel(NodeId peer, TagId tag, std::size_t region,
+                   KernelSvmModel model,
+                   std::shared_ptr<std::function<void()>> barrier);
+  void CascadeAll();
+
+  Simulator& sim_;
+  PhysicalNetwork& net_;
+  ChordOverlay& chord_;
+  CemparOptions options_;
+
+  std::vector<MultiLabelDataset> peer_data_;
+  TagId num_tags_ = 0;
+  std::vector<Home> homes_;  // indexed by HomeIndex
+  /// Per-peer locally trained models (kept for repair rounds).
+  std::vector<std::map<std::size_t, KernelSvmModel>> local_models_;
+  /// Per-requester cache: home index -> last known owner.
+  std::vector<std::unordered_map<std::size_t, NodeId>> owner_cache_;
+  bool trained_ = false;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PML_CEMPAR_H_

@@ -1,0 +1,59 @@
+#ifndef P2PDT_P2PML_P2P_CLASSIFIER_H_
+#define P2PDT_P2PML_P2P_CLASSIFIER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "ml/dataset.h"
+#include "ml/multilabel.h"
+#include "p2psim/network.h"
+
+namespace p2pdt {
+
+/// Outcome of one asynchronous tag prediction.
+struct P2PPrediction {
+  /// Predicted tags (sorted). May be empty on total failure.
+  std::vector<TagId> tags;
+  /// Raw per-tag scores (confidence values surfaced by SuggestTag in the
+  /// demo UI, Fig. 3).
+  std::vector<double> scores;
+  /// False when the request could not be answered (e.g. all super-peers
+  /// unreachable under churn).
+  bool success = true;
+};
+
+/// The pluggable P2P classification component of P2PDocTagger (paper
+/// Sec. 2: "the P2P classification algorithm in P2PDocTagger is a pluggable
+/// component"). Implementations run *as protocols inside the simulator*:
+/// training and prediction exchange real simulated messages, so accuracy
+/// and communication cost come from the same run.
+///
+/// Lifecycle: Setup(per-peer data) → Train(completion callback) → any
+/// number of Predict() calls, all driven by Simulator::RunUntil.
+class P2PClassifier {
+ public:
+  virtual ~P2PClassifier() = default;
+
+  /// Installs the per-peer training datasets; peer_data[i] belongs to
+  /// underlay node i. Must be called once before Train.
+  virtual Status Setup(std::vector<MultiLabelDataset> peer_data,
+                       TagId num_tags) = 0;
+
+  /// Starts the distributed training protocol. `on_complete` fires (in
+  /// simulated time) when the protocol quiesces.
+  virtual void Train(std::function<void(Status)> on_complete) = 0;
+
+  /// Predicts tags for `x` on behalf of peer `requester`; `done` fires in
+  /// simulated time.
+  virtual void Predict(NodeId requester, const SparseVector& x,
+                       std::function<void(P2PPrediction)> done) = 0;
+
+  /// Protocol name for reports ("cempar", "pace", ...).
+  virtual std::string name() const = 0;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PML_P2P_CLASSIFIER_H_

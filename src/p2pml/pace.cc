@@ -1,0 +1,243 @@
+#include "p2pml/pace.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/logging.h"
+
+namespace p2pdt {
+
+Pace::Pace(Simulator& sim, PhysicalNetwork& net, Overlay& overlay,
+           PaceOptions options)
+    : sim_(sim), net_(net), overlay_(overlay), options_(options) {}
+
+Status Pace::Setup(std::vector<MultiLabelDataset> peer_data, TagId num_tags) {
+  if (peer_data.size() != net_.num_nodes()) {
+    return Status::InvalidArgument(
+        "peer_data size must equal the number of underlay nodes");
+  }
+  peer_data_ = std::move(peer_data);
+  num_tags_ = num_tags;
+  models_.assign(peer_data_.size(), {});
+  received_.assign(peer_data_.size(),
+                   std::vector<bool>(peer_data_.size(), false));
+  index_ = std::make_unique<CosineLsh>(options_.lsh);
+  index_items_.clear();
+  trained_ = false;
+  return Status::OK();
+}
+
+void Pace::TrainLocal(NodeId peer) {
+  const MultiLabelDataset& data = peer_data_[peer];
+  PeerModel& pm = models_[peer];
+
+  LinearSvmOptions svm_opts = options_.svm;
+  svm_opts.seed = options_.svm.seed + peer;
+  BinaryTrainer trainer =
+      [&svm_opts](const std::vector<Example>& examples)
+      -> Result<std::unique_ptr<BinaryClassifier>> {
+    Result<LinearSvmModel> model = TrainLinearSvm(examples, svm_opts);
+    if (!model.ok()) return model.status();
+    return std::unique_ptr<BinaryClassifier>(
+        std::make_unique<LinearSvmModel>(std::move(model).value()));
+  };
+
+  // Pad to the global tag universe so every peer's model is addressable by
+  // any tag id.
+  MultiLabelDataset padded = data;
+  padded.set_num_tags(num_tags_);
+  Result<OneVsAllModel> model = TrainOneVsAll(padded, trainer);
+  if (!model.ok()) {
+    P2PDT_LOG(Warning) << "peer " << peer
+                       << " PACE local training failed: "
+                       << model.status().ToString();
+    return;
+  }
+  pm.model = std::move(model).value();
+
+  // Per-tag training accuracy: the vote weight the ensemble uses.
+  pm.tag_accuracy.assign(num_tags_, 0.0);
+  pm.tag_informed.assign(num_tags_, false);
+  std::vector<std::size_t> counts = padded.TagCounts();
+  for (TagId t = 0; t < num_tags_; ++t) {
+    pm.tag_informed[t] = t < counts.size() && counts[t] > 0;
+    std::size_t correct = 0;
+    for (const auto& ex : data.examples()) {
+      const BinaryClassifier* m = pm.model.model(t);
+      if (m == nullptr) continue;
+      bool predicted = m->Decision(ex.x) > 0.0;
+      if (predicted == ex.HasTag(t)) ++correct;
+    }
+    pm.tag_accuracy[t] = data.empty()
+                             ? 0.0
+                             : static_cast<double>(correct) /
+                                   static_cast<double>(data.size());
+  }
+
+  // Cluster local data; centroids describe where this model is competent.
+  std::vector<SparseVector> points;
+  points.reserve(data.size());
+  for (const auto& ex : data.examples()) points.push_back(ex.x);
+  KMeansOptions km = options_.clustering;
+  km.seed = options_.clustering.seed + peer;
+  Result<KMeansResult> clusters = KMeansCluster(points, km);
+  if (!clusters.ok()) {
+    P2PDT_LOG(Warning) << "peer " << peer << " PACE clustering failed: "
+                       << clusters.status().ToString();
+    return;
+  }
+  pm.centroids = std::move(clusters.value().centroids);
+
+  pm.wire_size = pm.model.WireSize() + 8 * num_tags_;
+  for (const auto& c : pm.centroids) pm.wire_size += c.WireSize();
+  pm.valid = true;
+}
+
+void Pace::Train(std::function<void(Status)> on_complete) {
+  // Local phase: models, accuracies, centroids.
+  for (NodeId peer = 0; peer < peer_data_.size(); ++peer) {
+    if (!net_.IsOnline(peer) || peer_data_[peer].empty()) continue;
+    TrainLocal(peer);
+  }
+
+  // Build the shared LSH index over all contributed centroids.
+  for (NodeId peer = 0; peer < models_.size(); ++peer) {
+    if (!models_[peer].valid) continue;
+    for (std::size_t c = 0; c < models_[peer].centroids.size(); ++c) {
+      index_->Insert(index_items_.size(), models_[peer].centroids[c]);
+      index_items_.emplace_back(peer, c);
+    }
+  }
+
+  // Dissemination phase: every contributor broadcasts its bundle; each
+  // delivery marks visibility at the receiver. Everyone trivially "has"
+  // its own model.
+  auto pending = std::make_shared<std::size_t>(1);
+  auto barrier = std::make_shared<std::function<void()>>();
+  *barrier = [this, pending, on_complete = std::move(on_complete)] {
+    if (--*pending > 0) return;
+    trained_ = true;
+    on_complete(Status::OK());
+  };
+
+  for (NodeId peer = 0; peer < models_.size(); ++peer) {
+    if (!models_[peer].valid) continue;
+    received_[peer][peer] = true;
+    ++*pending;
+    overlay_.Broadcast(
+        peer, models_[peer].wire_size, MessageType::kModelBroadcast,
+        [this, peer](NodeId receiver) {
+          if (receiver < received_.size()) received_[receiver][peer] = true;
+        },
+        [barrier] { (*barrier)(); });
+  }
+  (*barrier)();
+}
+
+void Pace::Predict(NodeId requester, const SparseVector& x,
+                   std::function<void(P2PPrediction)> done) {
+  if (!trained_ || requester >= peer_data_.size() ||
+      !net_.IsOnline(requester)) {
+    sim_.Schedule(0.0, [done = std::move(done)] {
+      done({{}, {}, false});
+    });
+    return;
+  }
+
+  // Entirely local: retrieve candidate models via LSH (multi-probe until we
+  // have enough), filter to models this peer actually received, rank by
+  // true centroid distance, keep top-k.
+  std::vector<std::size_t> candidates =
+      index_->QueryAtLeast(x, options_.top_k * 4);
+
+  struct Scored {
+    NodeId peer;
+    double dist2;
+  };
+  std::vector<Scored> nearest;
+  std::vector<double> best_dist(models_.size(),
+                                std::numeric_limits<double>::infinity());
+  for (std::size_t item : candidates) {
+    const auto& [peer, cidx] = index_items_[item];
+    if (!received_[requester][peer] || !models_[peer].valid) continue;
+    double d = x.SquaredDistance(models_[peer].centroids[cidx]);
+    best_dist[peer] = std::min(best_dist[peer], d);
+  }
+  for (NodeId peer = 0; peer < models_.size(); ++peer) {
+    if (std::isfinite(best_dist[peer])) nearest.push_back({peer,
+                                                           best_dist[peer]});
+  }
+  // LSH recall fallback: when collisions under-deliver, scan every
+  // received model (correctness first; the LSH speedup is measured by the
+  // ML benchmarks, not assumed).
+  if (nearest.size() < options_.top_k) {
+    nearest.clear();
+    for (NodeId peer = 0; peer < models_.size(); ++peer) {
+      if (!received_[requester][peer] || !models_[peer].valid) continue;
+      double best = std::numeric_limits<double>::infinity();
+      for (const auto& c : models_[peer].centroids) {
+        best = std::min(best, x.SquaredDistance(c));
+      }
+      nearest.push_back({peer, best});
+    }
+  }
+  std::sort(nearest.begin(), nearest.end(),
+            [](const Scored& a, const Scored& b) { return a.dist2 < b.dist2; });
+  if (nearest.size() > options_.top_k) nearest.resize(options_.top_k);
+
+  P2PPrediction out;
+  out.scores.assign(num_tags_, 0.0);
+  if (nearest.empty()) {
+    out.success = false;
+    sim_.Schedule(0.0, [done = std::move(done), out = std::move(out)] {
+      done(std::move(out));
+    });
+    return;
+  }
+
+  std::vector<double> weight_sum(num_tags_, 0.0);
+  for (const Scored& s : nearest) {
+    const PeerModel& pm = models_[s.peer];
+    double dist_w =
+        1.0 / std::pow(1.0 + std::sqrt(s.dist2), options_.distance_exponent);
+    for (TagId t = 0; t < num_tags_; ++t) {
+      const BinaryClassifier* m = pm.model.model(t);
+      if (m == nullptr || !pm.tag_informed[t]) continue;
+      double w = std::pow(std::max(pm.tag_accuracy[t], 1e-6),
+                          options_.accuracy_exponent) *
+                 dist_w;
+      out.scores[t] += w * m->Decision(x);
+      weight_sum[t] += w;
+    }
+  }
+  for (TagId t = 0; t < num_tags_; ++t) {
+    if (weight_sum[t] > 0.0) out.scores[t] /= weight_sum[t];
+  }
+  out.tags = DecideTags(out.scores, options_.policy);
+  out.success = true;
+  sim_.Schedule(0.0, [done = std::move(done), out = std::move(out)] {
+    done(std::move(out));
+  });
+}
+
+double Pace::ModelCoverage() const {
+  std::size_t contributors = 0;
+  for (const auto& m : models_) {
+    if (m.valid) ++contributors;
+  }
+  if (contributors == 0) return 0.0;
+  std::size_t have = 0, want = 0;
+  for (NodeId q = 0; q < received_.size(); ++q) {
+    if (!net_.IsOnline(q)) continue;
+    for (NodeId p = 0; p < models_.size(); ++p) {
+      if (!models_[p].valid) continue;
+      ++want;
+      if (received_[q][p]) ++have;
+    }
+  }
+  return want == 0 ? 0.0
+                   : static_cast<double>(have) / static_cast<double>(want);
+}
+
+}  // namespace p2pdt

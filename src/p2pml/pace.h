@@ -1,0 +1,103 @@
+#ifndef P2PDT_P2PML_PACE_H_
+#define P2PDT_P2PML_PACE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ml/kmeans.h"
+#include "ml/linear_svm.h"
+#include "ml/lsh.h"
+#include "ml/multilabel.h"
+#include "p2pml/p2p_classifier.h"
+#include "p2psim/overlay.h"
+#include "p2psim/simulator.h"
+
+namespace p2pdt {
+
+struct PaceOptions {
+  /// Base linear-SVM trainer settings.
+  LinearSvmOptions svm;
+  /// Clusters per peer (centroids broadcast alongside the models).
+  KMeansOptions clustering;
+  /// Locality-sensitive index over model centroids.
+  LshOptions lsh;
+  /// Number of nearest models consulted per prediction.
+  std::size_t top_k = 12;
+  /// Tag-assignment policy over the ensemble scores.
+  TagDecisionPolicy policy;
+  /// Weighting of a consulted model: accuracy^a / (1 + dist)^b.
+  double accuracy_exponent = 1.0;
+  double distance_exponent = 1.0;
+};
+
+/// PACE (Ang et al., DASFAA 2010): adaptive ensemble classification in P2P
+/// networks.
+///
+/// Training: every peer trains per-tag *linear* SVMs on its local data plus
+/// k-means centroids describing where its data lives in feature space, then
+/// propagates (model, centroids, accuracy estimate) to all other peers via
+/// the overlay's dissemination primitive. Receivers index the models by
+/// centroid in an LSH table.
+///
+/// Prediction is entirely local: the requester retrieves the top-k models
+/// whose centroids are nearest the test vector from its LSH index and
+/// combines their decisions, "weighted according to their accuracy and
+/// distance from the test data" (paper Sec. 2). Zero prediction traffic is
+/// PACE's structural advantage over CEMPaR; the broadcast is its cost.
+///
+/// Privacy note: unlike CEMPaR, "no document vectors are propagated" —
+/// only weight vectors and centroids.
+class Pace final : public P2PClassifier {
+ public:
+  Pace(Simulator& sim, PhysicalNetwork& net, Overlay& overlay,
+       PaceOptions options = {});
+
+  Status Setup(std::vector<MultiLabelDataset> peer_data,
+               TagId num_tags) override;
+  void Train(std::function<void(Status)> on_complete) override;
+  void Predict(NodeId requester, const SparseVector& x,
+               std::function<void(P2PPrediction)> done) override;
+  std::string name() const override { return "pace"; }
+
+  /// Fraction of (receiver, contributor) pairs that actually received the
+  /// contributor's model — 1.0 on a stable network, lower under churn.
+  double ModelCoverage() const;
+
+ private:
+  struct PeerModel {
+    bool valid = false;
+    OneVsAllModel model;
+    std::vector<SparseVector> centroids;
+    /// Training-set accuracy per tag, the model's vote weight basis.
+    std::vector<double> tag_accuracy;
+    /// Whether the peer actually held data for a tag; uninformed per-tag
+    /// models (degenerate always-negative) do not vote — a peer that has
+    /// never seen a tag has no opinion about it.
+    std::vector<bool> tag_informed;
+    std::size_t wire_size = 0;
+  };
+
+  void TrainLocal(NodeId peer);
+
+  Simulator& sim_;
+  PhysicalNetwork& net_;
+  Overlay& overlay_;
+  PaceOptions options_;
+
+  std::vector<MultiLabelDataset> peer_data_;
+  TagId num_tags_ = 0;
+  std::vector<PeerModel> models_;  // one per contributing peer
+  /// received_[q][p]: peer q holds peer p's model.
+  std::vector<std::vector<bool>> received_;
+  /// Shared LSH index over (peer, centroid) entries; identical hash
+  /// functions on every peer (common seed), per-receiver visibility is
+  /// enforced via received_.
+  std::unique_ptr<CosineLsh> index_;
+  /// LSH item id -> (peer, centroid index).
+  std::vector<std::pair<NodeId, std::size_t>> index_items_;
+  bool trained_ = false;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PML_PACE_H_

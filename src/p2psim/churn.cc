@@ -1,0 +1,42 @@
+#include "p2psim/churn.h"
+
+namespace p2pdt {
+
+ChurnDriver::ChurnDriver(Simulator& sim, PhysicalNetwork& net,
+                         std::shared_ptr<ChurnModel> model, uint64_t seed)
+    : sim_(sim), net_(net), model_(std::move(model)), seed_rng_(seed) {}
+
+void ChurnDriver::AddListener(TransitionListener listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+void ChurnDriver::Start() {
+  node_rngs_.clear();
+  node_rngs_.reserve(net_.num_nodes());
+  for (NodeId n = 0; n < net_.num_nodes(); ++n) {
+    node_rngs_.push_back(seed_rng_.Fork());
+  }
+  for (NodeId n = 0; n < net_.num_nodes(); ++n) ScheduleNext(n);
+}
+
+void ChurnDriver::ScheduleNext(NodeId node) {
+  bool online = net_.IsOnline(node);
+  double duration = online ? model_->NextOnlineDuration(node_rngs_[node])
+                           : model_->NextOfflineDuration(node_rngs_[node]);
+  // Effectively-infinite sessions (NoChurn) are never scheduled: the peer
+  // simply stays in its state and the event queue stays clean.
+  if (duration >= 1e17) return;
+  sim_.Schedule(duration, [this, node] {
+    bool was_online = net_.IsOnline(node);
+    net_.SetOnline(node, !was_online);
+    if (was_online) {
+      ++num_failures_;
+    } else {
+      ++num_rejoins_;
+    }
+    for (const auto& listener : listeners_) listener(node, !was_online);
+    ScheduleNext(node);
+  });
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,114 @@
+#ifndef P2PDT_P2PSIM_CHURN_H_
+#define P2PDT_P2PSIM_CHURN_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "p2psim/network.h"
+#include "p2psim/simulator.h"
+
+namespace p2pdt {
+
+/// Draws alternating online/offline session durations for one peer.
+/// P2PDMT lets experiments plug "churn model(s)" (paper Sec. 2 / Fig. 2);
+/// these are the standard three from the churn literature.
+class ChurnModel {
+ public:
+  virtual ~ChurnModel() = default;
+  /// Duration of the next online session (seconds).
+  virtual double NextOnlineDuration(Rng& rng) const = 0;
+  /// Duration of the next offline period (seconds).
+  virtual double NextOfflineDuration(Rng& rng) const = 0;
+  virtual std::string name() const = 0;
+};
+
+/// Peers never leave: the static-network baseline.
+class NoChurn final : public ChurnModel {
+ public:
+  double NextOnlineDuration(Rng&) const override { return 1e18; }
+  double NextOfflineDuration(Rng&) const override { return 0.0; }
+  std::string name() const override { return "none"; }
+};
+
+/// Memoryless sessions: exponential online lifetimes and offline gaps.
+class ExponentialChurn final : public ChurnModel {
+ public:
+  ExponentialChurn(double mean_online_sec, double mean_offline_sec)
+      : mean_online_(mean_online_sec), mean_offline_(mean_offline_sec) {}
+  double NextOnlineDuration(Rng& rng) const override {
+    return rng.Exponential(mean_online_);
+  }
+  double NextOfflineDuration(Rng& rng) const override {
+    return mean_offline_ <= 0.0 ? 0.0 : rng.Exponential(mean_offline_);
+  }
+  std::string name() const override { return "exponential"; }
+
+ private:
+  double mean_online_;
+  double mean_offline_;
+};
+
+/// Heavy-tailed sessions (measured P2P deployments show Pareto-like
+/// lifetimes: many short-lived peers, a few very stable ones).
+class ParetoChurn final : public ChurnModel {
+ public:
+  /// Shape `alpha` > 1 so the mean exists; scale chosen so the mean online
+  /// time is `mean_online_sec`.
+  ParetoChurn(double mean_online_sec, double mean_offline_sec,
+              double alpha = 1.5)
+      : alpha_(alpha),
+        xm_online_(mean_online_sec * (alpha - 1.0) / alpha),
+        mean_offline_(mean_offline_sec) {}
+  double NextOnlineDuration(Rng& rng) const override {
+    return rng.Pareto(xm_online_, alpha_);
+  }
+  double NextOfflineDuration(Rng& rng) const override {
+    return mean_offline_ <= 0.0 ? 0.0 : rng.Exponential(mean_offline_);
+  }
+  std::string name() const override { return "pareto"; }
+
+ private:
+  double alpha_;
+  double xm_online_;
+  double mean_offline_;
+};
+
+/// Drives a PhysicalNetwork's online/offline transitions from a ChurnModel,
+/// notifying listeners (the overlay, the P2P learning algorithm) on every
+/// transition.
+class ChurnDriver {
+ public:
+  using TransitionListener = std::function<void(NodeId, bool /*online*/)>;
+
+  ChurnDriver(Simulator& sim, PhysicalNetwork& net,
+              std::shared_ptr<ChurnModel> model, uint64_t seed = 7);
+
+  /// Starts the churn process for every node currently in the network.
+  /// Each peer gets an independent deterministic RNG stream.
+  void Start();
+
+  /// Registers a listener invoked after each transition is applied.
+  void AddListener(TransitionListener listener);
+
+  uint64_t num_failures() const { return num_failures_; }
+  uint64_t num_rejoins() const { return num_rejoins_; }
+
+ private:
+  void ScheduleNext(NodeId node);
+
+  Simulator& sim_;
+  PhysicalNetwork& net_;
+  std::shared_ptr<ChurnModel> model_;
+  Rng seed_rng_;
+  std::vector<Rng> node_rngs_;
+  std::vector<TransitionListener> listeners_;
+  uint64_t num_failures_ = 0;
+  uint64_t num_rejoins_ = 0;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PSIM_CHURN_H_

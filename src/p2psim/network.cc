@@ -1,0 +1,71 @@
+#include "p2psim/network.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace p2pdt {
+
+PhysicalNetwork::PhysicalNetwork(Simulator& sim,
+                                 PhysicalNetworkOptions options)
+    : sim_(sim), options_(options), rng_(options.seed) {}
+
+NodeId PhysicalNetwork::AddNode() {
+  coords_.emplace_back(rng_.NextDouble(), rng_.NextDouble());
+  online_.push_back(true);
+  ++num_online_;
+  return coords_.size() - 1;
+}
+
+void PhysicalNetwork::AddNodes(std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) AddNode();
+}
+
+void PhysicalNetwork::SetOnline(NodeId node, bool online) {
+  assert(node < online_.size());
+  if (online_[node] == online) return;
+  online_[node] = online;
+  num_online_ += online ? 1 : -1;
+}
+
+double PhysicalNetwork::Latency(NodeId from, NodeId to) const {
+  assert(from < coords_.size() && to < coords_.size());
+  if (from == to) return 0.0;
+  double dx = coords_[from].first - coords_[to].first;
+  double dy = coords_[from].second - coords_[to].second;
+  // Unit-square diagonal is sqrt(2); scale distance into [min, max].
+  double frac = std::sqrt(dx * dx + dy * dy) / std::sqrt(2.0);
+  return options_.min_latency +
+         frac * (options_.max_latency - options_.min_latency);
+}
+
+void PhysicalNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
+                           MessageType type,
+                           std::function<void()> on_deliver,
+                           std::function<void()> on_drop) {
+  assert(from < online_.size() && to < online_.size());
+  stats_.RecordSend(type, bytes);
+
+  if (!online_[from]) {
+    stats_.RecordDrop(type);
+    if (on_drop) sim_.Schedule(0.0, std::move(on_drop));
+    return;
+  }
+
+  double delay = Latency(from, to) +
+                 static_cast<double>(bytes) / options_.bandwidth_bytes_per_sec;
+  bool lost = rng_.Bernoulli(options_.loss_rate);
+
+  sim_.Schedule(delay, [this, to, type, lost,
+                        on_deliver = std::move(on_deliver),
+                        on_drop = std::move(on_drop)]() {
+    if (lost || !online_[to]) {
+      stats_.RecordDrop(type);
+      if (on_drop) on_drop();
+      return;
+    }
+    stats_.RecordDelivery(type);
+    if (on_deliver) on_deliver();
+  });
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,88 @@
+#ifndef P2PDT_P2PSIM_NETWORK_H_
+#define P2PDT_P2PSIM_NETWORK_H_
+
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "p2psim/simulator.h"
+#include "p2psim/stats.h"
+
+namespace p2pdt {
+
+/// Index of a peer in the simulation (stable for the whole run; going
+/// offline does not invalidate the id).
+using NodeId = std::size_t;
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+
+/// Parameters of the simulated underlay ("Configure physical network" in
+/// P2PDMT's architecture, Fig. 2).
+struct PhysicalNetworkOptions {
+  /// One-way latency between the two closest peers (seconds).
+  double min_latency = 0.010;
+  /// One-way latency between the two farthest peers (seconds). Peers are
+  /// placed uniformly on a unit square; latency scales with distance, the
+  /// standard Vivaldi-style coordinate underlay approximation.
+  double max_latency = 0.120;
+  /// Uplink bandwidth per peer (bytes/second); transmission time is
+  /// bytes / bandwidth, serialized per message.
+  double bandwidth_bytes_per_sec = 1.0e6;
+  /// Probability that any single message is silently lost.
+  double loss_rate = 0.0;
+  uint64_t seed = 42;
+};
+
+/// Simulated physical (underlay) network: latency from synthetic
+/// coordinates, per-message transmission delay, probabilistic loss, and
+/// full message/byte accounting.
+///
+/// Offline semantics: a message is dropped when the sender is offline at
+/// send time or the receiver is offline at *delivery* time — so a peer
+/// failing mid-flight loses in-flight traffic, which is exactly the failure
+/// mode churn experiments need to exercise.
+class PhysicalNetwork {
+ public:
+  PhysicalNetwork(Simulator& sim, PhysicalNetworkOptions options = {});
+
+  /// Adds a peer at a random coordinate; starts online.
+  NodeId AddNode();
+
+  /// Adds `n` peers.
+  void AddNodes(std::size_t n);
+
+  std::size_t num_nodes() const { return online_.size(); }
+
+  void SetOnline(NodeId node, bool online);
+  bool IsOnline(NodeId node) const { return online_[node]; }
+  std::size_t num_online() const { return num_online_; }
+
+  /// One-way propagation latency between two peers (seconds).
+  double Latency(NodeId from, NodeId to) const;
+
+  /// Sends `bytes` from `from` to `to`. When the message is delivered,
+  /// `on_deliver` runs at the receiver; when it is dropped (sender offline,
+  /// receiver offline at arrival, or random loss) `on_drop` runs instead
+  /// (at the same simulated time the delivery would have happened, or
+  /// immediately for send-side failures). Either callback may be empty.
+  void Send(NodeId from, NodeId to, std::size_t bytes, MessageType type,
+            std::function<void()> on_deliver,
+            std::function<void()> on_drop = nullptr);
+
+  NetworkStats& stats() { return stats_; }
+  const NetworkStats& stats() const { return stats_; }
+  Simulator& simulator() { return sim_; }
+  const PhysicalNetworkOptions& options() const { return options_; }
+
+ private:
+  Simulator& sim_;
+  PhysicalNetworkOptions options_;
+  Rng rng_;
+  std::vector<std::pair<double, double>> coords_;
+  std::vector<bool> online_;
+  std::size_t num_online_ = 0;
+  NetworkStats stats_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PSIM_NETWORK_H_

@@ -1,0 +1,43 @@
+#ifndef P2PDT_P2PSIM_OVERLAY_H_
+#define P2PDT_P2PSIM_OVERLAY_H_
+
+#include <functional>
+#include <string>
+
+#include "p2psim/network.h"
+
+namespace p2pdt {
+
+/// Common surface of the overlay networks P2PDMT can generate ("Generate
+/// structured P2P network" / "Generate unstructured P2P network", Fig. 2).
+///
+/// Both structured (Chord) and unstructured (random-graph flooding)
+/// overlays can disseminate a payload from one peer to all online peers;
+/// only the structured overlay supports key lookups (used by CEMPaR to
+/// locate super-peers deterministically).
+class Overlay {
+ public:
+  virtual ~Overlay() = default;
+
+  /// Registers a node with the overlay (node must exist in the underlay).
+  virtual void AddNode(NodeId node) = 0;
+
+  /// Notifies the overlay of an underlay online/offline transition, e.g.
+  /// wired to ChurnDriver::AddListener.
+  virtual void OnTransition(NodeId node, bool online) = 0;
+
+  /// Disseminates `payload_bytes` from `origin` to every reachable online
+  /// peer. `on_deliver(receiver)` runs once per peer that receives the
+  /// payload (the origin is not called). `on_complete` (optional) runs when
+  /// the dissemination has quiesced.
+  virtual void Broadcast(NodeId origin, std::size_t payload_bytes,
+                         MessageType type,
+                         std::function<void(NodeId)> on_deliver,
+                         std::function<void()> on_complete) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PSIM_OVERLAY_H_

@@ -1,0 +1,44 @@
+#include "p2psim/simulator.h"
+
+#include <algorithm>
+
+namespace p2pdt {
+
+void Simulator::Schedule(SimTime delay, Callback fn) {
+  ScheduleAt(now_ + std::max(delay, 0.0), std::move(fn));
+}
+
+void Simulator::ScheduleAt(SimTime when, Callback fn) {
+  queue_.push(Event{std::max(when, now_), next_seq_++, std::move(fn)});
+}
+
+bool Simulator::Step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the callback handle instead (std::function copy is cheap
+  // relative to event work here).
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.time;
+  ++executed_;
+  ev.fn();
+  return true;
+}
+
+std::size_t Simulator::RunUntil(SimTime until) {
+  std::size_t count = 0;
+  while (!queue_.empty() && queue_.top().time <= until) {
+    Step();
+    ++count;
+  }
+  if (now_ < until) now_ = until;
+  return count;
+}
+
+std::size_t Simulator::RunAll() {
+  std::size_t count = 0;
+  while (Step()) ++count;
+  return count;
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,75 @@
+#ifndef P2PDT_P2PSIM_SIMULATOR_H_
+#define P2PDT_P2PSIM_SIMULATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace p2pdt {
+
+/// Simulated time in seconds since simulation start.
+using SimTime = double;
+
+/// Discrete-event simulation core: a time-ordered queue of callbacks.
+///
+/// This is the heart of P2PDMT (the paper's simulation toolkit): every
+/// network delivery, churn transition, stabilization round and scheduled
+/// evaluation is an event. Events at equal timestamps run in scheduling
+/// order (a monotone sequence number breaks ties), which keeps runs
+/// fully deterministic.
+class Simulator {
+ public:
+  using Callback = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulated time.
+  SimTime Now() const { return now_; }
+
+  /// Schedules `fn` to run `delay` seconds from now (delay >= 0; negative
+  /// delays are clamped to 0).
+  void Schedule(SimTime delay, Callback fn);
+
+  /// Schedules `fn` at an absolute simulated time (clamped to >= Now()).
+  void ScheduleAt(SimTime when, Callback fn);
+
+  /// Runs events until the queue empties or simulated time would exceed
+  /// `until`. Events at exactly `until` are executed. Returns the number of
+  /// events executed.
+  std::size_t RunUntil(SimTime until);
+
+  /// Runs until the queue is fully drained. Use with care under recurring
+  /// (self-rescheduling) events — prefer RunUntil.
+  std::size_t RunAll();
+
+  /// Executes at most one pending event; returns false when idle.
+  bool Step();
+
+  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t executed_events() const { return executed_; }
+
+ private:
+  struct Event {
+    SimTime time;
+    uint64_t seq;
+    Callback fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0.0;
+  uint64_t next_seq_ = 0;
+  std::size_t executed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PSIM_SIMULATOR_H_

@@ -1,0 +1,80 @@
+#include "p2psim/stats.h"
+
+#include <cstdio>
+
+#include "common/string_util.h"
+
+namespace p2pdt {
+
+const char* MessageTypeToString(MessageType type) {
+  switch (type) {
+    case MessageType::kOverlayMaintenance:
+      return "overlay_maintenance";
+    case MessageType::kLookup:
+      return "lookup";
+    case MessageType::kModelUpload:
+      return "model_upload";
+    case MessageType::kModelBroadcast:
+      return "model_broadcast";
+    case MessageType::kPredictionRequest:
+      return "prediction_request";
+    case MessageType::kPredictionResponse:
+      return "prediction_response";
+    case MessageType::kDataTransfer:
+      return "data_transfer";
+    case MessageType::kGossip:
+      return "gossip";
+    case MessageType::kCount:
+      return "count";
+  }
+  return "unknown";
+}
+
+void NetworkStats::RecordSend(MessageType type, std::size_t bytes) {
+  std::size_t i = static_cast<std::size_t>(type);
+  ++sent_[i];
+  bytes_[i] += bytes;
+  ++total_sent_;
+  total_bytes_ += bytes;
+}
+
+void NetworkStats::RecordDelivery(MessageType type) {
+  ++delivered_[static_cast<std::size_t>(type)];
+  ++total_delivered_;
+}
+
+void NetworkStats::RecordDrop(MessageType type) {
+  ++dropped_[static_cast<std::size_t>(type)];
+  ++total_dropped_;
+}
+
+void NetworkStats::Reset() {
+  sent_.fill(0);
+  bytes_.fill(0);
+  delivered_.fill(0);
+  dropped_.fill(0);
+  total_sent_ = total_delivered_ = total_dropped_ = total_bytes_ = 0;
+}
+
+std::string NetworkStats::ToString() const {
+  std::string out;
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "total: %llu msgs, %s, %llu delivered, %llu dropped\n",
+                static_cast<unsigned long long>(total_sent_),
+                HumanBytes(static_cast<double>(total_bytes_)).c_str(),
+                static_cast<unsigned long long>(total_delivered_),
+                static_cast<unsigned long long>(total_dropped_));
+  out += buf;
+  for (std::size_t i = 0; i < kNumTypes; ++i) {
+    if (sent_[i] == 0 && dropped_[i] == 0) continue;
+    std::snprintf(buf, sizeof(buf), "  %-20s %10llu msgs %12s\n",
+                  MessageTypeToString(static_cast<MessageType>(i)),
+                  static_cast<unsigned long long>(sent_[i]),
+                  HumanBytes(static_cast<double>(bytes_[i])).c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,71 @@
+#ifndef P2PDT_P2PSIM_STATS_H_
+#define P2PDT_P2PSIM_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace p2pdt {
+
+/// Classification of simulated messages, so experiments can break
+/// communication cost down by purpose (training vs. prediction vs. overlay
+/// maintenance) the way the CEMPaR/PACE papers report it.
+enum class MessageType : uint8_t {
+  kOverlayMaintenance = 0,  // joins, stabilization, finger fixes
+  kLookup,                  // DHT routing hops
+  kModelUpload,             // CEMPaR: SVs to super-peer
+  kModelBroadcast,          // PACE: linear models + centroids to all peers
+  kPredictionRequest,       // untagged vector sent for tagging
+  kPredictionResponse,      // predicted tags coming back
+  kDataTransfer,            // raw training data (centralized baseline)
+  kGossip,                  // unstructured overlay dissemination
+  kCount,                   // sentinel
+};
+
+const char* MessageTypeToString(MessageType type);
+
+/// Message/byte accounting for one simulation run. The headline
+/// "communication cost" numbers in the experiments come straight from here.
+class NetworkStats {
+ public:
+  static constexpr std::size_t kNumTypes =
+      static_cast<std::size_t>(MessageType::kCount);
+
+  void RecordSend(MessageType type, std::size_t bytes);
+  void RecordDelivery(MessageType type);
+  void RecordDrop(MessageType type);
+
+  uint64_t messages_sent() const { return total_sent_; }
+  uint64_t messages_delivered() const { return total_delivered_; }
+  uint64_t messages_dropped() const { return total_dropped_; }
+  uint64_t bytes_sent() const { return total_bytes_; }
+
+  uint64_t messages_sent(MessageType type) const {
+    return sent_[static_cast<std::size_t>(type)];
+  }
+  uint64_t bytes_sent(MessageType type) const {
+    return bytes_[static_cast<std::size_t>(type)];
+  }
+  uint64_t dropped(MessageType type) const {
+    return dropped_[static_cast<std::size_t>(type)];
+  }
+
+  void Reset();
+
+  /// Multi-line per-type breakdown.
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, kNumTypes> sent_{};
+  std::array<uint64_t, kNumTypes> bytes_{};
+  std::array<uint64_t, kNumTypes> delivered_{};
+  std::array<uint64_t, kNumTypes> dropped_{};
+  uint64_t total_sent_ = 0;
+  uint64_t total_delivered_ = 0;
+  uint64_t total_dropped_ = 0;
+  uint64_t total_bytes_ = 0;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PSIM_STATS_H_

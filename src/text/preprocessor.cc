@@ -1,0 +1,33 @@
+#include "text/preprocessor.h"
+
+namespace p2pdt {
+
+Preprocessor::Preprocessor(Options options)
+    : options_(options),
+      tokenizer_(options.tokenizer),
+      vectorizer_(options.vectorizer),
+      lexicon_(options.hashed_dimensions > 0
+                   ? Lexicon::Hashed(options.hashed_dimensions)
+                   : Lexicon()) {
+  stop_words_.AddSensitiveWords(options.sensitive_words);
+}
+
+std::vector<std::string> Preprocessor::Analyze(std::string_view text) const {
+  std::vector<std::string> tokens = tokenizer_.Tokenize(text);
+  tokens = stop_words_.Filter(tokens);
+  stemmer_.StemAll(tokens);
+  // Stemming can only shorten words, but a stem could collide with a stop
+  // word ("doe" etc.) — the reference pipelines do not re-filter, and
+  // neither do we.
+  return tokens;
+}
+
+SparseVector Preprocessor::Process(std::string_view text) {
+  return vectorizer_.Vectorize(Analyze(text), lexicon_);
+}
+
+SparseVector Preprocessor::ProcessConst(std::string_view text) const {
+  return vectorizer_.VectorizeConst(Analyze(text), lexicon_);
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,67 @@
+#ifndef P2PDT_TEXT_PREPROCESSOR_H_
+#define P2PDT_TEXT_PREPROCESSOR_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "text/lexicon.h"
+#include "text/porter_stemmer.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+#include "text/vectorizer.h"
+
+namespace p2pdt {
+
+/// The complete Document Preprocessing stage of Fig. 1, as one component:
+///
+///   raw text → tokenize → stop-word & sensitive-word filter
+///            → Porter stem → sparse TF vector over a shared lexicon.
+///
+/// One `Preprocessor` is owned per peer; with a hashed lexicon all peers
+/// produce id-compatible vectors without exchanging vocabulary state.
+struct PreprocessorOptions {
+  TokenizerOptions tokenizer;
+  VectorizerOptions vectorizer;
+  /// When > 0 the lexicon uses the hashing trick with this many
+  /// dimensions; when 0 ids grow densely in first-seen order.
+  uint32_t hashed_dimensions = 1 << 18;
+  /// User-specified sensitive words removed before anything leaves the
+  /// machine (paper Sec. 2).
+  std::vector<std::string> sensitive_words;
+};
+
+class Preprocessor {
+ public:
+  using Options = PreprocessorOptions;
+
+  explicit Preprocessor(Options options = Options());
+
+  /// Runs the token pipeline only (no vectorization): tokenize, filter,
+  /// stem. Useful for inspection and for IDF fitting.
+  std::vector<std::string> Analyze(std::string_view text) const;
+
+  /// Full pipeline: raw text to sparse vector, growing the lexicon.
+  SparseVector Process(std::string_view text);
+
+  /// Full pipeline against the frozen lexicon (test-time path).
+  SparseVector ProcessConst(std::string_view text) const;
+
+  Lexicon& lexicon() { return lexicon_; }
+  const Lexicon& lexicon() const { return lexicon_; }
+  StopWordFilter& stop_words() { return stop_words_; }
+  const Tokenizer& tokenizer() const { return tokenizer_; }
+
+ private:
+  Options options_;
+  Tokenizer tokenizer_;
+  StopWordFilter stop_words_;
+  PorterStemmer stemmer_;
+  Vectorizer vectorizer_;
+  Lexicon lexicon_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_TEXT_PREPROCESSOR_H_

@@ -1,0 +1,49 @@
+#ifndef P2PDT_TEXT_TOKENIZER_H_
+#define P2PDT_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p2pdt {
+
+/// Options controlling tokenization of raw document text.
+struct TokenizerOptions {
+  /// Lowercase tokens (matches IR convention; the paper's preprocessing is
+  /// case-insensitive because tags and words are matched by id).
+  bool lowercase = true;
+  /// Minimum token length after normalization; shorter tokens are dropped.
+  std::size_t min_token_length = 2;
+  /// Maximum token length; longer tokens (base64 blobs, URLs run-ons) are
+  /// dropped rather than truncated.
+  std::size_t max_token_length = 40;
+  /// Keep tokens containing digits ("win32", "2010"). Pure punctuation is
+  /// always dropped.
+  bool keep_alphanumeric = true;
+};
+
+/// Splits raw text into word tokens: maximal runs of ASCII letters/digits
+/// (plus intra-word apostrophes, which are stripped). Everything else —
+/// punctuation, whitespace, control characters — is a separator.
+///
+/// This is the first stage of the paper's Document Preprocessing step
+/// (Sec. 2): tokenize → stop-word / sensitive-word filter → Porter stem →
+/// vectorize.
+class Tokenizer {
+ public:
+  explicit Tokenizer(TokenizerOptions options = {});
+
+  /// Tokenizes `text` into normalized tokens.
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+  const TokenizerOptions& options() const { return options_; }
+
+ private:
+  bool Keep(const std::string& token) const;
+
+  TokenizerOptions options_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_TEXT_TOKENIZER_H_

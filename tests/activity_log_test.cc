@@ -1,0 +1,54 @@
+#include "p2pdmt/activity_log.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+TEST(ActivityLogTest, RecordsInOrder) {
+  ActivityLog log;
+  log.Record(1.0, "peer/0", "churn", "offline");
+  log.Record(2.5, "peer/1", "train", "uploaded model");
+  ASSERT_EQ(log.size(), 2u);
+  EXPECT_DOUBLE_EQ(log.entries()[0].time, 1.0);
+  EXPECT_EQ(log.entries()[1].category, "train");
+}
+
+TEST(ActivityLogTest, FilterAndCount) {
+  ActivityLog log;
+  log.Record(1, "a", "churn", "x");
+  log.Record(2, "b", "train", "y");
+  log.Record(3, "c", "churn", "z");
+  EXPECT_EQ(log.CountCategory("churn"), 2u);
+  EXPECT_EQ(log.CountCategory("train"), 1u);
+  EXPECT_EQ(log.CountCategory("missing"), 0u);
+  std::vector<ActivityLog::Entry> churn = log.FilterByCategory("churn");
+  ASSERT_EQ(churn.size(), 2u);
+  EXPECT_EQ(churn[1].actor, "c");
+}
+
+TEST(ActivityLogTest, CsvRoundTrip) {
+  ActivityLog log;
+  log.Record(0.5, "peer/3", "predict", "tags: a,b");
+  std::string path = ::testing::TempDir() + "/p2pdt_activity.csv";
+  ASSERT_TRUE(log.WriteCsv(path).ok());
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("time,actor,category,detail"), std::string::npos);
+  EXPECT_NE(content.find("\"tags: a,b\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(ActivityLogTest, ClearEmpties) {
+  ActivityLog log;
+  log.Record(1, "a", "b", "c");
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,169 @@
+#include "ml/kernel_svm.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/metrics.h"
+
+namespace p2pdt {
+namespace {
+
+// Two Gaussian-ish clusters in feature space, split across `parts` shards.
+struct Shards {
+  std::vector<std::vector<Example>> parts;
+  std::vector<Example> all;
+  std::vector<Example> test;
+};
+
+Shards MakeShardedProblem(std::size_t parts, std::size_t per_part,
+                          uint64_t seed) {
+  Rng rng(seed);
+  Shards s;
+  s.parts.resize(parts);
+  auto sample = [&](bool pos) {
+    uint32_t base = pos ? 0 : 6;
+    std::vector<SparseVector::Entry> f;
+    for (uint32_t j = 0; j < 6; ++j) {
+      f.emplace_back(base + j, rng.Uniform(0.2, 1.0));
+    }
+    // Mild overlap on shared features.
+    f.emplace_back(12 + static_cast<uint32_t>(rng.NextU64(4)),
+                   rng.NextDouble());
+    Example ex{SparseVector::FromPairs(std::move(f)), pos ? 1.0 : -1.0};
+    return ex;
+  };
+  for (std::size_t p = 0; p < parts; ++p) {
+    for (std::size_t i = 0; i < per_part; ++i) {
+      Example ex = sample(i % 2 == 0);
+      s.parts[p].push_back(ex);
+      s.all.push_back(ex);
+    }
+  }
+  for (std::size_t i = 0; i < 200; ++i) s.test.push_back(sample(i % 2 == 0));
+  return s;
+}
+
+double Accuracy(const KernelSvmModel& model,
+                const std::vector<Example>& test) {
+  std::size_t ok = 0;
+  for (const Example& ex : test) {
+    if (model.Predict(ex.x) == ex.y) ++ok;
+  }
+  return static_cast<double>(ok) / static_cast<double>(test.size());
+}
+
+TEST(CascadeTest, MergeOfZeroModelsFails) {
+  KernelSvmOptions opt;
+  EXPECT_FALSE(CascadeMerge({}, opt).ok());
+  EXPECT_FALSE(CascadeTree({}, opt).ok());
+}
+
+TEST(CascadeTest, MergeOfOneModelIsIdentity) {
+  KernelSvmOptions opt;
+  opt.kernel = Kernel::Linear();
+  std::vector<Example> data = {{SparseVector::FromPairs({{0, 1.0}}), 1},
+                               {SparseVector::FromPairs({{1, 1.0}}), -1}};
+  Result<KernelSvmModel> model = TrainKernelSvm(data, opt);
+  ASSERT_TRUE(model.ok());
+  Result<KernelSvmModel> merged = CascadeMerge({&model.value()}, opt);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->num_support_vectors(), model->num_support_vectors());
+}
+
+TEST(CascadeTest, RejectsSmallFanIn) {
+  KernelSvmOptions opt;
+  std::vector<Example> data = {{SparseVector::FromPairs({{0, 1.0}}), 1},
+                               {SparseVector::FromPairs({{1, 1.0}}), -1}};
+  KernelSvmModel m = std::move(TrainKernelSvm(data, opt)).value();
+  EXPECT_FALSE(CascadeTree({&m}, opt, 1).ok());
+}
+
+TEST(CascadeTest, CascadeApproachesCentralizedAccuracy) {
+  // The property CEMPaR rests on: merging per-peer models' support vectors
+  // and retraining recovers (nearly) the centrally-trained model.
+  Shards s = MakeShardedProblem(8, 20, 17);
+  KernelSvmOptions opt;
+  opt.kernel = Kernel::Linear();
+
+  Result<KernelSvmModel> central = TrainKernelSvm(s.all, opt);
+  ASSERT_TRUE(central.ok());
+
+  std::vector<KernelSvmModel> locals;
+  for (const auto& part : s.parts) {
+    locals.push_back(std::move(TrainKernelSvm(part, opt)).value());
+  }
+  std::vector<const KernelSvmModel*> ptrs;
+  for (const auto& m : locals) ptrs.push_back(&m);
+  Result<KernelSvmModel> cascaded = CascadeTree(ptrs, opt, 4);
+  ASSERT_TRUE(cascaded.ok());
+
+  double acc_central = Accuracy(central.value(), s.test);
+  double acc_cascade = Accuracy(cascaded.value(), s.test);
+  double acc_single = Accuracy(locals[0], s.test);
+
+  EXPECT_GT(acc_central, 0.9);
+  EXPECT_GE(acc_cascade, acc_central - 0.05);
+  EXPECT_GE(acc_cascade, acc_single - 0.02);
+}
+
+TEST(CascadeTest, CascadeCompactsSupportVectors) {
+  // The merged model must not keep every input SV: retraining prunes.
+  Shards s = MakeShardedProblem(6, 30, 23);
+  KernelSvmOptions opt;
+  opt.kernel = Kernel::Linear();
+  std::vector<KernelSvmModel> locals;
+  std::size_t total_svs = 0;
+  for (const auto& part : s.parts) {
+    locals.push_back(std::move(TrainKernelSvm(part, opt)).value());
+    total_svs += locals.back().num_support_vectors();
+  }
+  std::vector<const KernelSvmModel*> ptrs;
+  for (const auto& m : locals) ptrs.push_back(&m);
+  Result<KernelSvmModel> merged = CascadeMerge(ptrs, opt);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_LE(merged->num_support_vectors(), total_svs);
+  EXPECT_GT(merged->num_support_vectors(), 0u);
+}
+
+TEST(CascadeTest, MergeDeduplicatesSharedVectors) {
+  KernelSvmOptions opt;
+  opt.kernel = Kernel::Linear();
+  std::vector<Example> data = {{SparseVector::FromPairs({{0, 1.0}}), 1},
+                               {SparseVector::FromPairs({{1, 1.0}}), -1}};
+  KernelSvmModel m = std::move(TrainKernelSvm(data, opt)).value();
+  // Merging the same model three times must behave like merging it once.
+  Result<KernelSvmModel> merged = CascadeMerge({&m, &m, &m}, opt);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_LE(merged->num_support_vectors(), m.num_support_vectors());
+  EXPECT_GT(merged->Decision(data[0].x), 0.0);
+  EXPECT_LT(merged->Decision(data[1].x), 0.0);
+}
+
+TEST(CascadeTest, AllConstantModelsVote) {
+  KernelSvmOptions opt;
+  KernelSvmModel pos(opt.kernel, {}, 1.0);
+  KernelSvmModel neg(opt.kernel, {}, -1.0);
+  Result<KernelSvmModel> merged = CascadeMerge({&pos, &pos, &neg}, opt);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_GT(merged->Decision(SparseVector()), 0.0);
+}
+
+TEST(CascadeTest, TreeMatchesFlatMergeOnModestInputs) {
+  Shards s = MakeShardedProblem(4, 16, 31);
+  KernelSvmOptions opt;
+  opt.kernel = Kernel::Linear();
+  std::vector<KernelSvmModel> locals;
+  for (const auto& part : s.parts) {
+    locals.push_back(std::move(TrainKernelSvm(part, opt)).value());
+  }
+  std::vector<const KernelSvmModel*> ptrs;
+  for (const auto& m : locals) ptrs.push_back(&m);
+  double acc_flat =
+      Accuracy(std::move(CascadeMerge(ptrs, opt)).value(), s.test);
+  double acc_tree =
+      Accuracy(std::move(CascadeTree(ptrs, opt, 2)).value(), s.test);
+  EXPECT_NEAR(acc_flat, acc_tree, 0.05);
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,195 @@
+#include "corpus/generator.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "corpus/vectorize.h"
+#include "text/stopwords.h"
+#include "text/tokenizer.h"
+
+namespace p2pdt {
+namespace {
+
+CorpusOptions SmallOptions() {
+  CorpusOptions opt;
+  opt.num_users = 6;
+  opt.min_docs_per_user = 10;
+  opt.max_docs_per_user = 20;
+  opt.num_tags = 5;
+  opt.vocabulary_size = 400;
+  opt.topic_words_per_tag = 30;
+  opt.seed = 99;
+  return opt;
+}
+
+TEST(CorpusGeneratorTest, RejectsBadOptions) {
+  CorpusOptions opt = SmallOptions();
+  opt.num_users = 0;
+  EXPECT_FALSE(GenerateCorpus(opt).ok());
+  opt = SmallOptions();
+  opt.min_docs_per_user = 30;
+  opt.max_docs_per_user = 10;
+  EXPECT_FALSE(GenerateCorpus(opt).ok());
+  opt = SmallOptions();
+  opt.topic_words_per_tag = 1000;  // > vocabulary
+  EXPECT_FALSE(GenerateCorpus(opt).ok());
+}
+
+TEST(CorpusGeneratorTest, DocCountsPerUserInRange) {
+  Result<GeneratedCorpus> corpus = GenerateCorpus(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  ASSERT_EQ(corpus->num_users(), 6u);
+  for (const auto& docs : corpus->user_documents) {
+    EXPECT_GE(docs.size(), 10u);
+    EXPECT_LE(docs.size(), 20u);
+  }
+}
+
+TEST(CorpusGeneratorTest, EveryDocHasTagsFromUniverse) {
+  Result<GeneratedCorpus> corpus = GenerateCorpus(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  std::set<std::string> universe(corpus->tag_names.begin(),
+                                 corpus->tag_names.end());
+  for (const RawDocument& doc : corpus->documents) {
+    ASSERT_FALSE(doc.tags.empty());
+    EXPECT_LE(doc.tags.size(), SmallOptions().max_tags_per_doc);
+    for (const std::string& t : doc.tags) {
+      EXPECT_TRUE(universe.count(t)) << t;
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, TagNamesDisjointFromVocabulary) {
+  // The paper stresses tags "may not necessarily be contained within the
+  // documents": tag names must never appear as document words.
+  Result<GeneratedCorpus> corpus = GenerateCorpus(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  std::unordered_set<std::string> tags(corpus->tag_names.begin(),
+                                       corpus->tag_names.end());
+  Tokenizer tokenizer;
+  for (const RawDocument& doc : corpus->documents) {
+    for (const std::string& token : tokenizer.Tokenize(doc.text)) {
+      EXPECT_FALSE(tags.count(token)) << token;
+    }
+  }
+}
+
+TEST(CorpusGeneratorTest, TextContainsStopWordsAndPunctuation) {
+  // The renderer must exercise the whole preprocessing pipeline.
+  Result<GeneratedCorpus> corpus = GenerateCorpus(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  StopWordFilter stop;
+  Tokenizer tokenizer;
+  std::size_t stop_hits = 0, period_hits = 0;
+  for (const RawDocument& doc : corpus->documents) {
+    if (doc.text.find('.') != std::string::npos) ++period_hits;
+    for (const std::string& token : tokenizer.Tokenize(doc.text)) {
+      if (stop.IsStopWord(token)) ++stop_hits;
+    }
+  }
+  EXPECT_GT(stop_hits, corpus->documents.size());
+  EXPECT_EQ(period_hits, corpus->documents.size());
+}
+
+TEST(CorpusGeneratorTest, DeterministicInSeed) {
+  Result<GeneratedCorpus> a = GenerateCorpus(SmallOptions());
+  Result<GeneratedCorpus> b = GenerateCorpus(SmallOptions());
+  ASSERT_TRUE(a.ok() && b.ok());
+  ASSERT_EQ(a->documents.size(), b->documents.size());
+  for (std::size_t i = 0; i < a->documents.size(); ++i) {
+    EXPECT_EQ(a->documents[i].text, b->documents[i].text);
+    EXPECT_EQ(a->documents[i].tags, b->documents[i].tags);
+  }
+  CorpusOptions other = SmallOptions();
+  other.seed = 100;
+  Result<GeneratedCorpus> c = GenerateCorpus(other);
+  ASSERT_TRUE(c.ok());
+  EXPECT_NE(a->documents[0].text, c->documents[0].text);
+}
+
+TEST(CorpusGeneratorTest, TagPopularityIsSkewed) {
+  CorpusOptions opt = SmallOptions();
+  opt.num_users = 30;
+  opt.tag_popularity_zipf = 1.2;
+  Result<GeneratedCorpus> corpus = GenerateCorpus(opt);
+  ASSERT_TRUE(corpus.ok());
+  std::map<std::string, std::size_t> counts;
+  for (const auto& doc : corpus->documents) {
+    for (const auto& t : doc.tags) ++counts[t];
+  }
+  std::size_t max_count = 0, min_count = corpus->documents.size();
+  for (const auto& [tag, c] : counts) {
+    max_count = std::max(max_count, c);
+    min_count = std::min(min_count, c);
+  }
+  EXPECT_GT(max_count, 2 * std::max<std::size_t>(min_count, 1));
+}
+
+TEST(CorpusGeneratorTest, MakeWordListDistinctAndPrefixed) {
+  Rng rng(1);
+  std::vector<std::string> words =
+      corpus_internal::MakeWordList(200, rng, "zz");
+  std::set<std::string> uniq(words.begin(), words.end());
+  EXPECT_EQ(uniq.size(), 200u);
+  for (const auto& w : words) {
+    EXPECT_EQ(w.substr(0, 2), "zz");
+  }
+}
+
+TEST(VectorizeCorpusTest, DatasetParallelToDocuments) {
+  Result<GeneratedCorpus> corpus = GenerateCorpus(SmallOptions());
+  ASSERT_TRUE(corpus.ok());
+  Preprocessor pre;
+  Result<VectorizedCorpus> vec = VectorizeCorpus(corpus.value(), pre);
+  ASSERT_TRUE(vec.ok());
+  EXPECT_EQ(vec->dataset.size(), corpus->documents.size());
+  EXPECT_EQ(vec->doc_user.size(), corpus->documents.size());
+  EXPECT_EQ(vec->dataset.num_tags(), corpus->tag_names.size());
+  for (std::size_t i = 0; i < vec->dataset.size(); ++i) {
+    EXPECT_FALSE(vec->dataset[i].x.empty()) << i;
+    EXPECT_EQ(vec->dataset[i].tags.size(), corpus->documents[i].tags.size());
+    EXPECT_EQ(vec->doc_user[i], corpus->documents[i].user);
+  }
+}
+
+TEST(VectorizeCorpusTest, TopicStructureSeparatesTagsInFeatureSpace) {
+  // Documents sharing a tag should be closer (cosine) than documents with
+  // disjoint tags, on average — otherwise no classifier could work.
+  Result<VectorizedCorpus> vec = MakeVectorizedCorpus(SmallOptions());
+  ASSERT_TRUE(vec.ok());
+  double same_sum = 0, diff_sum = 0;
+  std::size_t same_n = 0, diff_n = 0;
+  const auto& ds = vec->dataset;
+  for (std::size_t i = 0; i < ds.size(); i += 3) {
+    for (std::size_t j = i + 1; j < ds.size(); j += 3) {
+      std::vector<TagId> inter;
+      std::set_intersection(ds[i].tags.begin(), ds[i].tags.end(),
+                            ds[j].tags.begin(), ds[j].tags.end(),
+                            std::back_inserter(inter));
+      double cos = ds[i].x.Cosine(ds[j].x);
+      if (!inter.empty()) {
+        same_sum += cos;
+        ++same_n;
+      } else {
+        diff_sum += cos;
+        ++diff_n;
+      }
+    }
+  }
+  ASSERT_GT(same_n, 0u);
+  ASSERT_GT(diff_n, 0u);
+  EXPECT_GT(same_sum / same_n, diff_sum / diff_n + 0.05);
+}
+
+TEST(VectorizeCorpusTest, MakeVectorizedCorpusPropagatesErrors) {
+  CorpusOptions opt = SmallOptions();
+  opt.num_tags = 0;
+  EXPECT_FALSE(MakeVectorizedCorpus(opt).ok());
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,63 @@
+#include "common/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldUnchanged) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesCommasAndNewlines) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvWriterTest, HeaderAndRows) {
+  CsvWriter csv({"x", "y"});
+  EXPECT_TRUE(csv.AddRow({"1", "2"}).ok());
+  EXPECT_TRUE(csv.AddRow({"3", "4"}).ok());
+  EXPECT_EQ(csv.ToString(), "x,y\n1,2\n3,4\n");
+  EXPECT_EQ(csv.num_rows(), 2u);
+  EXPECT_EQ(csv.num_columns(), 2u);
+}
+
+TEST(CsvWriterTest, RejectsWrongWidth) {
+  CsvWriter csv({"a", "b"});
+  Status s = csv.AddRow({"only-one"});
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(csv.num_rows(), 0u);
+}
+
+TEST(CsvWriterTest, NumericRowFormatting) {
+  CsvWriter csv({"v", "w"});
+  ASSERT_TRUE(csv.AddNumericRow({1.5, 0.000012}).ok());
+  EXPECT_EQ(csv.ToString(), "v,w\n1.5,1.2e-05\n");
+}
+
+TEST(CsvWriterTest, WriteFileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/p2pdt_csv_test.csv";
+  CsvWriter csv({"name"});
+  ASSERT_TRUE(csv.AddRow({"value,with,commas"}).ok());
+  ASSERT_TRUE(csv.WriteFile(path).ok());
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "name\n\"value,with,commas\"\n");
+  std::remove(path.c_str());
+}
+
+TEST(CsvWriterTest, WriteFileBadPathFails) {
+  CsvWriter csv({"a"});
+  EXPECT_EQ(csv.WriteFile("/nonexistent_dir_xyz/file.csv").code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,99 @@
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/doc_tagger.h"
+
+namespace p2pdt {
+namespace {
+
+class DocTaggerPersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/p2pdt_tagger_meta_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+TEST_F(DocTaggerPersistenceTest, SaveLoadRoundTrip) {
+  DocTagger tagger;
+  DocId a = tagger.AddDocument("a", "alpha beta gamma content");
+  DocId b = tagger.AddDocument("b", "delta epsilon words");
+  tagger.AddDocument("untagged", "nothing assigned here");
+  ASSERT_TRUE(tagger.ManualTag(a, {"research", "notes"}).ok());
+  ASSERT_TRUE(tagger.ManualTag(b, {"recipes"}).ok());
+
+  Result<std::size_t> saved = tagger.SaveMetadata(dir_);
+  ASSERT_TRUE(saved.ok());
+  EXPECT_EQ(saved.value(), 2u);  // untagged docs produce no sidecars
+
+  // A fresh session: same documents re-added (same ids), tags restored.
+  DocTagger restored;
+  restored.AddDocument("a", "alpha beta gamma content");
+  restored.AddDocument("b", "delta epsilon words");
+  restored.AddDocument("untagged", "nothing assigned here");
+  Result<std::size_t> loaded = restored.LoadMetadata(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), 2u);
+
+  EXPECT_EQ(restored.GetDocument(a).value()->TagNames(),
+            (std::vector<std::string>{"notes", "research"}));
+  EXPECT_EQ(restored.GetDocument(b).value()->TagNames(),
+            (std::vector<std::string>{"recipes"}));
+  // The library is re-indexed...
+  EXPECT_EQ(restored.library().WithTag("recipes"), (std::vector<DocId>{b}));
+  // ...and tag names are registered (open vocabulary survives restarts).
+  EXPECT_EQ(restored.tag_names().size(), 3u);
+}
+
+TEST_F(DocTaggerPersistenceTest, PreservesSourceAndConfidence) {
+  DocTagger tagger;
+  DocId id = tagger.AddDocument("doc", "garlic pasta butter sauce basil");
+  tagger.AddDocument("neg", "network routing peers packets");
+  ASSERT_TRUE(tagger.ManualTag(id, {"cooking"}).ok());
+  ASSERT_TRUE(tagger.ManualTag(1, {"networking"}).ok());
+  ASSERT_TRUE(tagger.TrainLocal().ok());
+  DocId fresh = tagger.AddDocument("fresh", "pasta with garlic butter");
+  ASSERT_TRUE(tagger.AutoTag(fresh).ok());
+  ASSERT_TRUE(tagger.SaveMetadata(dir_).ok());
+
+  DocTagger restored;
+  restored.AddDocument("doc", "x");
+  restored.AddDocument("neg", "x");
+  restored.AddDocument("fresh", "x");
+  ASSERT_TRUE(restored.LoadMetadata(dir_).ok());
+  const Document& doc = *restored.GetDocument(fresh).value();
+  ASSERT_FALSE(doc.tags.empty());
+  EXPECT_EQ(doc.tags[0].source, TagSource::kAuto);
+  EXPECT_GT(doc.tags[0].confidence, 0.0);
+  EXPECT_LT(doc.tags[0].confidence, 1.0);
+}
+
+TEST_F(DocTaggerPersistenceTest, SidecarsForUnknownDocsIgnored) {
+  DocTagger big;
+  big.AddDocument("one", "words here");
+  big.AddDocument("two", "more words");
+  ASSERT_TRUE(big.ManualTag(0, {"x"}).ok());
+  ASSERT_TRUE(big.ManualTag(1, {"y"}).ok());
+  ASSERT_TRUE(big.SaveMetadata(dir_).ok());
+
+  DocTagger small;
+  small.AddDocument("one", "words here");  // only doc 0 exists
+  Result<std::size_t> loaded = small.LoadMetadata(dir_);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), 1u);
+}
+
+TEST_F(DocTaggerPersistenceTest, LoadFromEmptyDirectoryIsZero) {
+  DocTagger tagger;
+  tagger.AddDocument("a", "text");
+  Result<std::size_t> loaded = tagger.LoadMetadata(dir_ + "/missing");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value(), 0u);
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,83 @@
+#include "p2pdmt/evaluation.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+TEST(EvaluationScheduleTest, FiresAtConfiguredTimes) {
+  Simulator sim;
+  EvaluationSchedule schedule(sim, {"value"});
+  int calls = 0;
+  schedule.ScheduleAt({1.0, 5.0, 9.0}, [&] {
+    ++calls;
+    return std::vector<double>{static_cast<double>(calls)};
+  });
+  sim.RunAll();
+  ASSERT_EQ(schedule.rows().size(), 3u);
+  EXPECT_DOUBLE_EQ(schedule.rows()[0][0], 1.0);   // timestamp
+  EXPECT_DOUBLE_EQ(schedule.rows()[0][1], 1.0);   // first value
+  EXPECT_DOUBLE_EQ(schedule.rows()[2][0], 9.0);
+  EXPECT_DOUBLE_EQ(schedule.rows()[2][1], 3.0);
+  EXPECT_EQ(schedule.dropped_rows(), 0u);
+}
+
+TEST(EvaluationScheduleTest, PeriodicSchedule) {
+  Simulator sim;
+  sim.Schedule(10.0, [] {});
+  sim.RunAll();  // advance to t=10
+  EvaluationSchedule schedule(sim, {"x"});
+  schedule.SchedulePeriodic(2.5, 4, [] {
+    return std::vector<double>{42.0};
+  });
+  sim.RunAll();
+  ASSERT_EQ(schedule.rows().size(), 4u);
+  EXPECT_DOUBLE_EQ(schedule.rows()[0][0], 12.5);
+  EXPECT_DOUBLE_EQ(schedule.rows()[3][0], 20.0);
+}
+
+TEST(EvaluationScheduleTest, WrongWidthRowsCountedAndNaN) {
+  Simulator sim;
+  EvaluationSchedule schedule(sim, {"a", "b"});
+  schedule.ScheduleAt({1.0}, [] {
+    return std::vector<double>{1.0};  // too narrow
+  });
+  sim.RunAll();
+  ASSERT_EQ(schedule.rows().size(), 1u);
+  EXPECT_EQ(schedule.dropped_rows(), 1u);
+  EXPECT_TRUE(std::isnan(schedule.rows()[0][1]));
+}
+
+TEST(EvaluationScheduleTest, CsvExport) {
+  Simulator sim;
+  EvaluationSchedule schedule(sim, {"accuracy", "online"});
+  schedule.ScheduleAt({2.0}, [] {
+    return std::vector<double>{0.9, 31.0};
+  });
+  sim.RunAll();
+  std::string csv = schedule.ToCsv().ToString();
+  EXPECT_NE(csv.find("time,accuracy,online"), std::string::npos);
+  EXPECT_NE(csv.find("0.9"), std::string::npos);
+  EXPECT_NE(csv.find("31"), std::string::npos);
+}
+
+TEST(EvaluationScheduleTest, InterleavesWithOtherEvents) {
+  // The probe observes state mutated by other simulation events.
+  Simulator sim;
+  int counter = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.Schedule(static_cast<double>(i), [&counter] { ++counter; });
+  }
+  EvaluationSchedule schedule(sim, {"counter"});
+  schedule.ScheduleAt({5.5}, [&] {
+    return std::vector<double>{static_cast<double>(counter)};
+  });
+  sim.RunAll();
+  ASSERT_EQ(schedule.rows().size(), 1u);
+  EXPECT_DOUBLE_EQ(schedule.rows()[0][1], 5.0);  // events at t=1..5 ran
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,144 @@
+#include "ml/kmeans.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+std::vector<SparseVector> TwoClusters(std::size_t per_cluster, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<SparseVector> points;
+  for (std::size_t i = 0; i < per_cluster * 2; ++i) {
+    uint32_t base = (i < per_cluster) ? 0 : 10;
+    std::vector<SparseVector::Entry> f;
+    for (uint32_t j = 0; j < 3; ++j) {
+      f.emplace_back(base + j, 1.0 + 0.1 * rng.NextDouble());
+    }
+    points.push_back(SparseVector::FromPairs(std::move(f)));
+  }
+  return points;
+}
+
+TEST(KMeansTest, RejectsBadInputs) {
+  EXPECT_FALSE(KMeansCluster({}, {}).ok());
+  KMeansOptions opt;
+  opt.k = 0;
+  EXPECT_FALSE(
+      KMeansCluster({SparseVector::FromPairs({{0, 1.0}})}, opt).ok());
+}
+
+TEST(KMeansTest, KClampedToPointCount) {
+  KMeansOptions opt;
+  opt.k = 10;
+  std::vector<SparseVector> pts = {SparseVector::FromPairs({{0, 1.0}}),
+                                   SparseVector::FromPairs({{1, 1.0}})};
+  Result<KMeansResult> r = KMeansCluster(pts, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->centroids.size(), 2u);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedClusters) {
+  KMeansOptions opt;
+  opt.k = 2;
+  std::vector<SparseVector> pts = TwoClusters(20, 3);
+  Result<KMeansResult> r = KMeansCluster(pts, opt);
+  ASSERT_TRUE(r.ok());
+  // All points of each half share an assignment, and the halves differ.
+  std::set<std::size_t> first(r->assignment.begin(),
+                              r->assignment.begin() + 20);
+  std::set<std::size_t> second(r->assignment.begin() + 20,
+                               r->assignment.end());
+  EXPECT_EQ(first.size(), 1u);
+  EXPECT_EQ(second.size(), 1u);
+  EXPECT_NE(*first.begin(), *second.begin());
+}
+
+TEST(KMeansTest, CentroidsLiveInTheRightSubspace) {
+  KMeansOptions opt;
+  opt.k = 2;
+  std::vector<SparseVector> pts = TwoClusters(15, 5);
+  Result<KMeansResult> r = KMeansCluster(pts, opt);
+  ASSERT_TRUE(r.ok());
+  for (const SparseVector& c : r->centroids) {
+    // Each centroid concentrates either on features 0-2 or 10-12.
+    double low = 0, high = 0;
+    for (const auto& [id, w] : c.entries()) {
+      (id < 10 ? low : high) += w;
+    }
+    EXPECT_TRUE(low < 1e-9 || high < 1e-9)
+        << "mixed centroid: " << c.ToString();
+  }
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  std::vector<SparseVector> pts = TwoClusters(25, 7);
+  KMeansOptions k1;
+  k1.k = 1;
+  KMeansOptions k2;
+  k2.k = 2;
+  double i1 = KMeansCluster(pts, k1)->inertia;
+  double i2 = KMeansCluster(pts, k2)->inertia;
+  EXPECT_LT(i2, i1);
+  EXPECT_NEAR(i2, 0.0, 1.0);  // near-perfect split of tight clusters
+}
+
+TEST(KMeansTest, DeterministicInSeed) {
+  std::vector<SparseVector> pts = TwoClusters(10, 9);
+  KMeansOptions opt;
+  opt.k = 3;
+  opt.seed = 99;
+  Result<KMeansResult> a = KMeansCluster(pts, opt);
+  Result<KMeansResult> b = KMeansCluster(pts, opt);
+  ASSERT_TRUE(a.ok() && b.ok());
+  EXPECT_EQ(a->assignment, b->assignment);
+  EXPECT_EQ(a->centroids.size(), b->centroids.size());
+  for (std::size_t i = 0; i < a->centroids.size(); ++i) {
+    EXPECT_EQ(a->centroids[i], b->centroids[i]);
+  }
+}
+
+TEST(KMeansTest, SinglePoint) {
+  KMeansOptions opt;
+  opt.k = 1;
+  SparseVector p = SparseVector::FromPairs({{3, 2.0}});
+  Result<KMeansResult> r = KMeansCluster({p}, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->centroids.size(), 1u);
+  EXPECT_EQ(r->centroids[0], p);
+  EXPECT_NEAR(r->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, DuplicatePointsDontCrash) {
+  KMeansOptions opt;
+  opt.k = 3;
+  SparseVector p = SparseVector::FromPairs({{0, 1.0}});
+  std::vector<SparseVector> pts(10, p);
+  Result<KMeansResult> r = KMeansCluster(pts, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->inertia, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, HugeFeatureIdsAreRemapped) {
+  KMeansOptions opt;
+  opt.k = 2;
+  std::vector<SparseVector> pts = {
+      SparseVector::FromPairs({{2000000000u, 1.0}}),
+      SparseVector::FromPairs({{2000000000u, 1.1}}),
+      SparseVector::FromPairs({{100000000u, 1.0}}),
+      SparseVector::FromPairs({{100000000u, 0.9}})};
+  Result<KMeansResult> r = KMeansCluster(pts, opt);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->assignment[0], r->assignment[1]);
+  EXPECT_EQ(r->assignment[2], r->assignment[3]);
+  EXPECT_NE(r->assignment[0], r->assignment[2]);
+  // Centroids come back in the global id space.
+  for (const auto& c : r->centroids) {
+    EXPECT_GE(c.entries().front().first, 100000000u);
+  }
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,76 @@
+#include "text/lexicon.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+TEST(LexiconTest, GrowingAssignsDenseIds) {
+  Lexicon lex;
+  EXPECT_EQ(lex.GetOrAddId("alpha"), 0u);
+  EXPECT_EQ(lex.GetOrAddId("beta"), 1u);
+  EXPECT_EQ(lex.GetOrAddId("alpha"), 0u);  // stable
+  EXPECT_EQ(lex.size(), 2u);
+  EXPECT_EQ(lex.dimension_bound(), 2u);
+}
+
+TEST(LexiconTest, GrowingReverseLookup) {
+  Lexicon lex;
+  lex.GetOrAddId("alpha");
+  Result<std::string> w = lex.GetWord(0);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value(), "alpha");
+  EXPECT_EQ(lex.GetWord(5).status().code(), StatusCode::kNotFound);
+}
+
+TEST(LexiconTest, GrowingGetIdMissingIsNotFound) {
+  Lexicon lex;
+  EXPECT_EQ(lex.GetId("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(LexiconTest, HashedIdsAreStableWithoutInsertion) {
+  Lexicon lex = Lexicon::Hashed(1 << 12);
+  Result<uint32_t> id1 = lex.GetId("word");
+  ASSERT_TRUE(id1.ok());
+  EXPECT_LT(id1.value(), 1u << 12);
+  EXPECT_EQ(lex.GetOrAddId("word"), id1.value());
+}
+
+TEST(LexiconTest, HashedIdsAgreeAcrossIndependentLexicons) {
+  // The coordination-free property peers rely on: same word, same id,
+  // no shared state.
+  Lexicon a = Lexicon::Hashed(1 << 16);
+  Lexicon b = Lexicon::Hashed(1 << 16);
+  for (const char* w : {"apple", "banana", "cherry", "p2p", "tagging"}) {
+    EXPECT_EQ(a.GetOrAddId(w), b.GetId(w).value()) << w;
+  }
+}
+
+TEST(LexiconTest, HashedReverseOnlyForObservedWords) {
+  Lexicon lex = Lexicon::Hashed(1 << 12);
+  uint32_t id = lex.GetOrAddId("seen");
+  Result<std::string> w = lex.GetWord(id);
+  ASSERT_TRUE(w.ok());
+  EXPECT_EQ(w.value(), "seen");
+  // An id derived from a word never observed is not reversible (privacy).
+  uint32_t unseen = lex.GetId("never-added").value();
+  if (unseen != id) {  // avoid the rare collision
+    EXPECT_FALSE(lex.GetWord(unseen).ok());
+  }
+}
+
+TEST(LexiconTest, HashWordIsFnv1a) {
+  // Pin the hash so serialized models stay compatible.
+  EXPECT_EQ(Lexicon::HashWord(""), 2166136261u);
+  EXPECT_EQ(Lexicon::HashWord("a"), Lexicon::HashWord("a"));
+  EXPECT_NE(Lexicon::HashWord("a"), Lexicon::HashWord("b"));
+}
+
+TEST(LexiconTest, HashedDimensionBound) {
+  Lexicon lex = Lexicon::Hashed(4096);
+  EXPECT_TRUE(lex.hashed());
+  EXPECT_EQ(lex.dimension_bound(), 4096u);
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,51 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_level_ = Logger::Instance().level(); }
+  void TearDown() override { Logger::Instance().set_level(saved_level_); }
+  LogLevel saved_level_;
+};
+
+TEST_F(LoggingTest, CaptureCollectsMessages) {
+  Logger::Instance().set_level(LogLevel::kInfo);
+  Logger::Instance().BeginCapture();
+  P2PDT_LOG(Info) << "hello " << 42;
+  std::string captured = Logger::Instance().EndCapture();
+  EXPECT_NE(captured.find("hello 42"), std::string::npos);
+  EXPECT_NE(captured.find("[I "), std::string::npos);
+}
+
+TEST_F(LoggingTest, BelowThresholdIsSuppressed) {
+  Logger::Instance().set_level(LogLevel::kError);
+  Logger::Instance().BeginCapture();
+  P2PDT_LOG(Warning) << "should not appear";
+  P2PDT_LOG(Error) << "should appear";
+  std::string captured = Logger::Instance().EndCapture();
+  EXPECT_EQ(captured.find("should not appear"), std::string::npos);
+  EXPECT_NE(captured.find("should appear"), std::string::npos);
+}
+
+TEST_F(LoggingTest, OffSilencesEverything) {
+  Logger::Instance().set_level(LogLevel::kOff);
+  Logger::Instance().BeginCapture();
+  P2PDT_LOG(Error) << "nope";
+  EXPECT_TRUE(Logger::Instance().EndCapture().empty());
+}
+
+TEST_F(LoggingTest, MessageIncludesBasenameOnly) {
+  Logger::Instance().set_level(LogLevel::kDebug);
+  Logger::Instance().BeginCapture();
+  P2PDT_LOG(Debug) << "x";
+  std::string captured = Logger::Instance().EndCapture();
+  EXPECT_NE(captured.find("logging_test.cc"), std::string::npos);
+  EXPECT_EQ(captured.find("/"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,134 @@
+#include "ml/lsh.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace p2pdt {
+namespace {
+
+SparseVector RandomUnit(Rng& rng, uint32_t dim, std::size_t nnz) {
+  std::vector<SparseVector::Entry> f;
+  for (std::size_t i = 0; i < nnz; ++i) {
+    f.emplace_back(static_cast<uint32_t>(rng.NextU64(dim)),
+                   rng.Normal());
+  }
+  SparseVector v = SparseVector::FromPairs(std::move(f));
+  v.L2Normalize();
+  return v;
+}
+
+SparseVector Perturb(const SparseVector& v, Rng& rng, double eps) {
+  SparseVector out = v;
+  SparseVector noise = RandomUnit(rng, 1000, 5);
+  out.Add(noise, eps);
+  out.L2Normalize();
+  return out;
+}
+
+TEST(LshTest, SignatureDeterministicAndSeedDependent) {
+  SparseVector v = SparseVector::FromPairs({{1, 1.0}, {5, -2.0}});
+  LshOptions a;
+  a.seed = 1;
+  LshOptions b;
+  b.seed = 2;
+  CosineLsh la(a), la2(a), lb(b);
+  EXPECT_EQ(la.Signature(0, v), la2.Signature(0, v));
+  // Different seeds give (almost surely) different hash functions.
+  bool any_diff = false;
+  for (std::size_t t = 0; t < a.num_tables; ++t) {
+    any_diff |= la.Signature(t, v) != lb.Signature(t, v);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(LshTest, IdenticalVectorsAlwaysCollide) {
+  CosineLsh lsh;
+  SparseVector v = SparseVector::FromPairs({{0, 1.0}, {9, 0.5}});
+  lsh.Insert(7, v);
+  std::vector<std::size_t> hits = lsh.Query(v);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+}
+
+TEST(LshTest, ScaledVectorHasSameSignature) {
+  // Cosine LSH ignores magnitude.
+  CosineLsh lsh;
+  SparseVector v = SparseVector::FromPairs({{2, 1.0}, {4, -1.0}});
+  SparseVector w = v;
+  w.Scale(5.0);
+  for (std::size_t t = 0; t < lsh.options().num_tables; ++t) {
+    EXPECT_EQ(lsh.Signature(t, v), lsh.Signature(t, w));
+  }
+}
+
+TEST(LshTest, NearNeighborsCollideMoreThanRandom) {
+  Rng rng(42);
+  LshOptions opt;
+  opt.num_tables = 6;
+  opt.num_bits = 10;
+  CosineLsh lsh(opt);
+
+  SparseVector query = RandomUnit(rng, 1000, 30);
+  // Insert 50 near copies and 500 random vectors.
+  for (std::size_t i = 0; i < 50; ++i) {
+    lsh.Insert(i, Perturb(query, rng, 0.15));
+  }
+  for (std::size_t i = 50; i < 550; ++i) {
+    lsh.Insert(i, RandomUnit(rng, 1000, 30));
+  }
+  std::vector<std::size_t> hits = lsh.Query(query);
+  std::size_t near_hits = 0, far_hits = 0;
+  for (std::size_t id : hits) {
+    (id < 50 ? near_hits : far_hits) += 1;
+  }
+  double near_rate = near_hits / 50.0;
+  double far_rate = far_hits / 500.0;
+  EXPECT_GT(near_rate, 0.5);
+  EXPECT_LT(far_rate, near_rate / 3.0);
+}
+
+TEST(LshTest, QueryAtLeastWidensViaMultiProbe) {
+  Rng rng(5);
+  LshOptions opt;
+  opt.num_tables = 2;
+  opt.num_bits = 16;  // narrow buckets: plain query finds little
+  CosineLsh lsh(opt);
+  for (std::size_t i = 0; i < 100; ++i) {
+    lsh.Insert(i, RandomUnit(rng, 200, 10));
+  }
+  SparseVector q = RandomUnit(rng, 200, 10);
+  std::vector<std::size_t> plain = lsh.Query(q);
+  std::vector<std::size_t> widened = lsh.QueryAtLeast(q, 10);
+  EXPECT_GE(widened.size(), plain.size());
+}
+
+TEST(LshTest, EmptyIndexReturnsNothing) {
+  CosineLsh lsh;
+  EXPECT_TRUE(lsh.Query(SparseVector::FromPairs({{0, 1.0}})).empty());
+  EXPECT_TRUE(
+      lsh.QueryAtLeast(SparseVector::FromPairs({{0, 1.0}}), 5).empty());
+}
+
+TEST(LshTest, SizeCountsInsertions) {
+  CosineLsh lsh;
+  EXPECT_EQ(lsh.size(), 0u);
+  lsh.Insert(0, SparseVector::FromPairs({{0, 1.0}}));
+  lsh.Insert(1, SparseVector::FromPairs({{1, 1.0}}));
+  EXPECT_EQ(lsh.size(), 2u);
+}
+
+TEST(LshTest, TwoIndexesWithSameSeedAgree) {
+  // The coordination-free property PACE peers rely on.
+  Rng rng(9);
+  CosineLsh a, b;
+  SparseVector v = RandomUnit(rng, 500, 20);
+  for (std::size_t t = 0; t < a.options().num_tables; ++t) {
+    EXPECT_EQ(a.Signature(t, v), b.Signature(t, v));
+  }
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,98 @@
+#include "core/metadata_store.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+class MetadataStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/p2pdt_meta_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string dir_;
+};
+
+Document Doc(DocId id) {
+  Document d;
+  d.id = id;
+  d.tags.push_back({"research", TagSource::kManual, 1.0});
+  d.tags.push_back({"p2p", TagSource::kAuto, 0.8125});
+  d.tags.push_back({"vldb", TagSource::kSuggested, 0.5});
+  return d;
+}
+
+TEST_F(MetadataStoreTest, SaveLoadRoundTrip) {
+  MetadataStore store(dir_);
+  ASSERT_TRUE(store.Save(Doc(7)).ok());
+  Result<std::vector<TagAssignment>> loaded = store.Load(7);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 3u);
+  EXPECT_EQ((*loaded)[0].tag, "research");
+  EXPECT_EQ((*loaded)[0].source, TagSource::kManual);
+  EXPECT_DOUBLE_EQ((*loaded)[0].confidence, 1.0);
+  EXPECT_EQ((*loaded)[1].source, TagSource::kAuto);
+  EXPECT_DOUBLE_EQ((*loaded)[1].confidence, 0.8125);
+  EXPECT_EQ((*loaded)[2].source, TagSource::kSuggested);
+}
+
+TEST_F(MetadataStoreTest, LoadMissingIsNotFound) {
+  MetadataStore store(dir_);
+  EXPECT_EQ(store.Load(42).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(MetadataStoreTest, SaveReplacesExisting) {
+  MetadataStore store(dir_);
+  ASSERT_TRUE(store.Save(Doc(1)).ok());
+  Document updated;
+  updated.id = 1;
+  updated.tags.push_back({"only", TagSource::kManual, 1.0});
+  ASSERT_TRUE(store.Save(updated).ok());
+  Result<std::vector<TagAssignment>> loaded = store.Load(1);
+  ASSERT_TRUE(loaded.ok());
+  ASSERT_EQ(loaded->size(), 1u);
+  EXPECT_EQ((*loaded)[0].tag, "only");
+}
+
+TEST_F(MetadataStoreTest, EraseRemovesSidecar) {
+  MetadataStore store(dir_);
+  ASSERT_TRUE(store.Save(Doc(2)).ok());
+  ASSERT_TRUE(store.Erase(2).ok());
+  EXPECT_FALSE(store.Load(2).ok());
+  EXPECT_TRUE(store.Erase(2).ok());  // idempotent
+}
+
+TEST_F(MetadataStoreTest, ListDocumentsSorted) {
+  MetadataStore store(dir_);
+  ASSERT_TRUE(store.Save(Doc(5)).ok());
+  ASSERT_TRUE(store.Save(Doc(1)).ok());
+  ASSERT_TRUE(store.Save(Doc(9)).ok());
+  Result<std::vector<DocId>> docs = store.ListDocuments();
+  ASSERT_TRUE(docs.ok());
+  EXPECT_EQ(docs.value(), (std::vector<DocId>{1, 5, 9}));
+}
+
+TEST_F(MetadataStoreTest, ListOnMissingDirectoryIsEmpty) {
+  MetadataStore store(dir_ + "/never_created");
+  Result<std::vector<DocId>> docs = store.ListDocuments();
+  ASSERT_TRUE(docs.ok());
+  EXPECT_TRUE(docs->empty());
+}
+
+TEST_F(MetadataStoreTest, EmptyTagListProducesEmptySidecar) {
+  MetadataStore store(dir_);
+  Document d;
+  d.id = 3;
+  ASSERT_TRUE(store.Save(d).ok());
+  Result<std::vector<TagAssignment>> loaded = store.Load(3);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded->empty());
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,101 @@
+#include "ml/metrics.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+TEST(MetricsTest, PerfectPrediction) {
+  std::vector<std::vector<TagId>> truth = {{0, 1}, {2}};
+  MultiLabelMetrics m = EvaluateMultiLabel(truth, truth, 3);
+  EXPECT_DOUBLE_EQ(m.micro_f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.macro_f1, 1.0);
+  EXPECT_DOUBLE_EQ(m.subset_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.jaccard_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.hamming_loss, 0.0);
+}
+
+TEST(MetricsTest, CompletelyWrong) {
+  std::vector<std::vector<TagId>> truth = {{0}};
+  std::vector<std::vector<TagId>> pred = {{1}};
+  MultiLabelMetrics m = EvaluateMultiLabel(truth, pred, 2);
+  EXPECT_DOUBLE_EQ(m.micro_f1, 0.0);
+  EXPECT_DOUBLE_EQ(m.subset_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.jaccard_accuracy, 0.0);
+  EXPECT_DOUBLE_EQ(m.hamming_loss, 1.0);  // both decisions wrong over 2 tags
+}
+
+TEST(MetricsTest, HandComputedMixedCase) {
+  // Doc 0: truth {0,1}, predicted {1,2} → tp(1)=1, fp(2)=1, fn(0)=1.
+  // Doc 1: truth {2},   predicted {2}   → tp(2)=1.
+  std::vector<std::vector<TagId>> truth = {{0, 1}, {2}};
+  std::vector<std::vector<TagId>> pred = {{1, 2}, {2}};
+  MultiLabelMetrics m = EvaluateMultiLabel(truth, pred, 3);
+
+  // micro: tp=2, fp=1, fn=1 → P=2/3, R=2/3, F1=2/3.
+  EXPECT_NEAR(m.micro_precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.micro_recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.micro_f1, 2.0 / 3.0, 1e-12);
+
+  // per-tag: tag0 P=0,R=0,F1=0; tag1 P=1,R=1; tag2 P=1/2·... tp=1 fp=1 → P=.5, R=1, F1=2/3.
+  EXPECT_DOUBLE_EQ(m.per_tag[0].f1, 0.0);
+  EXPECT_DOUBLE_EQ(m.per_tag[1].f1, 1.0);
+  EXPECT_NEAR(m.per_tag[2].f1, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(m.macro_f1, (0.0 + 1.0 + 2.0 / 3.0) / 3.0, 1e-12);
+
+  // subset: doc1 exact only → 0.5.
+  EXPECT_DOUBLE_EQ(m.subset_accuracy, 0.5);
+  // jaccard: doc0 |∩|/|∪| = 1/3, doc1 = 1 → mean 2/3.
+  EXPECT_NEAR(m.jaccard_accuracy, 2.0 / 3.0, 1e-12);
+  // hamming: 2 wrong decisions / (2 docs × 3 tags).
+  EXPECT_NEAR(m.hamming_loss, 2.0 / 6.0, 1e-12);
+}
+
+TEST(MetricsTest, EmptyPredictionsPenalizeRecallOnly) {
+  std::vector<std::vector<TagId>> truth = {{0, 1}};
+  std::vector<std::vector<TagId>> pred = {{}};
+  MultiLabelMetrics m = EvaluateMultiLabel(truth, pred, 2);
+  EXPECT_DOUBLE_EQ(m.micro_precision, 0.0);
+  EXPECT_DOUBLE_EQ(m.micro_recall, 0.0);
+  EXPECT_DOUBLE_EQ(m.micro_f1, 0.0);
+}
+
+TEST(MetricsTest, MacroIgnoresAbsentTags) {
+  // Tag 1 never occurs in truth; macro-F1 averages only occurring tags.
+  std::vector<std::vector<TagId>> truth = {{0}};
+  std::vector<std::vector<TagId>> pred = {{0}};
+  MultiLabelMetrics m = EvaluateMultiLabel(truth, pred, 5);
+  EXPECT_DOUBLE_EQ(m.macro_f1, 1.0);
+  EXPECT_EQ(m.per_tag[1].support, 0u);
+}
+
+TEST(MetricsTest, EmptyInput) {
+  MultiLabelMetrics m = EvaluateMultiLabel({}, {}, 3);
+  EXPECT_EQ(m.num_examples, 0u);
+  EXPECT_DOUBLE_EQ(m.micro_f1, 0.0);
+}
+
+TEST(MetricsTest, BothEmptySetsCountAsJaccardOne) {
+  std::vector<std::vector<TagId>> truth = {{}};
+  std::vector<std::vector<TagId>> pred = {{}};
+  MultiLabelMetrics m = EvaluateMultiLabel(truth, pred, 2);
+  EXPECT_DOUBLE_EQ(m.jaccard_accuracy, 1.0);
+  EXPECT_DOUBLE_EQ(m.subset_accuracy, 1.0);
+}
+
+TEST(MetricsTest, ToStringMentionsHeadlineNumbers) {
+  std::vector<std::vector<TagId>> truth = {{0}};
+  MultiLabelMetrics m = EvaluateMultiLabel(truth, truth, 1);
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("microF1"), std::string::npos);
+  EXPECT_NE(s.find("1.0000"), std::string::npos);
+}
+
+TEST(BinaryAccuracyTest, Basics) {
+  EXPECT_DOUBLE_EQ(BinaryAccuracy({1, -1, 1, -1}, {1, -1, -1, -1}), 0.75);
+  EXPECT_DOUBLE_EQ(BinaryAccuracy({}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(BinaryAccuracy({1}, {0.5}), 1.0);  // sign comparison
+}
+
+}  // namespace
+}  // namespace p2pdt

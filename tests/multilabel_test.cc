@@ -1,0 +1,160 @@
+#include "ml/multilabel.h"
+
+#include <gtest/gtest.h>
+
+#include "ml/linear_svm.h"
+
+namespace p2pdt {
+namespace {
+
+BinaryTrainer LinearTrainer() {
+  return [](const std::vector<Example>& ex)
+             -> Result<std::unique_ptr<BinaryClassifier>> {
+    Result<LinearSvmModel> m = TrainLinearSvm(ex);
+    if (!m.ok()) return m.status();
+    return std::unique_ptr<BinaryClassifier>(
+        std::make_unique<LinearSvmModel>(std::move(m).value()));
+  };
+}
+
+MultiLabelDataset ThreeTagData() {
+  MultiLabelDataset d(3);
+  auto add = [&](uint32_t feature, std::vector<TagId> tags) {
+    MultiLabelExample ex;
+    ex.x = SparseVector::FromPairs({{feature, 1.0}});
+    ex.tags = std::move(tags);
+    d.Add(std::move(ex));
+  };
+  // Feature 0 → tag 0; feature 1 → tag 1; feature 2 → tags {0, 2}.
+  for (int i = 0; i < 4; ++i) {
+    add(0, {0});
+    add(1, {1});
+    add(2, {0, 2});
+  }
+  return d;
+}
+
+TEST(DecideTagsTest, ThresholdSelection) {
+  TagDecisionPolicy policy;
+  policy.threshold = 0.0;
+  policy.assign_best_when_empty = false;
+  EXPECT_EQ(DecideTags({-1.0, 0.5, 0.2}, policy),
+            (std::vector<TagId>{1, 2}));
+}
+
+TEST(DecideTagsTest, FallbackToBestWhenEmpty) {
+  TagDecisionPolicy policy;
+  policy.threshold = 0.0;
+  policy.assign_best_when_empty = true;
+  EXPECT_EQ(DecideTags({-3.0, -0.5, -2.0}, policy),
+            (std::vector<TagId>{1}));
+}
+
+TEST(DecideTagsTest, NoFallbackLeavesEmpty) {
+  TagDecisionPolicy policy;
+  policy.assign_best_when_empty = false;
+  EXPECT_TRUE(DecideTags({-3.0, -0.5}, policy).empty());
+}
+
+TEST(DecideTagsTest, MaxTagsKeepsHighestScores) {
+  TagDecisionPolicy policy;
+  policy.threshold = 0.0;
+  policy.max_tags = 2;
+  std::vector<TagId> tags = DecideTags({0.9, 0.1, 0.5, 0.7}, policy);
+  EXPECT_EQ(tags, (std::vector<TagId>{0, 3}));
+}
+
+TEST(DecideTagsTest, EmptyScores) {
+  EXPECT_TRUE(DecideTags({}, {}).empty());
+}
+
+TEST(OneVsAllTest, TrainsPerTagAndPredicts) {
+  Result<OneVsAllModel> model = TrainOneVsAll(ThreeTagData(), LinearTrainer());
+  ASSERT_TRUE(model.ok());
+  EXPECT_EQ(model->num_tags(), 3u);
+
+  TagDecisionPolicy policy;
+  EXPECT_EQ(model->PredictTags(SparseVector::FromPairs({{0, 1.0}}), policy),
+            (std::vector<TagId>{0}));
+  EXPECT_EQ(model->PredictTags(SparseVector::FromPairs({{1, 1.0}}), policy),
+            (std::vector<TagId>{1}));
+  EXPECT_EQ(model->PredictTags(SparseVector::FromPairs({{2, 1.0}}), policy),
+            (std::vector<TagId>{0, 2}));
+}
+
+TEST(OneVsAllTest, EmptyDataRejected) {
+  EXPECT_FALSE(TrainOneVsAll(MultiLabelDataset(2), LinearTrainer()).ok());
+}
+
+TEST(OneVsAllTest, TagWithoutPositivesGetsConstantNegative) {
+  MultiLabelDataset d(2);
+  MultiLabelExample ex;
+  ex.x = SparseVector::FromPairs({{0, 1.0}});
+  ex.tags = {0};
+  d.Add(ex);
+  d.Add(ex);
+  Result<OneVsAllModel> model = TrainOneVsAll(d, LinearTrainer());
+  ASSERT_TRUE(model.ok());
+  EXPECT_LT(model->model(1)->Decision(ex.x), 0.0);
+}
+
+TEST(OneVsAllTest, TagOnEveryExampleGetsConstantPositive) {
+  MultiLabelDataset d(1);
+  MultiLabelExample ex;
+  ex.x = SparseVector::FromPairs({{0, 1.0}});
+  ex.tags = {0};
+  d.Add(ex);
+  d.Add(ex);
+  Result<OneVsAllModel> model = TrainOneVsAll(d, LinearTrainer());
+  ASSERT_TRUE(model.ok());
+  EXPECT_GT(model->model(0)->Decision(SparseVector()), 0.0);
+}
+
+TEST(OneVsAllTest, ScoresMatchPerModelDecisions) {
+  Result<OneVsAllModel> model = TrainOneVsAll(ThreeTagData(), LinearTrainer());
+  ASSERT_TRUE(model.ok());
+  SparseVector x = SparseVector::FromPairs({{2, 1.0}});
+  std::vector<double> scores = model->Scores(x);
+  for (TagId t = 0; t < 3; ++t) {
+    EXPECT_DOUBLE_EQ(scores[t], model->model(t)->Decision(x));
+  }
+}
+
+TEST(OneVsAllTest, CopySemanticsDeep) {
+  Result<OneVsAllModel> model = TrainOneVsAll(ThreeTagData(), LinearTrainer());
+  ASSERT_TRUE(model.ok());
+  OneVsAllModel copy = model.value();  // deep copy via Clone
+  SparseVector x = SparseVector::FromPairs({{0, 1.0}});
+  EXPECT_EQ(copy.Scores(x), model->Scores(x));
+}
+
+TEST(OneVsAllTest, SetModelReplacesAndResizes) {
+  OneVsAllModel model;
+  model.SetModel(4, nullptr);
+  EXPECT_EQ(model.num_tags(), 5u);
+  EXPECT_EQ(model.model(4), nullptr);
+  EXPECT_EQ(model.model(10), nullptr);  // out of range is safe
+}
+
+TEST(OneVsAllTest, WireSizeSumsModels) {
+  Result<OneVsAllModel> model = TrainOneVsAll(ThreeTagData(), LinearTrainer());
+  ASSERT_TRUE(model.ok());
+  std::size_t sum = 0;
+  for (TagId t = 0; t < model->num_tags(); ++t) {
+    sum += model->model(t)->WireSize();
+  }
+  EXPECT_EQ(model->WireSize(), sum);
+}
+
+TEST(OneVsAllTest, TrainerFailurePropagates) {
+  BinaryTrainer failing =
+      [](const std::vector<Example>&)
+      -> Result<std::unique_ptr<BinaryClassifier>> {
+    return Status::Internal("boom");
+  };
+  EXPECT_EQ(TrainOneVsAll(ThreeTagData(), failing).status().code(),
+            StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace p2pdt

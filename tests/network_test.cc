@@ -1,0 +1,174 @@
+#include "p2psim/network.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+TEST(NetworkTest, AddNodesStartOnline) {
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(5);
+  EXPECT_EQ(net.num_nodes(), 5u);
+  EXPECT_EQ(net.num_online(), 5u);
+  for (NodeId n = 0; n < 5; ++n) EXPECT_TRUE(net.IsOnline(n));
+}
+
+TEST(NetworkTest, OnlineToggleTracksCount) {
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(3);
+  net.SetOnline(1, false);
+  EXPECT_EQ(net.num_online(), 2u);
+  net.SetOnline(1, false);  // idempotent
+  EXPECT_EQ(net.num_online(), 2u);
+  net.SetOnline(1, true);
+  EXPECT_EQ(net.num_online(), 3u);
+}
+
+TEST(NetworkTest, LatencyWithinConfiguredBounds) {
+  Simulator sim;
+  PhysicalNetworkOptions opt;
+  opt.min_latency = 0.02;
+  opt.max_latency = 0.2;
+  PhysicalNetwork net(sim, opt);
+  net.AddNodes(20);
+  for (NodeId a = 0; a < 20; ++a) {
+    for (NodeId b = 0; b < 20; ++b) {
+      double lat = net.Latency(a, b);
+      if (a == b) {
+        EXPECT_DOUBLE_EQ(lat, 0.0);
+      } else {
+        EXPECT_GE(lat, 0.02);
+        EXPECT_LE(lat, 0.2);
+        EXPECT_DOUBLE_EQ(lat, net.Latency(b, a));  // symmetric
+      }
+    }
+  }
+}
+
+TEST(NetworkTest, DeliveryAfterLatencyPlusTransmission) {
+  Simulator sim;
+  PhysicalNetworkOptions opt;
+  opt.min_latency = 0.05;
+  opt.max_latency = 0.05;  // constant latency
+  opt.bandwidth_bytes_per_sec = 1000.0;
+  PhysicalNetwork net(sim, opt);
+  net.AddNodes(2);
+  double delivered_at = -1;
+  net.Send(0, 1, 500, MessageType::kDataTransfer,
+           [&] { delivered_at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_NEAR(delivered_at, 0.05 + 0.5, 1e-9);
+  EXPECT_EQ(net.stats().messages_delivered(), 1u);
+  EXPECT_EQ(net.stats().bytes_sent(), 500u);
+}
+
+TEST(NetworkTest, SenderOfflineDropsImmediately) {
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(2);
+  net.SetOnline(0, false);
+  bool delivered = false, dropped = false;
+  net.Send(0, 1, 10, MessageType::kLookup, [&] { delivered = true; },
+           [&] { dropped = true; });
+  sim.RunAll();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(dropped);
+  EXPECT_EQ(net.stats().messages_dropped(), 1u);
+}
+
+TEST(NetworkTest, ReceiverOfflineAtArrivalDrops) {
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(2);
+  bool delivered = false, dropped = false;
+  net.Send(0, 1, 10, MessageType::kLookup, [&] { delivered = true; },
+           [&] { dropped = true; });
+  // The receiver fails while the message is in flight.
+  sim.Schedule(0.001, [&] { net.SetOnline(1, false); });
+  sim.RunAll();
+  EXPECT_FALSE(delivered);
+  EXPECT_TRUE(dropped);
+}
+
+TEST(NetworkTest, ReceiverBackOnlineBeforeArrivalDelivers) {
+  Simulator sim;
+  PhysicalNetworkOptions opt;
+  opt.min_latency = opt.max_latency = 0.1;
+  PhysicalNetwork net(sim, opt);
+  net.AddNodes(2);
+  net.SetOnline(1, false);
+  bool delivered = false;
+  net.Send(0, 1, 10, MessageType::kLookup, [&] { delivered = true; });
+  sim.Schedule(0.01, [&] { net.SetOnline(1, true); });
+  sim.RunAll();
+  EXPECT_TRUE(delivered);
+}
+
+TEST(NetworkTest, LossRateDropsApproximately) {
+  Simulator sim;
+  PhysicalNetworkOptions opt;
+  opt.loss_rate = 0.25;
+  PhysicalNetwork net(sim, opt);
+  net.AddNodes(2);
+  int delivered = 0;
+  const int n = 4000;
+  for (int i = 0; i < n; ++i) {
+    net.Send(0, 1, 8, MessageType::kGossip, [&] { ++delivered; });
+  }
+  sim.RunAll();
+  EXPECT_NEAR(delivered / static_cast<double>(n), 0.75, 0.03);
+  EXPECT_EQ(net.stats().messages_sent(), static_cast<uint64_t>(n));
+}
+
+TEST(NetworkTest, StatsBreakdownByType) {
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(2);
+  net.Send(0, 1, 100, MessageType::kModelUpload, nullptr);
+  net.Send(0, 1, 50, MessageType::kModelUpload, nullptr);
+  net.Send(1, 0, 10, MessageType::kLookup, nullptr);
+  sim.RunAll();
+  EXPECT_EQ(net.stats().messages_sent(MessageType::kModelUpload), 2u);
+  EXPECT_EQ(net.stats().bytes_sent(MessageType::kModelUpload), 150u);
+  EXPECT_EQ(net.stats().messages_sent(MessageType::kLookup), 1u);
+  EXPECT_EQ(net.stats().messages_sent(), 3u);
+}
+
+TEST(NetworkTest, StatsResetClears) {
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(2);
+  net.Send(0, 1, 100, MessageType::kGossip, nullptr);
+  sim.RunAll();
+  net.stats().Reset();
+  EXPECT_EQ(net.stats().messages_sent(), 0u);
+  EXPECT_EQ(net.stats().bytes_sent(), 0u);
+}
+
+TEST(NetworkTest, StatsToStringListsActiveTypes) {
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(2);
+  net.Send(0, 1, 100, MessageType::kModelBroadcast, nullptr);
+  sim.RunAll();
+  std::string s = net.stats().ToString();
+  EXPECT_NE(s.find("model_broadcast"), std::string::npos);
+  EXPECT_EQ(s.find("lookup"), std::string::npos);
+}
+
+TEST(NetworkTest, SelfSendDeliversWithZeroLatency) {
+  Simulator sim;
+  PhysicalNetworkOptions opt;
+  opt.bandwidth_bytes_per_sec = 1e12;
+  PhysicalNetwork net(sim, opt);
+  net.AddNodes(1);
+  double at = -1;
+  net.Send(0, 0, 8, MessageType::kLookup, [&] { at = sim.Now(); });
+  sim.RunAll();
+  EXPECT_NEAR(at, 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,106 @@
+#include "ml/online.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+SparseVector X(std::vector<SparseVector::Entry> f) {
+  return SparseVector::FromPairs(std::move(f));
+}
+
+TEST(PassiveAggressiveTest, NoUpdateWhenMarginSatisfied) {
+  LinearSvmModel model(X({{0, 5.0}}), 0.0);
+  SparseVector x = X({{0, 1.0}});
+  double before = model.Decision(x);
+  double loss = PassiveAggressiveUpdate(model, x, 1.0);
+  EXPECT_DOUBLE_EQ(loss, 0.0);
+  EXPECT_DOUBLE_EQ(model.Decision(x), before);
+}
+
+TEST(PassiveAggressiveTest, UpdateMovesTowardLabel) {
+  LinearSvmModel model;  // zero model
+  SparseVector x = X({{0, 1.0}});
+  double loss = PassiveAggressiveUpdate(model, x, 1.0);
+  EXPECT_DOUBLE_EQ(loss, 1.0);  // hinge at zero decision
+  EXPECT_GT(model.Decision(x), 0.0);
+}
+
+TEST(PassiveAggressiveTest, NegativeLabelMovesDown) {
+  LinearSvmModel model;
+  SparseVector x = X({{3, 2.0}});
+  PassiveAggressiveUpdate(model, x, -1.0);
+  EXPECT_LT(model.Decision(x), 0.0);
+}
+
+TEST(PassiveAggressiveTest, RepeatedUpdatesConverge) {
+  LinearSvmModel model;
+  SparseVector x = X({{0, 1.0}});
+  for (int i = 0; i < 20; ++i) {
+    PassiveAggressiveUpdate(model, x, 1.0);
+  }
+  // PA converges toward margin 1 on a single example.
+  EXPECT_GT(model.Decision(x), 0.8);
+  EXPECT_DOUBLE_EQ(PassiveAggressiveUpdate(model, x, 1.0),
+                   std::max(0.0, 1.0 - model.Decision(x)));
+}
+
+TEST(PassiveAggressiveTest, LargerCMovesFaster) {
+  LinearSvmModel slow, fast;
+  SparseVector x = X({{0, 1.0}});
+  OnlineUpdateOptions small;
+  small.c = 0.1;
+  OnlineUpdateOptions big;
+  big.c = 10.0;
+  PassiveAggressiveUpdate(slow, x, 1.0, small);
+  PassiveAggressiveUpdate(fast, x, 1.0, big);
+  EXPECT_GT(fast.Decision(x), slow.Decision(x));
+}
+
+OneVsAllModel TwoTagModel() {
+  OneVsAllModel model;
+  model.SetModel(0, std::make_unique<LinearSvmModel>(X({{0, 1.0}}), 0.0));
+  model.SetModel(1, std::make_unique<LinearSvmModel>(X({{1, 1.0}}), 0.0));
+  return model;
+}
+
+TEST(RefineTagsTest, PositiveAndNegativeCorrections) {
+  OneVsAllModel model = TwoTagModel();
+  SparseVector x = X({{0, 1.0}, {1, 1.0}});
+  // The system predicted {0, 1}; the user corrected to {1}: tag 0 gets a
+  // negative update, tag 1 a positive one.
+  std::size_t updated = RefineTags(model, x, /*predicted=*/{0, 1},
+                                   /*corrected=*/{1});
+  EXPECT_EQ(updated, 2u);
+  EXPECT_LT(model.model(0)->Decision(x), 1.0);
+  EXPECT_GE(model.model(1)->Decision(x), 1.0);
+}
+
+TEST(RefineTagsTest, RepeatedRefinementFlipsPrediction) {
+  OneVsAllModel model = TwoTagModel();
+  SparseVector x = X({{0, 1.0}});
+  ASSERT_GT(model.model(0)->Decision(x), 0.0);
+  // The user insists tag 0 does NOT belong on this document.
+  for (int i = 0; i < 10; ++i) {
+    RefineTags(model, x, {0}, {});
+  }
+  EXPECT_LT(model.model(0)->Decision(x), 0.0);
+}
+
+TEST(RefineTagsTest, UnknownTagsIgnoredGracefully) {
+  OneVsAllModel model = TwoTagModel();
+  SparseVector x = X({{0, 1.0}});
+  // Corrected tag 9 has no model yet; predicted tag 7 neither.
+  std::size_t updated = RefineTags(model, x, {7}, {9});
+  EXPECT_EQ(updated, 0u);
+}
+
+TEST(RefineTagsTest, NonLinearModelsLeftAlone) {
+  OneVsAllModel model;
+  // No model at all for tag 0 (nullptr).
+  model.SetModel(0, nullptr);
+  EXPECT_EQ(RefineTags(model, X({{0, 1.0}}), {0}, {0}), 0u);
+}
+
+}  // namespace
+}  // namespace p2pdt

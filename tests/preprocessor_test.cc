@@ -1,0 +1,70 @@
+#include "text/preprocessor.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+TEST(PreprocessorTest, AnalyzeRunsFullTokenPipeline) {
+  Preprocessor p;
+  // "The" is a stop word; "connected" stems to "connect".
+  std::vector<std::string> tokens =
+      p.Analyze("The systems were connected yesterday.");
+  EXPECT_EQ(tokens,
+            (std::vector<std::string>{"system", "connect", "yesterdai"}));
+}
+
+TEST(PreprocessorTest, SensitiveWordsNeverReachVectors) {
+  PreprocessorOptions opt;
+  opt.sensitive_words = {"secretproject"};
+  Preprocessor p(opt);
+  std::vector<std::string> tokens =
+      p.Analyze("budget for secretproject launch");
+  for (const auto& t : tokens) {
+    EXPECT_NE(t, "secretproject");
+  }
+  EXPECT_EQ(tokens.size(), 2u);  // budget, launch
+}
+
+TEST(PreprocessorTest, InflectedFormsShareFeatureIds) {
+  Preprocessor p;
+  SparseVector a = p.Process("connecting connections");
+  // Both tokens stem to "connect" -> a single feature with weight from two
+  // occurrences, L2-normalized to 1.
+  EXPECT_EQ(a.nnz(), 1u);
+}
+
+TEST(PreprocessorTest, ProcessConstDoesNotGrowGrowingLexicon) {
+  PreprocessorOptions opt;
+  opt.hashed_dimensions = 0;  // growing mode
+  Preprocessor p(opt);
+  p.Process("alpha beta");
+  std::size_t size_before = p.lexicon().size();
+  SparseVector v = p.ProcessConst("alpha gamma");
+  EXPECT_EQ(p.lexicon().size(), size_before);
+  EXPECT_EQ(v.nnz(), 1u);  // only "alpha" is known
+}
+
+TEST(PreprocessorTest, HashedPeersProduceCompatibleVectors) {
+  // Two peers with default (hashed) settings vectorize the same text to
+  // identical vectors without sharing any state.
+  Preprocessor peer1, peer2;
+  SparseVector a = peer1.Process("distributed tagging systems");
+  SparseVector b = peer2.Process("distributed tagging systems");
+  EXPECT_EQ(a, b);
+}
+
+TEST(PreprocessorTest, VectorsAreUnitNorm) {
+  Preprocessor p;
+  SparseVector v = p.Process("some words for testing vectors here");
+  EXPECT_NEAR(v.Norm(), 1.0, 1e-12);
+}
+
+TEST(PreprocessorTest, EmptyTextGivesEmptyVector) {
+  Preprocessor p;
+  EXPECT_TRUE(p.Process("").empty());
+  EXPECT_TRUE(p.Process("the and of").empty());  // all stop words
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,171 @@
+#include "ml/serialization.h"
+
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "ml/dataset.h"
+
+namespace p2pdt {
+namespace {
+
+SparseVector RandomVector(Rng& rng, std::size_t nnz) {
+  std::vector<SparseVector::Entry> f;
+  for (std::size_t i = 0; i < nnz; ++i) {
+    f.emplace_back(static_cast<uint32_t>(rng.NextU64(1 << 20)),
+                   rng.Uniform(-3.0, 3.0));
+  }
+  return SparseVector::FromPairs(std::move(f));
+}
+
+TEST(SerializationTest, SparseVectorRoundTrip) {
+  Rng rng(1);
+  for (int trial = 0; trial < 20; ++trial) {
+    SparseVector v = RandomVector(rng, rng.NextU64(30));
+    std::string buf;
+    SerializeSparseVector(v, buf);
+    std::size_t offset = 0;
+    Result<SparseVector> back = DeserializeSparseVector(buf, offset);
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), v);
+    EXPECT_EQ(offset, buf.size());
+  }
+}
+
+TEST(SerializationTest, SparseVectorTruncatedFails) {
+  SparseVector v = SparseVector::FromPairs({{1, 2.0}, {3, 4.0}});
+  std::string buf;
+  SerializeSparseVector(v, buf);
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    std::string partial = buf.substr(0, cut);
+    std::size_t offset = 0;
+    EXPECT_FALSE(DeserializeSparseVector(partial, offset).ok()) << cut;
+  }
+}
+
+TEST(SerializationTest, LinearModelRoundTrip) {
+  Rng rng(2);
+  LinearSvmModel model(RandomVector(rng, 25), -0.375);
+  Result<LinearSvmModel> back =
+      DeserializeLinearSvm(SerializeLinearSvm(model));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->weights(), model.weights());
+  EXPECT_DOUBLE_EQ(back->bias(), model.bias());
+}
+
+TEST(SerializationTest, KernelModelRoundTrip) {
+  Rng rng(3);
+  std::vector<SupportVector> svs;
+  for (int i = 0; i < 7; ++i) {
+    svs.push_back({RandomVector(rng, 10), i % 2 ? 1.0 : -1.0,
+                   rng.Uniform(0.0, 2.0)});
+  }
+  KernelSvmModel model(Kernel::Rbf(0.7), svs, 1.25);
+  Result<KernelSvmModel> back =
+      DeserializeKernelSvm(SerializeKernelSvm(model));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->num_support_vectors(), 7u);
+  EXPECT_DOUBLE_EQ(back->bias(), 1.25);
+  EXPECT_EQ(back->kernel().type, KernelType::kRbf);
+  // Decision function preserved exactly.
+  SparseVector probe = RandomVector(rng, 12);
+  EXPECT_DOUBLE_EQ(back->Decision(probe), model.Decision(probe));
+}
+
+TEST(SerializationTest, WrongKindRejected) {
+  Rng rng(4);
+  LinearSvmModel model(RandomVector(rng, 5), 0.0);
+  EXPECT_FALSE(DeserializeKernelSvm(SerializeLinearSvm(model)).ok());
+}
+
+TEST(SerializationTest, BadMagicRejected) {
+  EXPECT_FALSE(DeserializeLinearSvm("garbage-bytes").ok());
+  EXPECT_FALSE(DeserializeOneVsAll(std::string(64, '\0')).ok());
+  EXPECT_FALSE(DeserializeLinearSvm("").ok());
+}
+
+TEST(SerializationTest, OneVsAllMixedKindsRoundTrip) {
+  Rng rng(5);
+  OneVsAllModel model;
+  model.SetModel(0, std::make_unique<LinearSvmModel>(RandomVector(rng, 8),
+                                                     0.5));
+  model.SetModel(1, nullptr);
+  model.SetModel(2, std::make_unique<ConstantClassifier>(-1.0));
+  std::vector<SupportVector> svs = {
+      {RandomVector(rng, 6), 1.0, 0.3},
+      {RandomVector(rng, 6), -1.0, 0.3},
+  };
+  model.SetModel(3, std::make_unique<KernelSvmModel>(Kernel::Linear(), svs,
+                                                     0.1));
+
+  Result<OneVsAllModel> back = DeserializeOneVsAll(SerializeOneVsAll(model));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->num_tags(), 4u);
+  SparseVector probe = RandomVector(rng, 10);
+  for (TagId t = 0; t < 4; ++t) {
+    if (model.model(t) == nullptr) {
+      EXPECT_EQ(back->model(t), nullptr);
+    } else {
+      EXPECT_DOUBLE_EQ(back->model(t)->Decision(probe),
+                       model.model(t)->Decision(probe))
+          << "tag " << t;
+    }
+  }
+}
+
+TEST(SerializationTest, TrailingBytesRejected) {
+  OneVsAllModel model;
+  model.SetModel(0, std::make_unique<ConstantClassifier>(1.0));
+  std::string buf = SerializeOneVsAll(model);
+  buf += "x";
+  EXPECT_FALSE(DeserializeOneVsAll(buf).ok());
+}
+
+TEST(SerializationTest, CorruptedBufferNeverCrashes) {
+  Rng rng(6);
+  OneVsAllModel model;
+  model.SetModel(0,
+                 std::make_unique<LinearSvmModel>(RandomVector(rng, 12), 1.0));
+  std::string buf = SerializeOneVsAll(model);
+  // Flip bytes one at a time: deserialization must either succeed (the
+  // byte was payload) or fail cleanly, never read out of bounds.
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    std::string corrupt = buf;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0xFF);
+    DeserializeOneVsAll(corrupt).ok();  // must not crash
+  }
+  // Truncations too.
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    EXPECT_FALSE(DeserializeOneVsAll(buf.substr(0, cut)).ok());
+  }
+}
+
+TEST(SerializationTest, FileRoundTrip) {
+  std::string path = ::testing::TempDir() + "/p2pdt_model.bin";
+  Rng rng(7);
+  OneVsAllModel model;
+  model.SetModel(0, std::make_unique<LinearSvmModel>(RandomVector(rng, 8),
+                                                     2.0));
+  ASSERT_TRUE(SaveOneVsAll(model, path).ok());
+  Result<OneVsAllModel> back = LoadOneVsAll(path);
+  ASSERT_TRUE(back.ok());
+  SparseVector probe = RandomVector(rng, 5);
+  EXPECT_DOUBLE_EQ(back->model(0)->Decision(probe),
+                   model.model(0)->Decision(probe));
+  std::filesystem::remove(path);
+  EXPECT_EQ(LoadOneVsAll(path).status().code(), StatusCode::kNotFound);
+}
+
+TEST(SerializationTest, SerializedSizeTracksWireSize) {
+  Rng rng(8);
+  LinearSvmModel model(RandomVector(rng, 20), 0.0);
+  std::string buf = SerializeLinearSvm(model);
+  // Serialized form = wire size + header/kind (7 bytes) ± the bias/len
+  // encoding difference; keep them within a small constant of each other.
+  EXPECT_NEAR(static_cast<double>(buf.size()),
+              static_cast<double>(model.WireSize()), 16.0);
+}
+
+}  // namespace
+}  // namespace p2pdt

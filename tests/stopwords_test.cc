@@ -1,0 +1,69 @@
+#include "text/stopwords.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+TEST(StopWordsTest, PaperExamplesAreFiltered) {
+  // The paper names "a, for, and, not" as examples (Sec. 2).
+  StopWordFilter f;
+  EXPECT_TRUE(f.IsStopWord("a"));
+  EXPECT_TRUE(f.IsStopWord("for"));
+  EXPECT_TRUE(f.IsStopWord("and"));
+  EXPECT_TRUE(f.IsStopWord("not"));
+  EXPECT_TRUE(f.IsStopWord("etc"));
+}
+
+TEST(StopWordsTest, ContentWordsSurvive) {
+  StopWordFilter f;
+  EXPECT_FALSE(f.IsStopWord("database"));
+  EXPECT_FALSE(f.IsFiltered("peer"));
+}
+
+TEST(StopWordsTest, FilterPreservesOrder) {
+  StopWordFilter f;
+  EXPECT_EQ(f.Filter({"the", "quick", "and", "lazy", "fox"}),
+            (std::vector<std::string>{"quick", "lazy", "fox"}));
+}
+
+TEST(StopWordsTest, SensitiveWordsFiltered) {
+  StopWordFilter f;
+  f.AddSensitiveWord("projectx");
+  EXPECT_TRUE(f.IsSensitive("projectx"));
+  EXPECT_TRUE(f.IsFiltered("projectx"));
+  EXPECT_FALSE(f.IsStopWord("projectx"));  // tracked separately
+  EXPECT_EQ(f.Filter({"about", "projectx", "budget"}),
+            (std::vector<std::string>{"budget"}));
+}
+
+TEST(StopWordsTest, SensitiveWordsLowercased) {
+  StopWordFilter f;
+  f.AddSensitiveWord("SecretName");
+  EXPECT_TRUE(f.IsSensitive("secretname"));
+}
+
+TEST(StopWordsTest, AddSensitiveWordsBatch) {
+  StopWordFilter f;
+  f.AddSensitiveWords({"alpha", "beta"});
+  EXPECT_EQ(f.num_sensitive_words(), 2u);
+  EXPECT_TRUE(f.IsFiltered("alpha"));
+  EXPECT_TRUE(f.IsFiltered("beta"));
+}
+
+TEST(StopWordsTest, CustomStopList) {
+  StopWordFilter f({"foo", "bar"});
+  EXPECT_TRUE(f.IsStopWord("foo"));
+  EXPECT_FALSE(f.IsStopWord("the"));  // default list not loaded
+  EXPECT_EQ(f.num_stop_words(), 2u);
+}
+
+TEST(StopWordsTest, DefaultListIsSubstantial) {
+  EXPECT_GT(StopWordFilter::DefaultEnglishStopWords().size(), 100u);
+  StopWordFilter f;
+  EXPECT_EQ(f.num_stop_words(),
+            StopWordFilter::DefaultEnglishStopWords().size());
+}
+
+}  // namespace
+}  // namespace p2pdt

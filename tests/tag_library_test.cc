@@ -1,0 +1,117 @@
+#include "core/tag_library.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+Document Doc(DocId id, std::vector<std::string> tags) {
+  Document d;
+  d.id = id;
+  d.title = "doc" + std::to_string(id);
+  for (auto& t : tags) d.tags.push_back({t, TagSource::kManual, 1.0});
+  return d;
+}
+
+TEST(TagLibraryTest, IndexAndLookup) {
+  TagLibrary lib;
+  lib.Index(Doc(0, {"news", "tech"}));
+  lib.Index(Doc(1, {"tech"}));
+  EXPECT_EQ(lib.WithTag("tech"), (std::vector<DocId>{0, 1}));
+  EXPECT_EQ(lib.WithTag("news"), (std::vector<DocId>{0}));
+  EXPECT_TRUE(lib.WithTag("missing").empty());
+  EXPECT_EQ(lib.num_tags(), 2u);
+  EXPECT_EQ(lib.num_documents(), 2u);
+}
+
+TEST(TagLibraryTest, ReindexReplacesOldTags) {
+  TagLibrary lib;
+  lib.Index(Doc(0, {"old"}));
+  lib.Index(Doc(0, {"new"}));
+  EXPECT_TRUE(lib.WithTag("old").empty());
+  EXPECT_EQ(lib.WithTag("new"), (std::vector<DocId>{0}));
+  EXPECT_EQ(lib.num_tags(), 1u);
+}
+
+TEST(TagLibraryTest, RemoveDropsDocument) {
+  TagLibrary lib;
+  lib.Index(Doc(0, {"a"}));
+  lib.Index(Doc(1, {"a"}));
+  lib.Remove(0);
+  EXPECT_EQ(lib.WithTag("a"), (std::vector<DocId>{1}));
+  lib.Remove(1);
+  EXPECT_EQ(lib.num_tags(), 0u);
+  lib.Remove(99);  // unknown id is a no-op
+}
+
+TEST(TagLibraryTest, UntaggedDocumentNotIndexed) {
+  TagLibrary lib;
+  lib.Index(Doc(0, {}));
+  EXPECT_EQ(lib.num_documents(), 0u);
+}
+
+TEST(TagLibraryTest, AndSearch) {
+  TagLibrary lib;
+  lib.Index(Doc(0, {"a", "b"}));
+  lib.Index(Doc(1, {"a"}));
+  lib.Index(Doc(2, {"a", "b", "c"}));
+  EXPECT_EQ(lib.WithAllTags({"a", "b"}), (std::vector<DocId>{0, 2}));
+  EXPECT_EQ(lib.WithAllTags({"a", "b", "c"}), (std::vector<DocId>{2}));
+  EXPECT_TRUE(lib.WithAllTags({"a", "z"}).empty());
+  EXPECT_TRUE(lib.WithAllTags({}).empty());
+}
+
+TEST(TagLibraryTest, OrSearch) {
+  TagLibrary lib;
+  lib.Index(Doc(0, {"a"}));
+  lib.Index(Doc(1, {"b"}));
+  lib.Index(Doc(2, {"c"}));
+  EXPECT_EQ(lib.WithAnyTag({"a", "c"}), (std::vector<DocId>{0, 2}));
+  EXPECT_TRUE(lib.WithAnyTag({"z"}).empty());
+}
+
+TEST(TagLibraryTest, TagCountsAlphabetical) {
+  TagLibrary lib;
+  lib.Index(Doc(0, {"zebra", "apple"}));
+  lib.Index(Doc(1, {"apple"}));
+  auto counts = lib.TagCounts();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0].first, "apple");
+  EXPECT_EQ(counts[0].second, 2u);
+  EXPECT_EQ(counts[1].first, "zebra");
+  EXPECT_EQ(counts[1].second, 1u);
+}
+
+TEST(TagLibraryTest, CoOccurrence) {
+  TagLibrary lib;
+  lib.Index(Doc(0, {"a", "b"}));
+  lib.Index(Doc(1, {"a", "b"}));
+  lib.Index(Doc(2, {"a"}));
+  EXPECT_EQ(lib.CoOccurrence("a", "b"), 2u);
+  EXPECT_EQ(lib.CoOccurrence("b", "a"), 2u);
+  EXPECT_EQ(lib.CoOccurrence("a", "z"), 0u);
+}
+
+TEST(TagLibraryTest, DuplicateTagOnDocCountedOnce) {
+  Document d = Doc(0, {"x", "x"});
+  TagLibrary lib;
+  lib.Index(d);
+  EXPECT_EQ(lib.WithTag("x"), (std::vector<DocId>{0}));
+  EXPECT_EQ(lib.TagCounts()[0].second, 1u);
+}
+
+TEST(DocumentTest, TagHelpers) {
+  Document d = Doc(3, {"b", "a", "b"});
+  EXPECT_TRUE(d.HasTag("a"));
+  EXPECT_FALSE(d.HasTag("z"));
+  EXPECT_EQ(d.TagNames(), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(DocumentTest, TagSourceNames) {
+  EXPECT_STREQ(TagSourceToString(TagSource::kManual), "manual");
+  EXPECT_STREQ(TagSourceToString(TagSource::kAuto), "auto");
+  EXPECT_STREQ(TagSourceToString(TagSource::kSuggested), "suggested");
+}
+
+}  // namespace
+}  // namespace p2pdt

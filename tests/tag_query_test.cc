@@ -1,0 +1,118 @@
+#include "core/tag_query.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+Document Doc(DocId id, std::vector<std::string> tags) {
+  Document d;
+  d.id = id;
+  for (auto& t : tags) d.tags.push_back({t, TagSource::kManual, 1.0});
+  return d;
+}
+
+TagLibrary SampleLibrary() {
+  TagLibrary lib;
+  lib.Index(Doc(0, {"research", "p2p"}));
+  lib.Index(Doc(1, {"research", "dht"}));
+  lib.Index(Doc(2, {"research", "p2p", "draft"}));
+  lib.Index(Doc(3, {"recipes"}));
+  lib.Index(Doc(4, {"p2p", "draft"}));
+  return lib;
+}
+
+std::vector<DocId> Eval(const std::string& q, const TagLibrary& lib) {
+  Result<TagQuery> query = TagQuery::Parse(q);
+  EXPECT_TRUE(query.ok()) << q << ": " << query.status().ToString();
+  if (!query.ok()) return {};
+  return query.value().Evaluate(lib);
+}
+
+TEST(TagQueryTest, SingleTag) {
+  TagLibrary lib = SampleLibrary();
+  EXPECT_EQ(Eval("research", lib), (std::vector<DocId>{0, 1, 2}));
+  EXPECT_EQ(Eval("recipes", lib), (std::vector<DocId>{3}));
+  EXPECT_TRUE(Eval("unknown", lib).empty());
+}
+
+TEST(TagQueryTest, AndOr) {
+  TagLibrary lib = SampleLibrary();
+  EXPECT_EQ(Eval("research AND p2p", lib), (std::vector<DocId>{0, 2}));
+  EXPECT_EQ(Eval("dht OR recipes", lib), (std::vector<DocId>{1, 3}));
+  EXPECT_EQ(Eval("research AND p2p AND draft", lib),
+            (std::vector<DocId>{2}));
+}
+
+TEST(TagQueryTest, NotAgainstTaggedUniverse) {
+  TagLibrary lib = SampleLibrary();
+  EXPECT_EQ(Eval("NOT research", lib), (std::vector<DocId>{3, 4}));
+  EXPECT_EQ(Eval("p2p AND NOT draft", lib), (std::vector<DocId>{0}));
+  EXPECT_EQ(Eval("NOT NOT recipes", lib), (std::vector<DocId>{3}));
+}
+
+TEST(TagQueryTest, PrecedenceAndParentheses) {
+  TagLibrary lib = SampleLibrary();
+  // AND binds tighter than OR: recipes OR (research AND draft) = {2, 3}.
+  EXPECT_EQ(Eval("recipes OR research AND draft", lib),
+            (std::vector<DocId>{2, 3}));
+  // Parentheses override: (recipes OR research) AND draft = {2}.
+  EXPECT_EQ(Eval("(recipes OR research) AND draft", lib),
+            (std::vector<DocId>{2}));
+}
+
+TEST(TagQueryTest, KeywordsCaseInsensitive) {
+  TagLibrary lib = SampleLibrary();
+  EXPECT_EQ(Eval("research and p2p", lib), (std::vector<DocId>{0, 2}));
+  EXPECT_EQ(Eval("dht or recipes", lib), (std::vector<DocId>{1, 3}));
+  EXPECT_EQ(Eval("not research", lib), (std::vector<DocId>{3, 4}));
+}
+
+TEST(TagQueryTest, WhitespaceAndTightParens) {
+  TagLibrary lib = SampleLibrary();
+  EXPECT_EQ(Eval("  (p2p)AND(draft)  ", lib), (std::vector<DocId>{2, 4}));
+}
+
+TEST(TagQueryTest, SyntaxErrors) {
+  EXPECT_FALSE(TagQuery::Parse("").ok());
+  EXPECT_FALSE(TagQuery::Parse("AND").ok());
+  EXPECT_FALSE(TagQuery::Parse("a AND").ok());
+  EXPECT_FALSE(TagQuery::Parse("a OR OR b").ok());
+  EXPECT_FALSE(TagQuery::Parse("(a AND b").ok());
+  EXPECT_FALSE(TagQuery::Parse("a)").ok());
+  EXPECT_FALSE(TagQuery::Parse("NOT").ok());
+  EXPECT_FALSE(TagQuery::Parse("a b").ok());  // implicit AND not supported
+}
+
+TEST(TagQueryTest, ToStringCanonical) {
+  Result<TagQuery> q = TagQuery::Parse("a OR b AND NOT c");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->ToString(), "(a OR (b AND (NOT c)))");
+}
+
+TEST(TagQueryTest, RoundTripThroughToString) {
+  TagLibrary lib = SampleLibrary();
+  const char* queries[] = {"research AND p2p", "NOT (draft OR recipes)",
+                           "p2p AND NOT draft OR recipes"};
+  for (const char* q : queries) {
+    Result<TagQuery> first = TagQuery::Parse(q);
+    ASSERT_TRUE(first.ok()) << q;
+    Result<TagQuery> second = TagQuery::Parse(first->ToString());
+    ASSERT_TRUE(second.ok()) << first->ToString();
+    EXPECT_EQ(first->Evaluate(lib), second->Evaluate(lib)) << q;
+  }
+}
+
+TEST(TagQueryTest, EmptyLibrary) {
+  TagLibrary lib;
+  EXPECT_TRUE(Eval("anything", lib).empty());
+  EXPECT_TRUE(Eval("NOT anything", lib).empty());
+}
+
+TEST(TagLibraryTest, AllDocumentsAscending) {
+  TagLibrary lib = SampleLibrary();
+  EXPECT_EQ(lib.AllDocuments(), (std::vector<DocId>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,107 @@
+#include "text/vectorizer.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+std::vector<std::string> Tokens(std::initializer_list<const char*> words) {
+  return std::vector<std::string>(words.begin(), words.end());
+}
+
+TEST(VectorizerTest, TermFrequencyCounts) {
+  VectorizerOptions opt;
+  opt.l2_normalize = false;
+  Vectorizer v(opt);
+  Lexicon lex;
+  SparseVector vec = v.Vectorize(Tokens({"cat", "dog", "cat"}), lex);
+  EXPECT_DOUBLE_EQ(vec.Get(lex.GetId("cat").value()), 2.0);
+  EXPECT_DOUBLE_EQ(vec.Get(lex.GetId("dog").value()), 1.0);
+  EXPECT_EQ(vec.nnz(), 2u);
+}
+
+TEST(VectorizerTest, L2NormalizedByDefault) {
+  Vectorizer v;
+  Lexicon lex;
+  SparseVector vec = v.Vectorize(Tokens({"a1", "b2", "c3"}), lex);
+  EXPECT_NEAR(vec.Norm(), 1.0, 1e-12);
+}
+
+TEST(VectorizerTest, BinaryWeighting) {
+  VectorizerOptions opt;
+  opt.weighting = TermWeighting::kBinary;
+  opt.l2_normalize = false;
+  Vectorizer v(opt);
+  Lexicon lex;
+  SparseVector vec = v.Vectorize(Tokens({"x", "x", "x", "y"}), lex);
+  EXPECT_DOUBLE_EQ(vec.Get(lex.GetId("x").value()), 1.0);
+  EXPECT_DOUBLE_EQ(vec.Get(lex.GetId("y").value()), 1.0);
+}
+
+TEST(VectorizerTest, LogTermFrequency) {
+  VectorizerOptions opt;
+  opt.weighting = TermWeighting::kLogTermFrequency;
+  opt.l2_normalize = false;
+  Vectorizer v(opt);
+  Lexicon lex;
+  SparseVector vec = v.Vectorize(Tokens({"x", "x", "x"}), lex);
+  EXPECT_NEAR(vec.Get(lex.GetId("x").value()), 1.0 + std::log(3.0), 1e-12);
+}
+
+TEST(VectorizerTest, TfIdfDownweightsCommonWords) {
+  VectorizerOptions opt;
+  opt.weighting = TermWeighting::kTfIdf;
+  opt.l2_normalize = false;
+  Vectorizer v(opt);
+  Lexicon lex;
+  // "common" appears in every document, "rare" in one.
+  v.FitIdf({Tokens({"common", "rare"}), Tokens({"common"}),
+            Tokens({"common"})},
+           lex);
+  EXPECT_EQ(v.num_fitted_documents(), 3u);
+  SparseVector vec = v.Vectorize(Tokens({"common", "rare"}), lex);
+  EXPECT_GT(vec.Get(lex.GetId("rare").value()),
+            vec.Get(lex.GetId("common").value()));
+}
+
+TEST(VectorizerTest, ConstModeDropsUnknownWords) {
+  VectorizerOptions opt;
+  opt.l2_normalize = false;
+  Vectorizer v(opt);
+  Lexicon lex;
+  lex.GetOrAddId("known");
+  SparseVector vec = v.VectorizeConst(Tokens({"known", "unknown"}), lex);
+  EXPECT_EQ(vec.nnz(), 1u);
+  EXPECT_EQ(lex.size(), 1u);  // not mutated
+}
+
+TEST(VectorizerTest, ConstModeHashedResolvesEverything) {
+  VectorizerOptions opt;
+  opt.l2_normalize = false;
+  Vectorizer v(opt);
+  Lexicon lex = Lexicon::Hashed(1 << 12);
+  SparseVector vec = v.VectorizeConst(Tokens({"anything", "goes"}), lex);
+  EXPECT_EQ(vec.nnz(), 2u);
+}
+
+TEST(VectorizerTest, EmptyTokensGiveEmptyVector) {
+  Vectorizer v;
+  Lexicon lex;
+  EXPECT_TRUE(v.Vectorize({}, lex).empty());
+}
+
+TEST(VectorizerTest, HashedLexiconCollisionsSumWeights) {
+  // With dimension 1 every word collides; weights must sum, not overwrite.
+  VectorizerOptions opt;
+  opt.l2_normalize = false;
+  Vectorizer v(opt);
+  Lexicon lex = Lexicon::Hashed(1);
+  SparseVector vec = v.Vectorize(Tokens({"a", "b", "c"}), lex);
+  EXPECT_EQ(vec.nnz(), 1u);
+  EXPECT_DOUBLE_EQ(vec.Get(0), 3.0);
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,68 @@
+#include "p2pdmt/visualize.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+TEST(VisualizeTest, UnstructuredDotHasNodesAndEdges) {
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(10);
+  UnstructuredOverlay overlay(sim, net, {});
+  for (NodeId n = 0; n < 10; ++n) overlay.AddNode(n);
+  net.SetOnline(3, false);
+
+  std::string dot = UnstructuredToDot(overlay, net);
+  EXPECT_NE(dot.find("graph unstructured"), std::string::npos);
+  EXPECT_NE(dot.find("n0"), std::string::npos);
+  EXPECT_NE(dot.find(" -- "), std::string::npos);
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);  // offline node
+}
+
+TEST(VisualizeTest, UnstructuredEdgesEmittedOnce) {
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(6);
+  UnstructuredOverlay overlay(sim, net, {});
+  for (NodeId n = 0; n < 6; ++n) overlay.AddNode(n);
+  std::string dot = UnstructuredToDot(overlay, net);
+  std::size_t edges_in_dot = 0;
+  for (std::size_t at = dot.find(" -- "); at != std::string::npos;
+       at = dot.find(" -- ", at + 1)) {
+    ++edges_in_dot;
+  }
+  std::size_t degree_sum = 0;
+  for (NodeId n = 0; n < 6; ++n) degree_sum += overlay.Neighbors(n).size();
+  EXPECT_EQ(edges_in_dot, degree_sum / 2);
+}
+
+TEST(VisualizeTest, ChordDotHasRingEdges) {
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  net.AddNodes(12);
+  ChordOverlay chord(sim, net, {});
+  for (NodeId n = 0; n < 12; ++n) chord.AddNode(n);
+  chord.Bootstrap();
+  std::string dot = ChordToDot(chord, net);
+  EXPECT_NE(dot.find("digraph chord"), std::string::npos);
+  EXPECT_NE(dot.find("penwidth=2"), std::string::npos);      // successor
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);    // fingers
+}
+
+TEST(VisualizeTest, WriteDotFile) {
+  std::string path = ::testing::TempDir() + "/p2pdt_viz.dot";
+  ASSERT_TRUE(WriteDotFile("graph g {}\n", path).ok());
+  std::ifstream f(path);
+  std::string content((std::istreambuf_iterator<char>(f)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content, "graph g {}\n");
+  std::remove(path.c_str());
+  EXPECT_FALSE(WriteDotFile("x", "/nonexistent_dir_xyz/f.dot").ok());
+}
+
+}  // namespace
+}  // namespace p2pdt
