@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_data_distribution.dir/bench_data_distribution.cpp.o"
+  "CMakeFiles/bench_data_distribution.dir/bench_data_distribution.cpp.o.d"
+  "bench_data_distribution"
+  "bench_data_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_data_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

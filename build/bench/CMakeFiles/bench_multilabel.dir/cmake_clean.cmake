@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multilabel.dir/bench_multilabel.cpp.o"
+  "CMakeFiles/bench_multilabel.dir/bench_multilabel.cpp.o.d"
+  "bench_multilabel"
+  "bench_multilabel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multilabel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_p2pdmt.dir/bench_p2pdmt.cpp.o"
+  "CMakeFiles/bench_p2pdmt.dir/bench_p2pdmt.cpp.o.d"
+  "bench_p2pdmt"
+  "bench_p2pdmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_p2pdmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

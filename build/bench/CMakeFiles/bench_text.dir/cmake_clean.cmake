@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_text.dir/bench_text.cpp.o"
+  "CMakeFiles/bench_text.dir/bench_text.cpp.o.d"
+  "bench_text"
+  "bench_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pim_workflow.dir/pim_workflow.cpp.o"
+  "CMakeFiles/pim_workflow.dir/pim_workflow.cpp.o.d"
+  "pim_workflow"
+  "pim_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pim_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

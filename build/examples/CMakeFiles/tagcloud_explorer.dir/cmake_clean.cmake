@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tagcloud_explorer.dir/tagcloud_explorer.cpp.o"
+  "CMakeFiles/tagcloud_explorer.dir/tagcloud_explorer.cpp.o.d"
+  "tagcloud_explorer"
+  "tagcloud_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tagcloud_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

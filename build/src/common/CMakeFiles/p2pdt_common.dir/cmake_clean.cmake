@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pdt_common.dir/csv.cc.o"
+  "CMakeFiles/p2pdt_common.dir/csv.cc.o.d"
+  "CMakeFiles/p2pdt_common.dir/logging.cc.o"
+  "CMakeFiles/p2pdt_common.dir/logging.cc.o.d"
+  "CMakeFiles/p2pdt_common.dir/rng.cc.o"
+  "CMakeFiles/p2pdt_common.dir/rng.cc.o.d"
+  "CMakeFiles/p2pdt_common.dir/sparse_vector.cc.o"
+  "CMakeFiles/p2pdt_common.dir/sparse_vector.cc.o.d"
+  "CMakeFiles/p2pdt_common.dir/status.cc.o"
+  "CMakeFiles/p2pdt_common.dir/status.cc.o.d"
+  "CMakeFiles/p2pdt_common.dir/string_util.cc.o"
+  "CMakeFiles/p2pdt_common.dir/string_util.cc.o.d"
+  "libp2pdt_common.a"
+  "libp2pdt_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pdt_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/doc_tagger.cc" "src/core/CMakeFiles/p2pdt_core.dir/doc_tagger.cc.o" "gcc" "src/core/CMakeFiles/p2pdt_core.dir/doc_tagger.cc.o.d"
+  "/root/repo/src/core/document.cc" "src/core/CMakeFiles/p2pdt_core.dir/document.cc.o" "gcc" "src/core/CMakeFiles/p2pdt_core.dir/document.cc.o.d"
+  "/root/repo/src/core/metadata_store.cc" "src/core/CMakeFiles/p2pdt_core.dir/metadata_store.cc.o" "gcc" "src/core/CMakeFiles/p2pdt_core.dir/metadata_store.cc.o.d"
+  "/root/repo/src/core/tag_cloud.cc" "src/core/CMakeFiles/p2pdt_core.dir/tag_cloud.cc.o" "gcc" "src/core/CMakeFiles/p2pdt_core.dir/tag_cloud.cc.o.d"
+  "/root/repo/src/core/tag_library.cc" "src/core/CMakeFiles/p2pdt_core.dir/tag_library.cc.o" "gcc" "src/core/CMakeFiles/p2pdt_core.dir/tag_library.cc.o.d"
+  "/root/repo/src/core/tag_query.cc" "src/core/CMakeFiles/p2pdt_core.dir/tag_query.cc.o" "gcc" "src/core/CMakeFiles/p2pdt_core.dir/tag_query.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2pdt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/p2pdt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/p2pdt_ml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pdt_core.dir/doc_tagger.cc.o"
+  "CMakeFiles/p2pdt_core.dir/doc_tagger.cc.o.d"
+  "CMakeFiles/p2pdt_core.dir/document.cc.o"
+  "CMakeFiles/p2pdt_core.dir/document.cc.o.d"
+  "CMakeFiles/p2pdt_core.dir/metadata_store.cc.o"
+  "CMakeFiles/p2pdt_core.dir/metadata_store.cc.o.d"
+  "CMakeFiles/p2pdt_core.dir/tag_cloud.cc.o"
+  "CMakeFiles/p2pdt_core.dir/tag_cloud.cc.o.d"
+  "CMakeFiles/p2pdt_core.dir/tag_library.cc.o"
+  "CMakeFiles/p2pdt_core.dir/tag_library.cc.o.d"
+  "CMakeFiles/p2pdt_core.dir/tag_query.cc.o"
+  "CMakeFiles/p2pdt_core.dir/tag_query.cc.o.d"
+  "libp2pdt_core.a"
+  "libp2pdt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pdt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pdt_corpus.dir/generator.cc.o"
+  "CMakeFiles/p2pdt_corpus.dir/generator.cc.o.d"
+  "CMakeFiles/p2pdt_corpus.dir/vectorize.cc.o"
+  "CMakeFiles/p2pdt_corpus.dir/vectorize.cc.o.d"
+  "libp2pdt_corpus.a"
+  "libp2pdt_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pdt_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/p2pdt_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/p2pdt_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/kernel.cc" "src/ml/CMakeFiles/p2pdt_ml.dir/kernel.cc.o" "gcc" "src/ml/CMakeFiles/p2pdt_ml.dir/kernel.cc.o.d"
+  "/root/repo/src/ml/kernel_svm.cc" "src/ml/CMakeFiles/p2pdt_ml.dir/kernel_svm.cc.o" "gcc" "src/ml/CMakeFiles/p2pdt_ml.dir/kernel_svm.cc.o.d"
+  "/root/repo/src/ml/kmeans.cc" "src/ml/CMakeFiles/p2pdt_ml.dir/kmeans.cc.o" "gcc" "src/ml/CMakeFiles/p2pdt_ml.dir/kmeans.cc.o.d"
+  "/root/repo/src/ml/linear_svm.cc" "src/ml/CMakeFiles/p2pdt_ml.dir/linear_svm.cc.o" "gcc" "src/ml/CMakeFiles/p2pdt_ml.dir/linear_svm.cc.o.d"
+  "/root/repo/src/ml/lsh.cc" "src/ml/CMakeFiles/p2pdt_ml.dir/lsh.cc.o" "gcc" "src/ml/CMakeFiles/p2pdt_ml.dir/lsh.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/p2pdt_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/p2pdt_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/multilabel.cc" "src/ml/CMakeFiles/p2pdt_ml.dir/multilabel.cc.o" "gcc" "src/ml/CMakeFiles/p2pdt_ml.dir/multilabel.cc.o.d"
+  "/root/repo/src/ml/online.cc" "src/ml/CMakeFiles/p2pdt_ml.dir/online.cc.o" "gcc" "src/ml/CMakeFiles/p2pdt_ml.dir/online.cc.o.d"
+  "/root/repo/src/ml/serialization.cc" "src/ml/CMakeFiles/p2pdt_ml.dir/serialization.cc.o" "gcc" "src/ml/CMakeFiles/p2pdt_ml.dir/serialization.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2pdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pdt_ml.dir/dataset.cc.o"
+  "CMakeFiles/p2pdt_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/p2pdt_ml.dir/kernel.cc.o"
+  "CMakeFiles/p2pdt_ml.dir/kernel.cc.o.d"
+  "CMakeFiles/p2pdt_ml.dir/kernel_svm.cc.o"
+  "CMakeFiles/p2pdt_ml.dir/kernel_svm.cc.o.d"
+  "CMakeFiles/p2pdt_ml.dir/kmeans.cc.o"
+  "CMakeFiles/p2pdt_ml.dir/kmeans.cc.o.d"
+  "CMakeFiles/p2pdt_ml.dir/linear_svm.cc.o"
+  "CMakeFiles/p2pdt_ml.dir/linear_svm.cc.o.d"
+  "CMakeFiles/p2pdt_ml.dir/lsh.cc.o"
+  "CMakeFiles/p2pdt_ml.dir/lsh.cc.o.d"
+  "CMakeFiles/p2pdt_ml.dir/metrics.cc.o"
+  "CMakeFiles/p2pdt_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/p2pdt_ml.dir/multilabel.cc.o"
+  "CMakeFiles/p2pdt_ml.dir/multilabel.cc.o.d"
+  "CMakeFiles/p2pdt_ml.dir/online.cc.o"
+  "CMakeFiles/p2pdt_ml.dir/online.cc.o.d"
+  "CMakeFiles/p2pdt_ml.dir/serialization.cc.o"
+  "CMakeFiles/p2pdt_ml.dir/serialization.cc.o.d"
+  "libp2pdt_ml.a"
+  "libp2pdt_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pdt_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

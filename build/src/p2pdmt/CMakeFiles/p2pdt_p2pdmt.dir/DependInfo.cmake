@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2pdmt/activity_log.cc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/activity_log.cc.o" "gcc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/activity_log.cc.o.d"
+  "/root/repo/src/p2pdmt/data_distribution.cc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/data_distribution.cc.o" "gcc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/data_distribution.cc.o.d"
+  "/root/repo/src/p2pdmt/environment.cc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/environment.cc.o" "gcc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/environment.cc.o.d"
+  "/root/repo/src/p2pdmt/evaluation.cc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/evaluation.cc.o" "gcc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/evaluation.cc.o.d"
+  "/root/repo/src/p2pdmt/experiment.cc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/experiment.cc.o" "gcc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/experiment.cc.o.d"
+  "/root/repo/src/p2pdmt/sim_scorer.cc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/sim_scorer.cc.o" "gcc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/sim_scorer.cc.o.d"
+  "/root/repo/src/p2pdmt/visualize.cc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/visualize.cc.o" "gcc" "src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/visualize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2pdt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/p2pdt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2psim/CMakeFiles/p2pdt_p2psim.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2pml/CMakeFiles/p2pdt_p2pml.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/p2pdt_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2pdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/p2pdt_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

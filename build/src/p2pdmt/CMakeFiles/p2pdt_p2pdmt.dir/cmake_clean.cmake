@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pdt_p2pdmt.dir/activity_log.cc.o"
+  "CMakeFiles/p2pdt_p2pdmt.dir/activity_log.cc.o.d"
+  "CMakeFiles/p2pdt_p2pdmt.dir/data_distribution.cc.o"
+  "CMakeFiles/p2pdt_p2pdmt.dir/data_distribution.cc.o.d"
+  "CMakeFiles/p2pdt_p2pdmt.dir/environment.cc.o"
+  "CMakeFiles/p2pdt_p2pdmt.dir/environment.cc.o.d"
+  "CMakeFiles/p2pdt_p2pdmt.dir/evaluation.cc.o"
+  "CMakeFiles/p2pdt_p2pdmt.dir/evaluation.cc.o.d"
+  "CMakeFiles/p2pdt_p2pdmt.dir/experiment.cc.o"
+  "CMakeFiles/p2pdt_p2pdmt.dir/experiment.cc.o.d"
+  "CMakeFiles/p2pdt_p2pdmt.dir/sim_scorer.cc.o"
+  "CMakeFiles/p2pdt_p2pdmt.dir/sim_scorer.cc.o.d"
+  "CMakeFiles/p2pdt_p2pdmt.dir/visualize.cc.o"
+  "CMakeFiles/p2pdt_p2pdmt.dir/visualize.cc.o.d"
+  "libp2pdt_p2pdmt.a"
+  "libp2pdt_p2pdmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pdt_p2pdmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

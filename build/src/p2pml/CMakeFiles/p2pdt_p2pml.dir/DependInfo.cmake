@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2pml/baselines.cc" "src/p2pml/CMakeFiles/p2pdt_p2pml.dir/baselines.cc.o" "gcc" "src/p2pml/CMakeFiles/p2pdt_p2pml.dir/baselines.cc.o.d"
+  "/root/repo/src/p2pml/cempar.cc" "src/p2pml/CMakeFiles/p2pdt_p2pml.dir/cempar.cc.o" "gcc" "src/p2pml/CMakeFiles/p2pdt_p2pml.dir/cempar.cc.o.d"
+  "/root/repo/src/p2pml/pace.cc" "src/p2pml/CMakeFiles/p2pdt_p2pml.dir/pace.cc.o" "gcc" "src/p2pml/CMakeFiles/p2pdt_p2pml.dir/pace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2pdt_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/p2pdt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2psim/CMakeFiles/p2pdt_p2psim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

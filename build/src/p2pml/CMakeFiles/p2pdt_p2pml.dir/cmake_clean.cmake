@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pdt_p2pml.dir/baselines.cc.o"
+  "CMakeFiles/p2pdt_p2pml.dir/baselines.cc.o.d"
+  "CMakeFiles/p2pdt_p2pml.dir/cempar.cc.o"
+  "CMakeFiles/p2pdt_p2pml.dir/cempar.cc.o.d"
+  "CMakeFiles/p2pdt_p2pml.dir/pace.cc.o"
+  "CMakeFiles/p2pdt_p2pml.dir/pace.cc.o.d"
+  "libp2pdt_p2pml.a"
+  "libp2pdt_p2pml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pdt_p2pml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

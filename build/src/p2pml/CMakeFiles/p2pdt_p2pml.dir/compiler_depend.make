@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for p2pdt_p2pml.
+# This may be replaced when dependencies are built.

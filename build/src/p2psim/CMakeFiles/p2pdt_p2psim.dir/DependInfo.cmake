@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p2psim/chord.cc" "src/p2psim/CMakeFiles/p2pdt_p2psim.dir/chord.cc.o" "gcc" "src/p2psim/CMakeFiles/p2pdt_p2psim.dir/chord.cc.o.d"
+  "/root/repo/src/p2psim/churn.cc" "src/p2psim/CMakeFiles/p2pdt_p2psim.dir/churn.cc.o" "gcc" "src/p2psim/CMakeFiles/p2pdt_p2psim.dir/churn.cc.o.d"
+  "/root/repo/src/p2psim/network.cc" "src/p2psim/CMakeFiles/p2pdt_p2psim.dir/network.cc.o" "gcc" "src/p2psim/CMakeFiles/p2pdt_p2psim.dir/network.cc.o.d"
+  "/root/repo/src/p2psim/simulator.cc" "src/p2psim/CMakeFiles/p2pdt_p2psim.dir/simulator.cc.o" "gcc" "src/p2psim/CMakeFiles/p2pdt_p2psim.dir/simulator.cc.o.d"
+  "/root/repo/src/p2psim/stats.cc" "src/p2psim/CMakeFiles/p2pdt_p2psim.dir/stats.cc.o" "gcc" "src/p2psim/CMakeFiles/p2pdt_p2psim.dir/stats.cc.o.d"
+  "/root/repo/src/p2psim/unstructured.cc" "src/p2psim/CMakeFiles/p2pdt_p2psim.dir/unstructured.cc.o" "gcc" "src/p2psim/CMakeFiles/p2pdt_p2psim.dir/unstructured.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2pdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

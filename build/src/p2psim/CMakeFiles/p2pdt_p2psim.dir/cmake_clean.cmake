@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pdt_p2psim.dir/chord.cc.o"
+  "CMakeFiles/p2pdt_p2psim.dir/chord.cc.o.d"
+  "CMakeFiles/p2pdt_p2psim.dir/churn.cc.o"
+  "CMakeFiles/p2pdt_p2psim.dir/churn.cc.o.d"
+  "CMakeFiles/p2pdt_p2psim.dir/network.cc.o"
+  "CMakeFiles/p2pdt_p2psim.dir/network.cc.o.d"
+  "CMakeFiles/p2pdt_p2psim.dir/simulator.cc.o"
+  "CMakeFiles/p2pdt_p2psim.dir/simulator.cc.o.d"
+  "CMakeFiles/p2pdt_p2psim.dir/stats.cc.o"
+  "CMakeFiles/p2pdt_p2psim.dir/stats.cc.o.d"
+  "CMakeFiles/p2pdt_p2psim.dir/unstructured.cc.o"
+  "CMakeFiles/p2pdt_p2psim.dir/unstructured.cc.o.d"
+  "libp2pdt_p2psim.a"
+  "libp2pdt_p2psim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pdt_p2psim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

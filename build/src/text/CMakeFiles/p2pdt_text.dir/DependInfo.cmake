@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/text/lexicon.cc" "src/text/CMakeFiles/p2pdt_text.dir/lexicon.cc.o" "gcc" "src/text/CMakeFiles/p2pdt_text.dir/lexicon.cc.o.d"
+  "/root/repo/src/text/porter_stemmer.cc" "src/text/CMakeFiles/p2pdt_text.dir/porter_stemmer.cc.o" "gcc" "src/text/CMakeFiles/p2pdt_text.dir/porter_stemmer.cc.o.d"
+  "/root/repo/src/text/preprocessor.cc" "src/text/CMakeFiles/p2pdt_text.dir/preprocessor.cc.o" "gcc" "src/text/CMakeFiles/p2pdt_text.dir/preprocessor.cc.o.d"
+  "/root/repo/src/text/stopwords.cc" "src/text/CMakeFiles/p2pdt_text.dir/stopwords.cc.o" "gcc" "src/text/CMakeFiles/p2pdt_text.dir/stopwords.cc.o.d"
+  "/root/repo/src/text/tokenizer.cc" "src/text/CMakeFiles/p2pdt_text.dir/tokenizer.cc.o" "gcc" "src/text/CMakeFiles/p2pdt_text.dir/tokenizer.cc.o.d"
+  "/root/repo/src/text/vectorizer.cc" "src/text/CMakeFiles/p2pdt_text.dir/vectorizer.cc.o" "gcc" "src/text/CMakeFiles/p2pdt_text.dir/vectorizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p2pdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p2pdt_text.dir/lexicon.cc.o"
+  "CMakeFiles/p2pdt_text.dir/lexicon.cc.o.d"
+  "CMakeFiles/p2pdt_text.dir/porter_stemmer.cc.o"
+  "CMakeFiles/p2pdt_text.dir/porter_stemmer.cc.o.d"
+  "CMakeFiles/p2pdt_text.dir/preprocessor.cc.o"
+  "CMakeFiles/p2pdt_text.dir/preprocessor.cc.o.d"
+  "CMakeFiles/p2pdt_text.dir/stopwords.cc.o"
+  "CMakeFiles/p2pdt_text.dir/stopwords.cc.o.d"
+  "CMakeFiles/p2pdt_text.dir/tokenizer.cc.o"
+  "CMakeFiles/p2pdt_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/p2pdt_text.dir/vectorizer.cc.o"
+  "CMakeFiles/p2pdt_text.dir/vectorizer.cc.o.d"
+  "libp2pdt_text.a"
+  "libp2pdt_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p2pdt_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

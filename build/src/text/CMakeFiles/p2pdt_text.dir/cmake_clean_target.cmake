@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libp2pdt_text.a"
+)

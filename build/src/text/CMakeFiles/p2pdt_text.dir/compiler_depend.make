@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for p2pdt_text.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/activity_log_test.dir/activity_log_test.cc.o"
+  "CMakeFiles/activity_log_test.dir/activity_log_test.cc.o.d"
+  "activity_log_test"
+  "activity_log_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/activity_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cempar_test.dir/cempar_test.cc.o"
+  "CMakeFiles/cempar_test.dir/cempar_test.cc.o.d"
+  "cempar_test"
+  "cempar_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cempar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

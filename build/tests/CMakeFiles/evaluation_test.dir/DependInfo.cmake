@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/evaluation_test.cc" "tests/CMakeFiles/evaluation_test.dir/evaluation_test.cc.o" "gcc" "tests/CMakeFiles/evaluation_test.dir/evaluation_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p2pdmt/CMakeFiles/p2pdt_p2pdmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/p2pdt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2pml/CMakeFiles/p2pdt_p2pml.dir/DependInfo.cmake"
+  "/root/repo/build/src/p2psim/CMakeFiles/p2pdt_p2psim.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/p2pdt_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/p2pdt_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/p2pdt_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p2pdt_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multilabel_test.dir/multilabel_test.cc.o"
+  "CMakeFiles/multilabel_test.dir/multilabel_test.cc.o.d"
+  "multilabel_test"
+  "multilabel_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multilabel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pace_test.dir/pace_test.cc.o"
+  "CMakeFiles/pace_test.dir/pace_test.cc.o.d"
+  "pace_test"
+  "pace_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_cloud_test.dir/tag_cloud_test.cc.o"
+  "CMakeFiles/tag_cloud_test.dir/tag_cloud_test.cc.o.d"
+  "tag_cloud_test"
+  "tag_cloud_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_cloud_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

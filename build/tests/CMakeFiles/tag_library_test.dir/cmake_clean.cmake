@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_library_test.dir/tag_library_test.cc.o"
+  "CMakeFiles/tag_library_test.dir/tag_library_test.cc.o.d"
+  "tag_library_test"
+  "tag_library_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_library_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_query_test.dir/tag_query_test.cc.o"
+  "CMakeFiles/tag_query_test.dir/tag_query_test.cc.o.d"
+  "tag_query_test"
+  "tag_query_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

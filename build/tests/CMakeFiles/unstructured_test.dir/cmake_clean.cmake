@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unstructured_test.dir/unstructured_test.cc.o"
+  "CMakeFiles/unstructured_test.dir/unstructured_test.cc.o.d"
+  "unstructured_test"
+  "unstructured_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unstructured_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
