@@ -10,11 +10,13 @@ Logger& Logger::Instance() {
 }
 
 void Logger::BeginCapture() {
+  std::lock_guard<std::mutex> lock(mu_);
   capturing_ = true;
   capture_.clear();
 }
 
 std::string Logger::EndCapture() {
+  std::lock_guard<std::mutex> lock(mu_);
   capturing_ = false;
   std::string out;
   out.swap(capture_);
@@ -23,6 +25,7 @@ std::string Logger::EndCapture() {
 
 void Logger::Write(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  std::lock_guard<std::mutex> lock(mu_);
   if (capturing_) {
     capture_ += message;
     capture_ += '\n';

@@ -1,6 +1,7 @@
 #ifndef P2PDT_COMMON_LOGGING_H_
 #define P2PDT_COMMON_LOGGING_H_
 
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -15,8 +16,10 @@ enum class LogLevel : int {
 };
 
 /// Process-wide logger with a settable severity threshold and an optional
-/// capture sink for tests. Not thread-safe by design: the simulator is
-/// single-threaded (discrete-event), and benchmarks set the level once.
+/// capture sink for tests. Write() is thread-safe (training fans out over
+/// the thread pool and workers log failures); level and capture mode are
+/// still expected to be configured from a single thread before any
+/// parallel region starts.
 class Logger {
  public:
   static Logger& Instance();
@@ -35,6 +38,7 @@ class Logger {
  private:
   Logger() = default;
   LogLevel level_ = LogLevel::kWarning;
+  std::mutex mu_;  // serializes sink access across pool workers
   bool capturing_ = false;
   std::string capture_;
 };

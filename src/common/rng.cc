@@ -18,6 +18,15 @@ uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
 
 }  // namespace
 
+uint64_t DeriveSeed(uint64_t base, uint64_t key_a, uint64_t key_b) {
+  uint64_t state = base;
+  uint64_t mixed = SplitMix64(state);
+  state ^= mixed + 0x9E3779B97F4A7C15ULL * key_a;
+  mixed = SplitMix64(state);
+  state ^= mixed + 0xBF58476D1CE4E5B9ULL * key_b;
+  return SplitMix64(state);
+}
+
 Rng::Rng(uint64_t seed) {
   uint64_t sm = seed;
   for (auto& s : s_) s = SplitMix64(sm);

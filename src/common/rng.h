@@ -94,6 +94,12 @@ class Rng {
   uint64_t s_[4];
 };
 
+/// Mixes a base seed with up to two stream keys into an independent child
+/// seed (SplitMix64 finalizer over the concatenation). Parallel trainers
+/// key their per-task RNG streams by data identity — DeriveSeed(base, peer,
+/// tag) — so results never depend on which thread ran the task.
+uint64_t DeriveSeed(uint64_t base, uint64_t key_a, uint64_t key_b = 0);
+
 /// Precomputed inverse-CDF sampler for a Zipf distribution over [0, n).
 /// O(n) setup, O(log n) per sample.
 class ZipfSampler {

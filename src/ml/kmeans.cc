@@ -1,8 +1,10 @@
 #include "ml/kmeans.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
 
+#include "common/thread_pool.h"
 #include "ml/dataset.h"
 
 namespace p2pdt {
@@ -59,25 +61,40 @@ Result<KMeansResult> KMeansCluster(const std::vector<SparseVector>& points,
   }
 
   std::vector<std::size_t> assignment(n, 0);
+  // The assignment step reads shared centroids and writes only
+  // assignment[i], so it fans out over the pool for large peer datasets;
+  // small inputs stay serial to dodge the dispatch overhead. Either path
+  // produces the same assignments.
+  const bool parallel_assign = n * k >= 4096;
   int iter = 0;
   for (; iter < options.max_iterations; ++iter) {
-    bool changed = false;
-    for (std::size_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::infinity();
-      std::size_t best_c = 0;
-      for (std::size_t c = 0; c < k; ++c) {
-        double d = dist2(i, c);
-        if (d < best) {
-          best = d;
-          best_c = c;
-        }
-      }
-      if (assignment[i] != best_c) {
-        assignment[i] = best_c;
-        changed = true;
-      }
+    std::atomic<bool> changed{false};
+    ParallelFor(0, n, 256, parallel_assign ? options.num_threads : 1,
+                [&](std::size_t lo, std::size_t hi) {
+                  bool local_changed = false;
+                  for (std::size_t i = lo; i < hi; ++i) {
+                    double best = std::numeric_limits<double>::infinity();
+                    std::size_t best_c = 0;
+                    for (std::size_t c = 0; c < k; ++c) {
+                      double d = dist2(i, c);
+                      if (d < best) {
+                        best = d;
+                        best_c = c;
+                      }
+                    }
+                    if (assignment[i] != best_c) {
+                      assignment[i] = best_c;
+                      local_changed = true;
+                    }
+                  }
+                  if (local_changed) {
+                    changed.store(true, std::memory_order_relaxed);
+                  }
+                });
+    if (!changed.load(std::memory_order_relaxed) && iter > 0 &&
+        options.early_stop) {
+      break;
     }
-    if (!changed && iter > 0 && options.early_stop) break;
 
     // Recompute centroids.
     std::vector<std::size_t> count(k, 0);

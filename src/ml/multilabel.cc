@@ -4,6 +4,8 @@
 #include <cmath>
 #include <limits>
 
+#include "common/thread_pool.h"
+
 namespace p2pdt {
 
 OneVsAllModel& OneVsAllModel::operator=(const OneVsAllModel& other) {
@@ -67,25 +69,58 @@ std::vector<TagId> DecideTags(const std::vector<double>& scores,
 }
 
 Result<OneVsAllModel> TrainOneVsAll(const MultiLabelDataset& data,
-                                    const BinaryTrainer& trainer) {
+                                    const BinaryTrainer& trainer,
+                                    const OneVsAllTrainOptions& options) {
+  return TrainOneVsAll(
+      data,
+      [&trainer](const std::vector<Example>& examples, TagId)
+          -> Result<std::unique_ptr<BinaryClassifier>> {
+        return trainer(examples);
+      },
+      options);
+}
+
+Result<OneVsAllModel> TrainOneVsAll(const MultiLabelDataset& data,
+                                    const IndexedBinaryTrainer& trainer,
+                                    const OneVsAllTrainOptions& options) {
   if (data.empty()) {
     return Status::InvalidArgument("cannot train one-vs-all on empty data");
   }
   std::vector<std::unique_ptr<BinaryClassifier>> models(data.num_tags());
   std::vector<std::size_t> counts = data.TagCounts();
+
+  // Degenerate single-class tags resolve without training; the rest form
+  // the worklist that fans out across the pool.
+  std::vector<TagId> work;
   for (TagId t = 0; t < data.num_tags(); ++t) {
     if (counts[t] == 0) {
       models[t] = std::make_unique<ConstantClassifier>(-1.0);
-      continue;
-    }
-    if (counts[t] == data.size()) {
+    } else if (counts[t] == data.size()) {
       models[t] = std::make_unique<ConstantClassifier>(1.0);
-      continue;
+    } else {
+      work.push_back(t);
     }
-    Result<std::unique_ptr<BinaryClassifier>> model =
-        trainer(data.OneAgainstAll(t));
-    if (!model.ok()) return model.status();
-    models[t] = std::move(model).value();
+  }
+
+  // Each task writes only its own slots; failure statuses are collected
+  // per tag so the reported error is the lowest failing tag no matter
+  // which thread hit it first.
+  std::vector<Status> failures(work.size(), Status::OK());
+  ParallelFor(0, work.size(), options.grain, options.num_threads,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  const TagId t = work[i];
+                  Result<std::unique_ptr<BinaryClassifier>> model =
+                      trainer(data.OneAgainstAll(t), t);
+                  if (!model.ok()) {
+                    failures[i] = model.status();
+                    continue;
+                  }
+                  models[t] = std::move(model).value();
+                }
+              });
+  for (const Status& s : failures) {
+    if (!s.ok()) return s;
   }
   return OneVsAllModel(std::move(models));
 }

@@ -20,6 +20,25 @@ using BinaryTrainer =
     std::function<Result<std::unique_ptr<BinaryClassifier>>(
         const std::vector<Example>&)>;
 
+/// Tag-aware variant: also receives the tag being trained so the trainer
+/// can derive a per-(peer, tag) RNG stream (see DeriveSeed in common/rng.h).
+/// Per-tag training runs on the thread pool, so the trainer must be
+/// thread-safe: calls for different tags may run concurrently and must not
+/// share mutable state.
+using IndexedBinaryTrainer =
+    std::function<Result<std::unique_ptr<BinaryClassifier>>(
+        const std::vector<Example>&, TagId)>;
+
+/// Controls the per-tag training fan-out of TrainOneVsAll.
+struct OneVsAllTrainOptions {
+  /// 0 = the global P2PDT_THREADS setting, 1 = serial (no pool), N > 1 caps
+  /// concurrency at N. Results are bit-identical for every value.
+  std::size_t num_threads = 0;
+  /// Tags claimed per task; 1 gives the best balance under Zipf-skewed
+  /// per-tag cost.
+  std::size_t grain = 1;
+};
+
 /// Constant decision function; used for degenerate single-class tags (a
 /// peer that has only ever seen — or never seen — a tag has nothing to
 /// learn, just a fixed opinion).
@@ -96,8 +115,19 @@ std::vector<TagId> DecideTags(const std::vector<double>& scores,
 /// Trains one binary classifier per tag with the supplied trainer. Tags
 /// with no positive examples get a degenerate always-negative model rather
 /// than failing — in the P2P setting most peers only hold a few tags.
+///
+/// The per-tag loop is the dominant cost of every local training step and
+/// fans out across the thread pool; results are bit-identical to a serial
+/// run because each tag's subproblem is independent and any trainer
+/// randomness is seeded from data identity, not thread identity. On error,
+/// the failure of the lowest-numbered failing tag is returned.
 Result<OneVsAllModel> TrainOneVsAll(const MultiLabelDataset& data,
-                                    const BinaryTrainer& trainer);
+                                    const BinaryTrainer& trainer,
+                                    const OneVsAllTrainOptions& options = {});
+
+Result<OneVsAllModel> TrainOneVsAll(const MultiLabelDataset& data,
+                                    const IndexedBinaryTrainer& trainer,
+                                    const OneVsAllTrainOptions& options = {});
 
 }  // namespace p2pdt
 

@@ -1,8 +1,10 @@
 #include "p2pml/cempar.h"
 
 #include <algorithm>
+#include <optional>
 
 #include "common/logging.h"
+#include "common/thread_pool.h"
 
 namespace p2pdt {
 
@@ -86,25 +88,53 @@ void Cempar::Train(std::function<void(Status)> on_complete) {
     on_complete(Status::OK());
   };
 
+  // Phase 1 — pure compute: fit one local SVM per (peer, tag) cell. The
+  // grid fans out across the thread pool; each task reads immutable peer
+  // data and writes only its own result slot. SMO itself is deterministic,
+  // so phase 1 produces the same models at any thread count.
+  struct GridCell {
+    NodeId peer;
+    TagId tag;
+    std::size_t region;
+  };
+  std::vector<GridCell> grid;
   for (NodeId peer = 0; peer < peer_data_.size(); ++peer) {
     if (!net_.IsOnline(peer) || peer_data_[peer].empty()) continue;
-    const MultiLabelDataset& data = peer_data_[peer];
-    std::vector<std::size_t> counts = data.TagCounts();
+    std::vector<std::size_t> counts = peer_data_[peer].TagCounts();
     const std::size_t region = peer % options_.regions_per_tag;
     for (TagId tag = 0; tag < num_tags_; ++tag) {
       if (tag >= counts.size() || counts[tag] == 0) continue;
-      Result<KernelSvmModel> model =
-          TrainKernelSvm(data.OneAgainstAll(tag), options_.svm);
-      if (!model.ok()) {
-        P2PDT_LOG(Warning) << "peer " << peer << " tag " << tag
-                           << " local SVM failed: "
-                           << model.status().ToString();
-        continue;
-      }
-      local_models_[peer].emplace(HomeIndex(tag, region), model.value());
-      ++*pending;
-      UploadModel(peer, tag, region, std::move(model).value(), barrier);
+      grid.push_back({peer, tag, region});
     }
+  }
+  std::vector<std::optional<Result<KernelSvmModel>>> fitted(grid.size());
+  ParallelFor(0, grid.size(), 1, options_.num_threads,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  const GridCell& cell = grid[i];
+                  fitted[i] = TrainKernelSvm(
+                      peer_data_[cell.peer].OneAgainstAll(cell.tag),
+                      options_.svm);
+                }
+              });
+
+  // Phase 2 — protocol: uploads are issued on the driver thread in grid
+  // order, which is exactly the order the old serial loop used, so the
+  // simulated message schedule is unchanged.
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const GridCell& cell = grid[i];
+    Result<KernelSvmModel>& model = *fitted[i];
+    if (!model.ok()) {
+      P2PDT_LOG(Warning) << "peer " << cell.peer << " tag " << cell.tag
+                         << " local SVM failed: "
+                         << model.status().ToString();
+      continue;
+    }
+    local_models_[cell.peer].emplace(HomeIndex(cell.tag, cell.region),
+                                     model.value());
+    ++*pending;
+    UploadModel(cell.peer, cell.tag, cell.region, std::move(model).value(),
+                barrier);
   }
   (*barrier)();  // consume the root token
 }

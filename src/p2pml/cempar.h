@@ -29,6 +29,13 @@ struct CemparOptions {
   /// Requesters cache tag→super-peer resolutions learned from lookups and
   /// invalidate them when a request is dropped.
   bool cache_super_peer_lookups = true;
+  /// Threads for the (peer × tag) local SVM grid in Train (0 = global
+  /// P2PDT_THREADS setting, 1 = serial). Only the SMO fitting fans out;
+  /// uploads and all other simulator traffic are issued afterwards on the
+  /// driver thread in the same order as a serial run, so the simulated
+  /// protocol — and the trained models (SMO is deterministic) — are
+  /// bit-identical for every value.
+  std::size_t num_threads = 0;
 };
 
 /// CEMPaR (Ang et al., ECML/PKDD 2009): communication-efficient P2P

@@ -5,6 +5,8 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
 
 namespace p2pdt {
 
@@ -32,11 +34,14 @@ void Pace::TrainLocal(NodeId peer) {
   const MultiLabelDataset& data = peer_data_[peer];
   PeerModel& pm = models_[peer];
 
-  LinearSvmOptions svm_opts = options_.svm;
-  svm_opts.seed = options_.svm.seed + peer;
-  BinaryTrainer trainer =
-      [&svm_opts](const std::vector<Example>& examples)
+  // Per-(peer, tag) RNG streams: every binary subproblem draws its
+  // coordinate permutations from a seed derived from data identity, so the
+  // trained model is the same no matter which thread (or how many) ran it.
+  IndexedBinaryTrainer trainer =
+      [this, peer](const std::vector<Example>& examples, TagId tag)
       -> Result<std::unique_ptr<BinaryClassifier>> {
+    LinearSvmOptions svm_opts = options_.svm;
+    svm_opts.seed = DeriveSeed(options_.svm.seed, peer, tag);
     Result<LinearSvmModel> model = TrainLinearSvm(examples, svm_opts);
     if (!model.ok()) return model.status();
     return std::unique_ptr<BinaryClassifier>(
@@ -47,7 +52,9 @@ void Pace::TrainLocal(NodeId peer) {
   // any tag id.
   MultiLabelDataset padded = data;
   padded.set_num_tags(num_tags_);
-  Result<OneVsAllModel> model = TrainOneVsAll(padded, trainer);
+  OneVsAllTrainOptions ova;
+  ova.num_threads = options_.num_threads;
+  Result<OneVsAllModel> model = TrainOneVsAll(padded, trainer, ova);
   if (!model.ok()) {
     P2PDT_LOG(Warning) << "peer " << peer
                        << " PACE local training failed: "
@@ -80,7 +87,8 @@ void Pace::TrainLocal(NodeId peer) {
   points.reserve(data.size());
   for (const auto& ex : data.examples()) points.push_back(ex.x);
   KMeansOptions km = options_.clustering;
-  km.seed = options_.clustering.seed + peer;
+  km.seed = DeriveSeed(options_.clustering.seed, peer);
+  km.num_threads = options_.num_threads;
   Result<KMeansResult> clusters = KMeansCluster(points, km);
   if (!clusters.ok()) {
     P2PDT_LOG(Warning) << "peer " << peer << " PACE clustering failed: "
@@ -95,11 +103,22 @@ void Pace::TrainLocal(NodeId peer) {
 }
 
 void Pace::Train(std::function<void(Status)> on_complete) {
-  // Local phase: models, accuracies, centroids.
+  // Local phase: models, accuracies, centroids. Pure compute — no
+  // simulator or network calls — so it fans out across peers on the
+  // thread pool; each task writes only its own models_[peer] slot.
+  // Everything that touches sim_/net_/overlay_ stays below, on the
+  // driver thread.
+  std::vector<NodeId> training_peers;
   for (NodeId peer = 0; peer < peer_data_.size(); ++peer) {
     if (!net_.IsOnline(peer) || peer_data_[peer].empty()) continue;
-    TrainLocal(peer);
+    training_peers.push_back(peer);
   }
+  ParallelFor(0, training_peers.size(), 1, options_.num_threads,
+              [&](std::size_t lo, std::size_t hi) {
+                for (std::size_t i = lo; i < hi; ++i) {
+                  TrainLocal(training_peers[i]);
+                }
+              });
 
   // Build the shared LSH index over all contributed centroids.
   for (NodeId peer = 0; peer < models_.size(); ++peer) {

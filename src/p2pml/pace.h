@@ -28,6 +28,13 @@ struct PaceOptions {
   /// Weighting of a consulted model: accuracy^a / (1 + dist)^b.
   double accuracy_exponent = 1.0;
   double distance_exponent = 1.0;
+  /// Threads for the local-training phase (0 = global P2PDT_THREADS
+  /// setting, 1 = serial). Only the pure compute of SVM fitting, accuracy
+  /// estimation and clustering fans out, across peers; all simulator and
+  /// overlay traffic stays on the driver thread. Trained models are
+  /// bit-identical for every value: per-task RNG streams are keyed by
+  /// (peer, tag), never by thread.
+  std::size_t num_threads = 0;
 };
 
 /// PACE (Ang et al., DASFAA 2010): adaptive ensemble classification in P2P

@@ -1,6 +1,12 @@
 #include "p2psim/churn.h"
 
+#include <set>
+
 #include <gtest/gtest.h>
+
+#include "p2pdmt/environment.h"
+#include "p2pml/cempar.h"
+#include "p2pml/pace.h"
 
 namespace p2pdt {
 namespace {
@@ -111,6 +117,110 @@ TEST(ChurnDriverTest, DeterministicInSeed) {
   EXPECT_EQ(f1, f2);
   EXPECT_EQ(s1, s2);
   EXPECT_TRUE(f1 != f3 || s1 != s3);
+}
+
+// ---------------------------------------------------------------------------
+// Regression tests: a prediction whose serving peers die mid-flight must
+// resolve to P2PPrediction::success == false — promptly, not as a hang, and
+// not as an empty "successful" prediction.
+// ---------------------------------------------------------------------------
+
+// Four tags, each tied to a distinct feature; peers specialize in two tags.
+std::vector<MultiLabelDataset> MakeChurnPeerData(std::size_t num_peers,
+                                                 std::size_t per_peer,
+                                                 uint64_t seed) {
+  Rng data_rng(seed);
+  std::vector<MultiLabelDataset> peers(num_peers, MultiLabelDataset(4));
+  for (std::size_t p = 0; p < num_peers; ++p) {
+    for (std::size_t i = 0; i < per_peer; ++i) {
+      TagId tag = static_cast<TagId>((p + i) % 4);
+      MultiLabelExample ex;
+      ex.x = SparseVector::FromPairs(
+          {{tag * 3 + static_cast<uint32_t>(data_rng.NextU64(3)), 1.0},
+           {12 + static_cast<uint32_t>(data_rng.NextU64(4)),
+            0.3 * data_rng.NextDouble()}});
+      ex.tags = {tag};
+      peers[p].Add(std::move(ex));
+    }
+  }
+  return peers;
+}
+
+TEST(ChurnPredictionTest, CemparAllSuperPeersFailMidPrediction) {
+  EnvironmentOptions eo;
+  eo.num_peers = 16;
+  auto env = std::move(Environment::Create(eo)).value();
+  CemparOptions opt;
+  opt.svm.kernel = Kernel::Linear();
+  Cempar cempar(env->sim(), env->net(), *env->chord(), opt);
+  ASSERT_TRUE(cempar.Setup(MakeChurnPeerData(16, 8, 21), 4).ok());
+  bool trained = false;
+  cempar.Train([&](Status s) {
+    ASSERT_TRUE(s.ok());
+    trained = true;
+  });
+  env->RunUntilFlag(trained, 3600);
+  ASSERT_TRUE(trained);
+
+  // A requester that hosts no home, so every score must come off-node.
+  std::set<NodeId> owners;
+  for (NodeId owner : cempar.HomeOwners()) {
+    if (owner != kInvalidNode) owners.insert(owner);
+  }
+  NodeId requester = 0;
+  while (owners.count(requester)) ++requester;
+  ASSERT_LT(requester, 16u);
+
+  // Issue the prediction — requests to the super-peers are now in flight —
+  // then kill every super-peer before the simulator delivers anything.
+  bool done = false;
+  P2PPrediction pred;
+  cempar.Predict(requester,
+                 SparseVector::FromPairs({{0u, 1.0}, {1u, 1.0}}),
+                 [&](P2PPrediction p) {
+                   pred = std::move(p);
+                   done = true;
+                 });
+  for (NodeId owner : owners) env->net().SetOnline(owner, false);
+  env->RunUntilFlag(done, 3600);
+
+  ASSERT_TRUE(done) << "prediction hung after super-peer failure";
+  EXPECT_FALSE(pred.success);
+  EXPECT_TRUE(pred.tags.empty());
+}
+
+TEST(ChurnPredictionTest, PaceRequesterWithNoModelsFailsPromptly) {
+  // PACE's serving peers are the model contributors. A peer that missed
+  // every broadcast (offline through training) holds no models; once the
+  // contributors fail there is nothing to fall back to — prediction must
+  // report failure, not hang and not return an empty success.
+  EnvironmentOptions eo;
+  eo.num_peers = 10;
+  auto env = std::move(Environment::Create(eo)).value();
+  Pace pace(env->sim(), env->net(), env->overlay(), {});
+  ASSERT_TRUE(pace.Setup(MakeChurnPeerData(10, 8, 22), 4).ok());
+  env->net().SetOnline(7, false);
+  bool trained = false;
+  pace.Train([&](Status) { trained = true; });
+  env->RunUntilFlag(trained, 3600);
+  ASSERT_TRUE(trained);
+
+  env->net().SetOnline(7, true);
+  for (NodeId peer = 0; peer < 10; ++peer) {
+    if (peer != 7) env->net().SetOnline(peer, false);
+  }
+  bool done = false;
+  P2PPrediction pred;
+  pace.Predict(7, SparseVector::FromPairs({{0u, 1.0}, {1u, 1.0}}),
+               [&](P2PPrediction p) {
+                 pred = std::move(p);
+                 done = true;
+               });
+  env->RunUntilFlag(done, 3600);
+
+  ASSERT_TRUE(done) << "prediction hung with no reachable models";
+  EXPECT_FALSE(pred.success);
+  EXPECT_TRUE(pred.tags.empty());
 }
 
 }  // namespace
