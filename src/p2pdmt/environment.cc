@@ -85,12 +85,22 @@ Result<std::unique_ptr<Environment>> Environment::Create(
   env->churn_->AddListener([overlay](NodeId node, bool online) {
     overlay->OnTransition(node, online);
   });
+
+  if (!options.fault.empty()) {
+    env->fault_ = std::make_unique<FaultInjector>(
+        *env->sim_, *env->net_, options.fault.seed ^ options.seed);
+    env->fault_->AddPlan(options.fault);
+    env->fault_->AddTransitionListener([overlay](NodeId node, bool online) {
+      overlay->OnTransition(node, online);
+    });
+  }
   return env;
 }
 
 void Environment::StartDynamics() {
   if (options_.churn != ChurnType::kNone) churn_->Start();
   if (chord_ != nullptr) chord_->StartStabilization();
+  if (fault_ != nullptr && !fault_->armed()) fault_->Arm();
 }
 
 double Environment::RunUntilFlag(const bool& flag, double max_sim_seconds) {

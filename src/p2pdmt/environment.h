@@ -7,6 +7,7 @@
 #include "common/status.h"
 #include "p2psim/chord.h"
 #include "p2psim/churn.h"
+#include "p2psim/fault.h"
 #include "p2psim/network.h"
 #include "p2psim/simulator.h"
 #include "p2psim/unstructured.h"
@@ -35,6 +36,11 @@ struct EnvironmentOptions {
   double churn_mean_offline_sec = 120.0;
   /// Pareto shape for heavy-tailed lifetimes.
   double churn_pareto_alpha = 1.5;
+  /// Structured faults (burst loss, partitions, latency spikes, scripted
+  /// crash/recover) layered on top of churn; armed by StartDynamics when
+  /// non-empty. Scripted transitions notify the overlay exactly like churn
+  /// transitions do.
+  FaultPlanSpec fault;
   uint64_t seed = 99;
 };
 
@@ -53,6 +59,8 @@ class Environment {
   ChordOverlay* chord() { return chord_; }
   UnstructuredOverlay* unstructured() { return unstructured_; }
   ChurnDriver& churn() { return *churn_; }
+  /// Non-null only when options.fault was non-empty.
+  FaultInjector* fault_injector() { return fault_.get(); }
   const EnvironmentOptions& options() const { return options_; }
 
   /// Starts churn transitions and (for Chord) periodic stabilization.
@@ -74,6 +82,7 @@ class Environment {
   ChordOverlay* chord_ = nullptr;
   UnstructuredOverlay* unstructured_ = nullptr;
   std::unique_ptr<ChurnDriver> churn_;
+  std::unique_ptr<FaultInjector> fault_;
 };
 
 }  // namespace p2pdt

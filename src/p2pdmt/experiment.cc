@@ -176,6 +176,7 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
   std::size_t outstanding = test_idx.size();
   bool predict_done = (outstanding == 0);
   std::size_t failed = 0;
+  std::size_t degraded = 0;
 
   auto pick_requester = [&]() -> NodeId {
     // Prefer an online peer; bounded retries keep this deterministic.
@@ -192,6 +193,7 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
     NodeId requester = pick_requester();
     algo.Predict(requester, ex.x, [&, i](P2PPrediction p) {
       if (!p.success) ++failed;
+      if (p.degraded) ++degraded;
       predicted[i] = std::move(p.tags);
       if (--outstanding == 0) predict_done = true;
     });
@@ -211,6 +213,18 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
   result.maintenance_messages = after_predict.maintenance_messages;
   result.maintenance_bytes = after_predict.maintenance_bytes;
   result.failed_predictions = failed;
+  result.degraded_predictions = degraded;
+
+  const NetworkStats& stats = env.net().stats();
+  result.delivery_rate = stats.delivery_rate();
+  result.dropped_messages = stats.messages_dropped();
+  result.injected_drops = stats.dropped(DropReason::kInjectedFault);
+  result.retransmits = stats.retransmits();
+  result.acks_received = stats.acks_received();
+  result.give_ups = stats.give_ups();
+  if (auto* pace = dynamic_cast<Pace*>(&algo)) {
+    result.model_coverage = pace->ModelCoverage();
+  }
 
   result.metrics =
       EvaluateMultiLabel(truth, predicted, corpus.dataset.num_tags());
@@ -224,13 +238,14 @@ std::string ExperimentResult::ToString() const {
       buf, sizeof(buf),
       "%-12s peers=%-5zu overlay=%-12s churn=%-11s microF1=%.4f "
       "jaccard=%.4f train=%.2fMiB (%.1fKiB/peer) predict=%.2fMiB "
-      "failed=%zu/%zu",
+      "failed=%zu/%zu degraded=%zu deliv=%.3f retx=%llu",
       algorithm.c_str(), num_peers, overlay.c_str(), churn.c_str(),
       metrics.micro_f1, metrics.jaccard_accuracy,
       static_cast<double>(train_bytes) / (1024.0 * 1024.0),
       train_bytes_per_peer() / 1024.0,
       static_cast<double>(predict_bytes) / (1024.0 * 1024.0),
-      failed_predictions, test_documents);
+      failed_predictions, test_documents, degraded_predictions,
+      delivery_rate, static_cast<unsigned long long>(retransmits));
   return buf;
 }
 

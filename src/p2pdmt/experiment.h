@@ -66,6 +66,20 @@ struct ExperimentResult {
 
   MultiLabelMetrics metrics;
   std::size_t failed_predictions = 0;
+  /// Predictions answered from a degraded path (local-model fallback after
+  /// the reliable transport exhausted its retries). Counted as successes.
+  std::size_t degraded_predictions = 0;
+
+  /// Delivery / reliability accounting over the whole run.
+  double delivery_rate = 1.0;
+  uint64_t dropped_messages = 0;
+  uint64_t injected_drops = 0;
+  uint64_t retransmits = 0;
+  uint64_t acks_received = 0;
+  uint64_t give_ups = 0;
+  /// PACE only: fraction of (receiver, contributor) pairs holding the
+  /// contributor's model after training (-1 for other algorithms).
+  double model_coverage = -1.0;
 
   /// Communication, split by phase (snapshot deltas around each phase).
   uint64_t train_messages = 0;

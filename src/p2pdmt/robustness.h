@@ -1,0 +1,88 @@
+#ifndef P2PDT_P2PDMT_ROBUSTNESS_H_
+#define P2PDT_P2PDMT_ROBUSTNESS_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "p2pdmt/experiment.h"
+#include "p2psim/fault.h"
+
+namespace p2pdt {
+
+/// A fault plan with a human-readable label, so sweep output stays
+/// interpretable ("burst", "partition", ...).
+struct NamedFaultPlan {
+  std::string label = "none";
+  FaultPlanSpec plan;
+};
+
+/// Canonical fault plans the robustness experiments exercise, scaled to a
+/// protocol run that trains within the first `horizon` simulated seconds:
+///  - "none":       no injected faults (baseline loss only)
+///  - "burst":      50 % loss for the middle third of the horizon
+///  - "partition":  the first half of the peers is cut off from the second
+///                  for the middle third
+///  - "spike":      +2 s latency for the middle third (stress timers, not
+///                  delivery)
+///  - "crash":      the first `num_peers / 8` peers crash at horizon/4 and
+///                  recover at 3·horizon/4
+std::vector<NamedFaultPlan> CanonicalFaultPlans(std::size_t num_peers,
+                                                double horizon);
+
+/// One grid point of the robustness sweep, flattened for reporting.
+struct RobustnessRow {
+  std::string algorithm;
+  std::string plan = "none";
+  double loss_rate = 0.0;
+  bool reliable = false;
+
+  double micro_f1 = 0.0;
+  double macro_f1 = 0.0;
+  /// Fraction of prediction requests answered (success flag), including
+  /// degraded answers.
+  double prediction_success_rate = 0.0;
+  std::size_t failed_predictions = 0;
+  std::size_t degraded_predictions = 0;
+  std::size_t test_documents = 0;
+
+  double delivery_rate = 0.0;
+  /// Retransmissions per non-maintenance protocol message — the price the
+  /// transport pays for its delivery guarantee.
+  double retry_overhead = 0.0;
+  uint64_t retransmits = 0;
+  uint64_t give_ups = 0;
+  uint64_t injected_drops = 0;
+  /// PACE dissemination convergence (-1 for other algorithms).
+  double model_coverage = -1.0;
+};
+
+struct RobustnessSweepOptions {
+  /// Template for every run; algorithm / loss rate / fault plan / transport
+  /// settings are overridden per grid point.
+  ExperimentOptions base;
+  std::vector<AlgorithmType> algorithms = {AlgorithmType::kCempar,
+                                           AlgorithmType::kPace};
+  std::vector<double> loss_rates = {0.0, 0.1, 0.2};
+  std::vector<NamedFaultPlan> plans = {{}};
+  /// Run each point both fire-and-forget and with the reliable transport,
+  /// so the delta the retries buy is in the same table.
+  bool compare_reliability = true;
+  /// Invoked after every completed point (progress reporting); may be null.
+  std::function<void(const RobustnessRow&)> on_point;
+};
+
+/// Runs the full grid: algorithms × loss rates × fault plans ×
+/// {unreliable, reliable}. Failed runs are skipped with a warning rather
+/// than aborting the sweep.
+std::vector<RobustnessRow> RunRobustnessSweep(
+    const VectorizedCorpus& corpus, const RobustnessSweepOptions& options);
+
+/// Flattens sweep rows into the CSV schema bench_fault writes
+/// (bench_results/fault.csv).
+CsvWriter RobustnessCsv(const std::vector<RobustnessRow>& rows);
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PDMT_ROBUSTNESS_H_

@@ -23,6 +23,12 @@ Cempar::Cempar(Simulator& sim, PhysicalNetwork& net, ChordOverlay& chord,
                CemparOptions options)
     : sim_(sim), net_(net), chord_(chord), options_(options) {
   if (options_.regions_per_tag == 0) options_.regions_per_tag = 1;
+  if (options_.reliable_transport) {
+    transport_ =
+        std::make_unique<ReliableTransport>(sim_, net_, options_.transport);
+    transport_->SetSuspicionListener(
+        [this](NodeId suspect) { OnSuspect(suspect); });
+  }
 }
 
 uint64_t Cempar::HomeKey(TagId tag, std::size_t region) const {
@@ -60,18 +66,32 @@ void Cempar::UploadModel(NodeId peer, TagId tag, std::size_t region,
     if (options_.cache_super_peer_lookups) {
       owner_cache_[peer][h] = res.owner;
     }
+    auto install = [this, h, peer, owner = res.owner, model] {
+      Home& home = homes_[h];
+      if (home.owner == kInvalidNode) home.owner = owner;
+      if (home.owner == owner) {
+        home.locals.emplace(peer, model);
+        home.dirty = true;
+      }
+      // A model delivered to a node that is not the home's collection
+      // point (possible under churn-induced lookup disagreement) is
+      // simply unused — it was still paid for on the wire.
+    };
+    const std::size_t bytes = model.WireSize() + 16;
+    if (transport_) {
+      // Reliable path: the upload retries until ACKed or the retry budget
+      // is exhausted; the barrier settles on either outcome, never on
+      // receiver-side delivery (idempotent under retransmission).
+      transport_->SendReliable(
+          peer, res.owner, bytes, MessageType::kModelUpload,
+          std::move(install), [barrier] { (*barrier)(); },
+          [barrier] { (*barrier)(); });
+      return;
+    }
     net_.Send(
-        peer, res.owner, model.WireSize() + 16, MessageType::kModelUpload,
-        [this, h, peer, owner = res.owner, model, barrier] {
-          Home& home = homes_[h];
-          if (home.owner == kInvalidNode) home.owner = owner;
-          if (home.owner == owner) {
-            home.locals.emplace(peer, model);
-            home.dirty = true;
-          }
-          // A model delivered to a node that is not the home's collection
-          // point (possible under churn-induced lookup disagreement) is
-          // simply unused — it was still paid for on the wire.
+        peer, res.owner, bytes, MessageType::kModelUpload,
+        [install = std::move(install), barrier] {
+          install();
           (*barrier)();
         },
         [barrier] { (*barrier)(); });
@@ -84,6 +104,7 @@ void Cempar::Train(std::function<void(Status)> on_complete) {
   *barrier = [this, pending, on_complete = std::move(on_complete)] {
     if (--*pending > 0) return;
     CascadeAll();
+    ReplicateRegionals();
     trained_ = true;
     on_complete(Status::OK());
   };
@@ -180,7 +201,7 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
   ctx->score_sum.assign(num_tags_, 0.0);
   ctx->done = std::move(done);
 
-  auto finalize_one = [this, ctx] {
+  auto finalize_one = [this, ctx, requester, x] {
     if (--ctx->remaining > 0) return;
     P2PPrediction out;
     out.scores.assign(num_tags_, 0.0);
@@ -190,6 +211,13 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
       }
     }
     out.success = ctx->responded > 0;
+    if (!out.success && transport_ != nullptr &&
+        LocalScores(requester, x, out.scores)) {
+      // Every remote path exhausted its retry budget: degrade to the
+      // requester's own local models rather than failing outright.
+      out.success = true;
+      out.degraded = true;
+    }
     out.tags = out.success ? DecideTags(out.scores, options_.policy)
                            : std::vector<TagId>{};
     ctx->done(std::move(out));
@@ -235,45 +263,88 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
         });
         continue;
       }
+      // Super-peer evaluates all queried homes it actually hosts.
+      struct Partial {
+        TagId tag;
+        double score;
+        double weight;
+      };
+      auto evaluate = [this, owner, home_list, x] {
+        auto partials = std::make_shared<std::vector<Partial>>();
+        for (std::size_t h : home_list) {
+          const Home& home = homes_[h];
+          if (home.owner != owner || !home.has_regional) continue;
+          TagId tag = static_cast<TagId>(h / options_.regions_per_tag);
+          partials->push_back({tag, home.regional.Decision(x), home.weight});
+        }
+        return partials;
+      };
+      auto accumulate = [ctx](std::shared_ptr<std::vector<Partial>> partials) {
+        for (const auto& p : *partials) {
+          ctx->score_sum[p.tag] += p.weight * p.score;
+          ctx->weight_sum[p.tag] += p.weight;
+        }
+        ++ctx->responded;
+      };
+      auto invalidate = [this, requester, home_list] {
+        // Request lost: invalidate cached owners so the next prediction
+        // re-resolves through the DHT.
+        if (options_.cache_super_peer_lookups) {
+          for (std::size_t h : home_list) {
+            owner_cache_[requester].erase(h);
+          }
+        }
+      };
+      if (transport_) {
+        // Reliable path. A group can settle through several routes
+        // (response delivered, response given up at the responder, request
+        // given up after the data still slipped through) — the flag makes
+        // the group's finalize idempotent.
+        auto settle = [finalize_one,
+                       flag = std::make_shared<bool>(false)]() mutable {
+          if (*flag) return;
+          *flag = true;
+          finalize_one();
+        };
+        transport_->SendReliable(
+            requester, owner, RequestBytes(x), MessageType::kPredictionRequest,
+            /*on_deliver=*/
+            [this, owner, requester, evaluate, accumulate, settle] {
+              auto partials = evaluate();
+              transport_->SendReliable(
+                  owner, requester, ResponseBytes(partials->size()),
+                  MessageType::kPredictionResponse,
+                  /*on_deliver=*/
+                  [accumulate, partials, settle]() mutable {
+                    accumulate(partials);
+                    settle();
+                  },
+                  /*on_acked=*/nullptr,
+                  /*on_give_up=*/settle);
+            },
+            /*on_acked=*/nullptr,
+            /*on_give_up=*/
+            [invalidate, settle]() mutable {
+              invalidate();
+              settle();
+            });
+        continue;
+      }
       net_.Send(
           requester, owner, RequestBytes(x), MessageType::kPredictionRequest,
-          [this, ctx, requester, owner, home_list, x, finalize_one] {
-            // Super-peer evaluates all queried homes it actually hosts.
-            struct Partial {
-              TagId tag;
-              double score;
-              double weight;
-            };
-            auto partials = std::make_shared<std::vector<Partial>>();
-            for (std::size_t h : home_list) {
-              const Home& home = homes_[h];
-              if (home.owner != owner || !home.has_regional) continue;
-              TagId tag =
-                  static_cast<TagId>(h / options_.regions_per_tag);
-              partials->push_back(
-                  {tag, home.regional.Decision(x), home.weight});
-            }
+          [this, owner, requester, evaluate, accumulate, finalize_one] {
+            auto partials = evaluate();
             net_.Send(
                 owner, requester, ResponseBytes(partials->size()),
                 MessageType::kPredictionResponse,
-                [ctx, partials, finalize_one] {
-                  for (const auto& p : *partials) {
-                    ctx->score_sum[p.tag] += p.weight * p.score;
-                    ctx->weight_sum[p.tag] += p.weight;
-                  }
-                  ++ctx->responded;
+                [accumulate, partials, finalize_one] {
+                  accumulate(partials);
                   finalize_one();
                 },
                 finalize_one);
           },
-          [this, ctx, requester, home_list, finalize_one] {
-            // Request lost: invalidate cached owners so the next
-            // prediction re-resolves through the DHT.
-            if (options_.cache_super_peer_lookups) {
-              for (std::size_t h : home_list) {
-                owner_cache_[requester].erase(h);
-              }
-            }
+          [invalidate, finalize_one] {
+            invalidate();
             finalize_one();
           });
     }
@@ -317,6 +388,15 @@ void Cempar::RepairRound(std::function<void()> on_complete) {
   for (std::size_t h = 0; h < homes_.size(); ++h) {
     Home& home = homes_[h];
     bool dead = home.owner == kInvalidNode || !net_.IsOnline(home.owner);
+    if (dead && home.standby_ready && home.standby != kInvalidNode &&
+        net_.IsOnline(home.standby)) {
+      // A live standby holds the replica: promote it instead of
+      // discarding the cascade and forcing a full re-upload.
+      home.owner = home.standby;
+      home.standby = kInvalidNode;
+      home.standby_ready = false;
+      dead = false;
+    }
     if (dead) {
       stale[h] = true;
       // Models held at the dead node are gone.
@@ -324,6 +404,8 @@ void Cempar::RepairRound(std::function<void()> on_complete) {
       home.has_regional = false;
       home.weight = 0.0;
       home.owner = kInvalidNode;
+      home.standby = kInvalidNode;
+      home.standby_ready = false;
     }
   }
 
@@ -332,6 +414,7 @@ void Cempar::RepairRound(std::function<void()> on_complete) {
   *barrier = [this, pending, on_complete = std::move(on_complete)] {
     if (--*pending > 0) return;
     CascadeAll();
+    ReplicateRegionals();
     on_complete();
   };
 
@@ -375,4 +458,91 @@ std::size_t Cempar::TotalRegionalSupportVectors() const {
   return total;
 }
 
+std::size_t Cempar::NumReplicatedHomes() const {
+  std::size_t count = 0;
+  for (const Home& home : homes_) {
+    if (home.standby_ready) ++count;
+  }
+  return count;
+}
+
+void Cempar::ReplicateHome(std::size_t h) {
+  Home& home = homes_[h];
+  if (!home.has_regional || home.owner == kInvalidNode) return;
+  // Standby = the owner's first live successor on the ring — the node that
+  // would inherit the home's key range if the owner vanished.
+  NodeId standby = kInvalidNode;
+  for (NodeId succ : chord_.SuccessorsOf(home.owner)) {
+    if (succ != home.owner && net_.IsOnline(succ)) {
+      standby = succ;
+      break;
+    }
+  }
+  if (standby == kInvalidNode) return;
+  if (home.standby == standby && home.standby_ready) return;
+  home.standby = standby;
+  home.standby_ready = false;
+  const std::size_t bytes = home.regional.WireSize() + 16;
+  // The replica snapshot only becomes usable once it is *delivered*;
+  // promotion checks standby_ready.
+  auto install = [this, h, standby] {
+    if (homes_[h].standby == standby) homes_[h].standby_ready = true;
+  };
+  if (transport_) {
+    transport_->SendReliable(home.owner, standby, bytes,
+                             MessageType::kModelReplicate, std::move(install));
+  } else {
+    net_.Send(home.owner, standby, bytes, MessageType::kModelReplicate,
+              std::move(install));
+  }
+}
+
+void Cempar::ReplicateRegionals() {
+  if (transport_ == nullptr || !options_.replicate_regional_models) return;
+  for (std::size_t h = 0; h < homes_.size(); ++h) ReplicateHome(h);
+}
+
+void Cempar::OnSuspect(NodeId suspect) {
+  // Cached resolutions pointing at the suspect are poison: drop them so
+  // the next prediction re-resolves through the DHT.
+  for (auto& cache : owner_cache_) {
+    for (auto it = cache.begin(); it != cache.end();) {
+      it = it->second == suspect ? cache.erase(it) : std::next(it);
+    }
+  }
+  if (!options_.replicate_regional_models) return;
+  for (std::size_t h = 0; h < homes_.size(); ++h) {
+    Home& home = homes_[h];
+    if (home.owner != suspect) continue;
+    if (!home.standby_ready || home.standby == kInvalidNode ||
+        !net_.IsOnline(home.standby)) {
+      continue;  // no usable replica; RepairRound can rebuild later
+    }
+    home.owner = home.standby;
+    home.standby = kInvalidNode;
+    home.standby_ready = false;
+    // Restore the replication invariant under the new primary.
+    ReplicateHome(h);
+  }
+}
+
+bool Cempar::LocalScores(NodeId peer, const SparseVector& x,
+                         std::vector<double>& scores) const {
+  if (peer >= local_models_.size() || local_models_[peer].empty()) {
+    return false;
+  }
+  scores.assign(num_tags_, 0.0);
+  std::vector<double> weight(num_tags_, 0.0);
+  for (const auto& [h, model] : local_models_[peer]) {
+    TagId tag = static_cast<TagId>(h / options_.regions_per_tag);
+    scores[tag] += model.Decision(x);
+    weight[tag] += 1.0;
+  }
+  for (TagId t = 0; t < num_tags_; ++t) {
+    if (weight[t] > 0.0) scores[t] /= weight[t];
+  }
+  return true;
+}
+
 }  // namespace p2pdt
+

@@ -10,6 +10,7 @@
 #include "ml/multilabel.h"
 #include "p2pml/p2p_classifier.h"
 #include "p2psim/chord.h"
+#include "p2psim/transport.h"
 
 namespace p2pdt {
 
@@ -36,6 +37,17 @@ struct CemparOptions {
   /// protocol — and the trained models (SMO is deterministic) — are
   /// bit-identical for every value.
   std::size_t num_threads = 0;
+  /// Reliable delivery (ACK / RTT-derived timeout / backoff / bounded
+  /// retries) for upload, replication and prediction traffic. Off by
+  /// default: fire-and-forget is the baseline the original experiments
+  /// measured; the robustness harness compares both.
+  bool reliable_transport = false;
+  ReliableTransportOptions transport;
+  /// With the reliable transport on, each (tag, region) cascade model is
+  /// replicated to the owner's first live successor. When the transport
+  /// suspects the primary dead (consecutive give-ups), the standby is
+  /// promoted and a fresh replica is pushed to the next successor.
+  bool replicate_regional_models = true;
 };
 
 /// CEMPaR (Ang et al., ECML/PKDD 2009): communication-efficient P2P
@@ -85,6 +97,13 @@ class Cempar final : public P2PClassifier {
   /// experiments to kill exactly the super-peers.
   std::vector<NodeId> HomeOwners() const;
 
+  /// Non-null when options.reliable_transport is set. Exposed so tests and
+  /// harnesses can inspect suspicion state.
+  ReliableTransport* transport() { return transport_.get(); }
+
+  /// Number of homes whose regional model currently has a standby replica.
+  std::size_t NumReplicatedHomes() const;
+
  private:
   struct Home {
     NodeId owner = kInvalidNode;
@@ -96,6 +115,10 @@ class Cempar final : public P2PClassifier {
     bool dirty = false;
     /// Vote weight: number of contributing local models.
     double weight = 0.0;
+    /// Standby super-peer holding a replica of the regional model
+    /// (kInvalidNode / false until a replica was delivered).
+    NodeId standby = kInvalidNode;
+    bool standby_ready = false;
   };
 
   std::size_t HomeIndex(TagId tag, std::size_t region) const {
@@ -106,11 +129,23 @@ class Cempar final : public P2PClassifier {
                    KernelSvmModel model,
                    std::shared_ptr<std::function<void()>> barrier);
   void CascadeAll();
+  /// Pushes a replica of home `h`'s regional model from its owner to the
+  /// owner's first live successor.
+  void ReplicateHome(std::size_t h);
+  void ReplicateRegionals();
+  /// Suspicion hook: promote standbys of every home owned by `suspect` and
+  /// drop cached resolutions pointing at it.
+  void OnSuspect(NodeId suspect);
+  /// Degraded-mode scoring from the peer's own local models; returns false
+  /// when the peer trained nothing.
+  bool LocalScores(NodeId peer, const SparseVector& x,
+                   std::vector<double>& scores) const;
 
   Simulator& sim_;
   PhysicalNetwork& net_;
   ChordOverlay& chord_;
   CemparOptions options_;
+  std::unique_ptr<ReliableTransport> transport_;
 
   std::vector<MultiLabelDataset> peer_data_;
   TagId num_tags_ = 0;

@@ -22,6 +22,11 @@ struct P2PPrediction {
   /// False when the request could not be answered (e.g. all super-peers
   /// unreachable under churn).
   bool success = true;
+  /// True when the answer came from a degraded path — the reliable
+  /// transport exhausted its retries and the peer fell back to its local
+  /// model instead of the distributed one. Such answers count as successes
+  /// but with reduced expected quality.
+  bool degraded = false;
 };
 
 /// The pluggable P2P classification component of P2PDocTagger (paper

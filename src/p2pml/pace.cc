@@ -12,7 +12,12 @@ namespace p2pdt {
 
 Pace::Pace(Simulator& sim, PhysicalNetwork& net, Overlay& overlay,
            PaceOptions options)
-    : sim_(sim), net_(net), overlay_(overlay), options_(options) {}
+    : sim_(sim), net_(net), overlay_(overlay), options_(options) {
+  if (options_.reliable_dissemination) {
+    transport_ =
+        std::make_unique<ReliableTransport>(sim_, net_, options_.transport);
+  }
+}
 
 Status Pace::Setup(std::vector<MultiLabelDataset> peer_data, TagId num_tags) {
   if (peer_data.size() != net_.num_nodes()) {
@@ -131,11 +136,17 @@ void Pace::Train(std::function<void(Status)> on_complete) {
 
   // Dissemination phase: every contributor broadcasts its bundle; each
   // delivery marks visibility at the receiver. Everyone trivially "has"
-  // its own model.
+  // its own model. With reliable dissemination on, the broadcast stays
+  // best-effort and the repair passes afterwards close the gaps.
   auto pending = std::make_shared<std::size_t>(1);
   auto barrier = std::make_shared<std::function<void()>>();
   *barrier = [this, pending, on_complete = std::move(on_complete)] {
     if (--*pending > 0) return;
+    repair_rounds_run_ = 0;
+    if (transport_ != nullptr) {
+      RepairRound(0, std::move(on_complete));
+      return;
+    }
     trained_ = true;
     on_complete(Status::OK());
   };
@@ -150,6 +161,48 @@ void Pace::Train(std::function<void(Status)> on_complete) {
           if (receiver < received_.size()) received_[receiver][peer] = true;
         },
         [barrier] { (*barrier)(); });
+  }
+  (*barrier)();
+}
+
+void Pace::RepairRound(std::size_t round,
+                       std::function<void(Status)> on_complete) {
+  // Pairs still missing: contributor's bundle never reached the receiver.
+  // Realistically receivers piggyback have-lists on gossip; the simulation
+  // reads received_ directly and charges the full repair traffic.
+  std::vector<std::pair<NodeId, NodeId>> missing;  // (contributor, receiver)
+  for (NodeId p = 0; p < models_.size(); ++p) {
+    if (!models_[p].valid) continue;
+    for (NodeId q = 0; q < received_.size(); ++q) {
+      if (q == p || received_[q][p] || !net_.IsOnline(q)) continue;
+      missing.emplace_back(p, q);
+    }
+  }
+  if (missing.empty() || round >= options_.max_repair_rounds) {
+    trained_ = true;
+    on_complete(Status::OK());
+    return;
+  }
+  ++repair_rounds_run_;
+
+  auto pending = std::make_shared<std::size_t>(1);
+  auto barrier = std::make_shared<std::function<void()>>();
+  *barrier = [this, pending, round,
+              on_complete = std::move(on_complete)]() mutable {
+    if (--*pending > 0) return;
+    RepairRound(round + 1, std::move(on_complete));
+  };
+
+  for (const auto& [p, q] : missing) {
+    ++*pending;
+    transport_->SendReliable(
+        p, q, models_[p].wire_size, MessageType::kModelBroadcast,
+        /*on_deliver=*/
+        [this, p, q] {
+          if (q < received_.size()) received_[q][p] = true;
+        },
+        /*on_acked=*/[barrier] { (*barrier)(); },
+        /*on_give_up=*/[barrier] { (*barrier)(); });
   }
   (*barrier)();
 }

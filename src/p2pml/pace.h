@@ -11,6 +11,7 @@
 #include "p2pml/p2p_classifier.h"
 #include "p2psim/overlay.h"
 #include "p2psim/simulator.h"
+#include "p2psim/transport.h"
 
 namespace p2pdt {
 
@@ -35,6 +36,15 @@ struct PaceOptions {
   /// bit-identical for every value: per-task RNG streams are keyed by
   /// (peer, tag), never by thread.
   std::size_t num_threads = 0;
+  /// Reliable dissemination: after the best-effort overlay broadcast, each
+  /// contributor reliably unicasts its bundle to every online peer the
+  /// broadcast missed (ACK / timeout / backoff / bounded retries), in up to
+  /// `max_repair_rounds` passes — the SRM-style repair that makes
+  /// `received_` converge under loss. Off by default (fire-and-forget
+  /// baseline).
+  bool reliable_dissemination = false;
+  ReliableTransportOptions transport;
+  std::size_t max_repair_rounds = 3;
 };
 
 /// PACE (Ang et al., DASFAA 2010): adaptive ensemble classification in P2P
@@ -70,6 +80,12 @@ class Pace final : public P2PClassifier {
   /// contributor's model — 1.0 on a stable network, lower under churn.
   double ModelCoverage() const;
 
+  /// Non-null when options.reliable_dissemination is set.
+  ReliableTransport* transport() { return transport_.get(); }
+
+  /// Repair passes actually run during Train (diagnostics).
+  std::size_t repair_rounds_run() const { return repair_rounds_run_; }
+
  private:
   struct PeerModel {
     bool valid = false;
@@ -85,11 +101,17 @@ class Pace final : public P2PClassifier {
   };
 
   void TrainLocal(NodeId peer);
+  /// One reliable fill-in pass over every (contributor, receiver) pair the
+  /// dissemination missed so far; recurses until converged or the round
+  /// budget is spent, then completes training.
+  void RepairRound(std::size_t round, std::function<void(Status)> on_complete);
 
   Simulator& sim_;
   PhysicalNetwork& net_;
   Overlay& overlay_;
   PaceOptions options_;
+  std::unique_ptr<ReliableTransport> transport_;
+  std::size_t repair_rounds_run_ = 0;
 
   std::vector<MultiLabelDataset> peer_data_;
   TagId num_tags_ = 0;

@@ -1,0 +1,122 @@
+#include "p2psim/fault.h"
+
+#include <algorithm>
+
+namespace p2pdt {
+
+FaultInjector::FaultInjector(Simulator& sim, PhysicalNetwork& net,
+                             uint64_t seed)
+    : sim_(sim), net_(net), rng_(seed) {}
+
+void FaultInjector::AddBurstLoss(double start, double end, double drop_prob) {
+  burst_loss_.push_back({start, end, drop_prob});
+}
+
+void FaultInjector::AddMessageTypeDrop(double start, double end,
+                                       MessageType type, double drop_prob) {
+  type_drops_.push_back({start, end, type, drop_prob});
+}
+
+void FaultInjector::AddPartition(double start, double end,
+                                 std::vector<NodeId> group_a,
+                                 std::vector<NodeId> group_b) {
+  PartitionRule rule;
+  rule.start = start;
+  rule.end = end;
+  NodeId max_node = 0;
+  for (NodeId n : group_a) max_node = std::max(max_node, n);
+  for (NodeId n : group_b) max_node = std::max(max_node, n);
+  rule.side.assign(max_node + 1, 0);
+  for (NodeId n : group_a) rule.side[n] = 1;
+  for (NodeId n : group_b) rule.side[n] = 2;
+  partitions_.push_back(std::move(rule));
+}
+
+void FaultInjector::AddLatencySpike(double start, double end,
+                                    double extra_latency_sec) {
+  latency_spikes_.push_back({start, end, extra_latency_sec});
+}
+
+void FaultInjector::AddCrash(double time, NodeId node) {
+  crashes_.push_back({time, node});
+}
+
+void FaultInjector::AddRecover(double time, NodeId node) {
+  recoveries_.push_back({time, node});
+}
+
+void FaultInjector::AddPlan(const FaultPlanSpec& spec) {
+  for (const auto& r : spec.burst_loss) {
+    AddBurstLoss(r.start, r.end, r.drop_prob);
+  }
+  for (const auto& r : spec.type_drops) {
+    AddMessageTypeDrop(r.start, r.end, r.type, r.drop_prob);
+  }
+  for (const auto& r : spec.partitions) {
+    AddPartition(r.start, r.end, r.group_a, r.group_b);
+  }
+  for (const auto& r : spec.latency_spikes) {
+    AddLatencySpike(r.start, r.end, r.extra_latency_sec);
+  }
+  for (const auto& t : spec.crashes) AddCrash(t.time, t.node);
+  for (const auto& t : spec.recoveries) AddRecover(t.time, t.node);
+}
+
+void FaultInjector::AddTransitionListener(
+    std::function<void(NodeId, bool)> listener) {
+  listeners_.push_back(std::move(listener));
+}
+
+std::size_t FaultInjector::num_message_rules() const {
+  return burst_loss_.size() + type_drops_.size() + partitions_.size() +
+         latency_spikes_.size();
+}
+
+void FaultInjector::Arm() {
+  if (armed_) return;
+  armed_ = true;
+  if (num_message_rules() > 0) {
+    net_.SetFaultHook([this](NodeId from, NodeId to, MessageType type,
+                             SimTime now) {
+      return Evaluate(from, to, type, now);
+    });
+  }
+  auto apply = [this](NodeId node, bool online) {
+    if (node >= net_.num_nodes()) return;
+    net_.SetOnline(node, online);
+    for (const auto& l : listeners_) l(node, online);
+  };
+  for (const auto& t : crashes_) {
+    sim_.ScheduleAt(t.time, [apply, node = t.node] { apply(node, false); });
+  }
+  for (const auto& t : recoveries_) {
+    sim_.ScheduleAt(t.time, [apply, node = t.node] { apply(node, true); });
+  }
+}
+
+FaultDecision FaultInjector::Evaluate(NodeId from, NodeId to,
+                                      MessageType type, SimTime now) {
+  FaultDecision out;
+  for (const auto& r : burst_loss_) {
+    if (!InWindow(r.start, r.end, now)) continue;
+    if (rng_.Bernoulli(r.drop_prob)) out.drop = true;
+  }
+  for (const auto& r : type_drops_) {
+    if (r.type != type || !InWindow(r.start, r.end, now)) continue;
+    if (rng_.Bernoulli(r.drop_prob)) out.drop = true;
+  }
+  for (const auto& r : partitions_) {
+    if (!InWindow(r.start, r.end, now)) continue;
+    uint8_t sf = from < r.side.size() ? r.side[from] : 0;
+    uint8_t st = to < r.side.size() ? r.side[to] : 0;
+    if (sf != 0 && st != 0 && sf != st) out.drop = true;
+  }
+  for (const auto& r : latency_spikes_) {
+    if (!InWindow(r.start, r.end, now)) continue;
+    out.extra_latency += r.extra_latency_sec;
+  }
+  if (out.drop) ++injected_drops_;
+  return out;
+}
+
+}  // namespace p2pdt

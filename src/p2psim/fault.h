@@ -1,0 +1,136 @@
+#ifndef P2PDT_P2PSIM_FAULT_H_
+#define P2PDT_P2PSIM_FAULT_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "p2psim/network.h"
+#include "p2psim/simulator.h"
+
+namespace p2pdt {
+
+/// Declarative description of a composed fault plan — the "churn and
+/// node-failure models" surface of P2PDMT, extended to message-level
+/// faults. Every field is a list, so plans compose: an experiment can
+/// overlap a burst-loss window with a partition and a scripted crash.
+/// Times are absolute simulated seconds.
+struct FaultPlanSpec {
+  struct BurstLoss {
+    double start = 0.0;
+    double end = 0.0;
+    double drop_prob = 1.0;
+  };
+  struct TypeDrop {
+    double start = 0.0;
+    double end = 0.0;
+    MessageType type = MessageType::kModelBroadcast;
+    double drop_prob = 1.0;
+  };
+  struct Partition {
+    double start = 0.0;
+    double end = 0.0;
+    /// Messages between group_a and group_b (either direction) are dropped.
+    std::vector<NodeId> group_a;
+    std::vector<NodeId> group_b;
+  };
+  struct LatencySpike {
+    double start = 0.0;
+    double end = 0.0;
+    double extra_latency_sec = 0.0;
+  };
+  struct Transition {
+    double time = 0.0;
+    NodeId node = kInvalidNode;
+  };
+
+  std::vector<BurstLoss> burst_loss;
+  std::vector<TypeDrop> type_drops;
+  std::vector<Partition> partitions;
+  std::vector<LatencySpike> latency_spikes;
+  std::vector<Transition> crashes;
+  std::vector<Transition> recoveries;
+  uint64_t seed = 0xFA017;
+
+  bool empty() const {
+    return burst_loss.empty() && type_drops.empty() && partitions.empty() &&
+           latency_spikes.empty() && crashes.empty() && recoveries.empty();
+  }
+};
+
+/// Executes a FaultPlanSpec against one simulation: message-level rules run
+/// through PhysicalNetwork's fault hook (drops recorded as
+/// DropReason::kInjectedFault), crash/recover sequences run through the
+/// Simulator event queue and notify transition listeners (wire the overlay
+/// here, exactly like ChurnDriver does).
+///
+/// Probabilistic rules draw from a dedicated deterministic Rng, so an armed
+/// plan perturbs neither the underlay's baseline loss stream nor any other
+/// component's randomness.
+class FaultInjector {
+ public:
+  FaultInjector(Simulator& sim, PhysicalNetwork& net, uint64_t seed = 0xFA017);
+
+  /// Imperative plan construction (all composable; call before Arm).
+  void AddBurstLoss(double start, double end, double drop_prob);
+  void AddMessageTypeDrop(double start, double end, MessageType type,
+                          double drop_prob);
+  void AddPartition(double start, double end, std::vector<NodeId> group_a,
+                    std::vector<NodeId> group_b);
+  void AddLatencySpike(double start, double end, double extra_latency_sec);
+  void AddCrash(double time, NodeId node);
+  void AddRecover(double time, NodeId node);
+
+  /// Appends every rule of `spec` (spec.seed is ignored; the injector keeps
+  /// its own stream).
+  void AddPlan(const FaultPlanSpec& spec);
+
+  /// Runs after each scripted crash/recover transition is applied.
+  void AddTransitionListener(std::function<void(NodeId, bool)> listener);
+
+  /// Installs the message hook and schedules every crash/recover event.
+  /// Call once, before driving the simulator through the faulty window.
+  void Arm();
+  bool armed() const { return armed_; }
+
+  std::size_t num_message_rules() const;
+  std::size_t num_scheduled_transitions() const {
+    return crashes_.size() + recoveries_.size();
+  }
+
+  /// Messages dropped by this injector (also in NetworkStats under
+  /// kInjectedFault, which additionally counts other installed hooks).
+  uint64_t injected_drops() const { return injected_drops_; }
+
+ private:
+  FaultDecision Evaluate(NodeId from, NodeId to, MessageType type,
+                         SimTime now);
+  static bool InWindow(double start, double end, SimTime now) {
+    return now >= start && now < end;
+  }
+
+  Simulator& sim_;
+  PhysicalNetwork& net_;
+  Rng rng_;
+  bool armed_ = false;
+  uint64_t injected_drops_ = 0;
+
+  std::vector<FaultPlanSpec::BurstLoss> burst_loss_;
+  std::vector<FaultPlanSpec::TypeDrop> type_drops_;
+  std::vector<FaultPlanSpec::LatencySpike> latency_spikes_;
+  struct PartitionRule {
+    double start, end;
+    /// side_[n]: 0 = unaffected, 1 = group A, 2 = group B.
+    std::vector<uint8_t> side;
+  };
+  std::vector<PartitionRule> partitions_;
+  std::vector<FaultPlanSpec::Transition> crashes_;
+  std::vector<FaultPlanSpec::Transition> recoveries_;
+  std::vector<std::function<void(NodeId, bool)>> listeners_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PSIM_FAULT_H_

@@ -46,20 +46,31 @@ void PhysicalNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
   stats_.RecordSend(type, bytes);
 
   if (!online_[from]) {
-    stats_.RecordDrop(type);
+    stats_.RecordDrop(type, DropReason::kSendOffline);
     if (on_drop) sim_.Schedule(0.0, std::move(on_drop));
     return;
   }
 
   double delay = Latency(from, to) +
                  static_cast<double>(bytes) / options_.bandwidth_bytes_per_sec;
-  bool lost = rng_.Bernoulli(options_.loss_rate);
+  // The baseline loss draw always happens, even when a fault rule already
+  // condemned the message — identical RNG streams with and without a plan.
+  bool lost_random = rng_.Bernoulli(options_.loss_rate);
+  bool lost_injected = false;
+  if (fault_hook_) {
+    FaultDecision fd = fault_hook_(from, to, type, sim_.Now());
+    lost_injected = fd.drop;
+    delay += fd.extra_latency;
+  }
 
-  sim_.Schedule(delay, [this, to, type, lost,
+  sim_.Schedule(delay, [this, to, type, lost_random, lost_injected,
                         on_deliver = std::move(on_deliver),
                         on_drop = std::move(on_drop)]() {
-    if (lost || !online_[to]) {
-      stats_.RecordDrop(type);
+    if (lost_injected || lost_random || !online_[to]) {
+      DropReason reason = lost_injected  ? DropReason::kInjectedFault
+                          : lost_random ? DropReason::kRandomLoss
+                                        : DropReason::kRecvOffline;
+      stats_.RecordDrop(type, reason);
       if (on_drop) on_drop();
       return;
     }

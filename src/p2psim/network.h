@@ -32,6 +32,13 @@ struct PhysicalNetworkOptions {
   uint64_t seed = 42;
 };
 
+/// Verdict of a fault hook for one message: drop it outright and/or delay
+/// its delivery. Composed by FaultInjector from the armed fault plan.
+struct FaultDecision {
+  bool drop = false;
+  double extra_latency = 0.0;
+};
+
 /// Simulated physical (underlay) network: latency from synthetic
 /// coordinates, per-message transmission delay, probabilistic loss, and
 /// full message/byte accounting.
@@ -40,8 +47,16 @@ struct PhysicalNetworkOptions {
 /// send time or the receiver is offline at *delivery* time — so a peer
 /// failing mid-flight loses in-flight traffic, which is exactly the failure
 /// mode churn experiments need to exercise.
+///
+/// Fault hook: an installed hook sees every message at send time and may
+/// drop it (recorded as DropReason::kInjectedFault) or add latency. The
+/// baseline random-loss draw is made whether or not a hook fires, so runs
+/// with and without a fault plan consume identical RNG streams.
 class PhysicalNetwork {
  public:
+  using FaultHook = std::function<FaultDecision(
+      NodeId from, NodeId to, MessageType type, SimTime now)>;
+
   PhysicalNetwork(Simulator& sim, PhysicalNetworkOptions options = {});
 
   /// Adds a peer at a random coordinate; starts online.
@@ -68,6 +83,11 @@ class PhysicalNetwork {
             std::function<void()> on_deliver,
             std::function<void()> on_drop = nullptr);
 
+  /// Installs (or clears, with nullptr) the fault hook. At most one hook is
+  /// active; FaultInjector composes multiple fault rules behind one hook.
+  void SetFaultHook(FaultHook hook) { fault_hook_ = std::move(hook); }
+  bool HasFaultHook() const { return static_cast<bool>(fault_hook_); }
+
   NetworkStats& stats() { return stats_; }
   const NetworkStats& stats() const { return stats_; }
   Simulator& simulator() { return sim_; }
@@ -77,6 +97,7 @@ class PhysicalNetwork {
   Simulator& sim_;
   PhysicalNetworkOptions options_;
   Rng rng_;
+  FaultHook fault_hook_;
   std::vector<std::pair<double, double>> coords_;
   std::vector<bool> online_;
   std::size_t num_online_ = 0;

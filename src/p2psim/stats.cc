@@ -24,7 +24,27 @@ const char* MessageTypeToString(MessageType type) {
       return "data_transfer";
     case MessageType::kGossip:
       return "gossip";
+    case MessageType::kAck:
+      return "ack";
+    case MessageType::kModelReplicate:
+      return "model_replicate";
     case MessageType::kCount:
+      return "count";
+  }
+  return "unknown";
+}
+
+const char* DropReasonToString(DropReason reason) {
+  switch (reason) {
+    case DropReason::kSendOffline:
+      return "send_offline";
+    case DropReason::kRecvOffline:
+      return "recv_offline";
+    case DropReason::kRandomLoss:
+      return "random_loss";
+    case DropReason::kInjectedFault:
+      return "injected_fault";
+    case DropReason::kCount:
       return "count";
   }
   return "unknown";
@@ -43,9 +63,22 @@ void NetworkStats::RecordDelivery(MessageType type) {
   ++total_delivered_;
 }
 
-void NetworkStats::RecordDrop(MessageType type) {
+void NetworkStats::RecordDrop(MessageType type, DropReason reason) {
   ++dropped_[static_cast<std::size_t>(type)];
+  ++dropped_by_reason_[static_cast<std::size_t>(reason)];
   ++total_dropped_;
+}
+
+void NetworkStats::RecordRetransmit(MessageType type) {
+  ++retransmits_[static_cast<std::size_t>(type)];
+  ++total_retransmits_;
+}
+
+void NetworkStats::RecordAckReceived() { ++acks_received_; }
+
+void NetworkStats::RecordGiveUp(MessageType type) {
+  ++give_ups_[static_cast<std::size_t>(type)];
+  ++total_give_ups_;
 }
 
 void NetworkStats::Reset() {
@@ -53,12 +86,16 @@ void NetworkStats::Reset() {
   bytes_.fill(0);
   delivered_.fill(0);
   dropped_.fill(0);
+  retransmits_.fill(0);
+  give_ups_.fill(0);
+  dropped_by_reason_.fill(0);
   total_sent_ = total_delivered_ = total_dropped_ = total_bytes_ = 0;
+  total_retransmits_ = total_give_ups_ = acks_received_ = 0;
 }
 
 std::string NetworkStats::ToString() const {
   std::string out;
-  char buf[160];
+  char buf[200];
   std::snprintf(buf, sizeof(buf),
                 "total: %llu msgs, %s, %llu delivered, %llu dropped\n",
                 static_cast<unsigned long long>(total_sent_),
@@ -72,6 +109,25 @@ std::string NetworkStats::ToString() const {
                   MessageTypeToString(static_cast<MessageType>(i)),
                   static_cast<unsigned long long>(sent_[i]),
                   HumanBytes(static_cast<double>(bytes_[i])).c_str());
+    out += buf;
+  }
+  if (total_dropped_ > 0) {
+    out += "drops by reason:\n";
+    for (std::size_t i = 0; i < kNumDropReasons; ++i) {
+      if (dropped_by_reason_[i] == 0) continue;
+      std::snprintf(buf, sizeof(buf), "  %-20s %10llu msgs\n",
+                    DropReasonToString(static_cast<DropReason>(i)),
+                    static_cast<unsigned long long>(dropped_by_reason_[i]));
+      out += buf;
+    }
+  }
+  if (total_retransmits_ > 0 || acks_received_ > 0 || total_give_ups_ > 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "reliable transport: %llu retransmits, %llu acks received, "
+                  "%llu give-ups\n",
+                  static_cast<unsigned long long>(total_retransmits_),
+                  static_cast<unsigned long long>(acks_received_),
+                  static_cast<unsigned long long>(total_give_ups_));
     out += buf;
   }
   return out;

@@ -19,21 +19,45 @@ enum class MessageType : uint8_t {
   kPredictionResponse,      // predicted tags coming back
   kDataTransfer,            // raw training data (centralized baseline)
   kGossip,                  // unstructured overlay dissemination
+  kAck,                     // reliable-transport acknowledgement
+  kModelReplicate,          // CEMPaR: regional model to standby super-peer
   kCount,                   // sentinel
 };
 
 const char* MessageTypeToString(MessageType type);
 
+/// Why a message failed to reach its receiver. Fault-injection experiments
+/// need this breakdown: "dropped" alone cannot distinguish churn losses
+/// from injected faults from baseline random loss.
+enum class DropReason : uint8_t {
+  kSendOffline = 0,  // sender was offline at send time
+  kRecvOffline,      // receiver was offline at delivery time
+  kRandomLoss,       // baseline probabilistic loss (loss_rate)
+  kInjectedFault,    // dropped by an armed fault plan
+  kCount,            // sentinel
+};
+
+const char* DropReasonToString(DropReason reason);
+
 /// Message/byte accounting for one simulation run. The headline
-/// "communication cost" numbers in the experiments come straight from here.
+/// "communication cost" numbers in the experiments come straight from here;
+/// the retry/ACK counters quantify the overhead the reliable transport pays
+/// for its delivery guarantees.
 class NetworkStats {
  public:
   static constexpr std::size_t kNumTypes =
       static_cast<std::size_t>(MessageType::kCount);
+  static constexpr std::size_t kNumDropReasons =
+      static_cast<std::size_t>(DropReason::kCount);
 
   void RecordSend(MessageType type, std::size_t bytes);
   void RecordDelivery(MessageType type);
-  void RecordDrop(MessageType type);
+  void RecordDrop(MessageType type, DropReason reason);
+
+  /// Reliable-transport accounting (the transport layer drives these).
+  void RecordRetransmit(MessageType type);
+  void RecordAckReceived();
+  void RecordGiveUp(MessageType type);
 
   uint64_t messages_sent() const { return total_sent_; }
   uint64_t messages_delivered() const { return total_delivered_; }
@@ -43,16 +67,40 @@ class NetworkStats {
   uint64_t messages_sent(MessageType type) const {
     return sent_[static_cast<std::size_t>(type)];
   }
+  uint64_t delivered(MessageType type) const {
+    return delivered_[static_cast<std::size_t>(type)];
+  }
   uint64_t bytes_sent(MessageType type) const {
     return bytes_[static_cast<std::size_t>(type)];
   }
   uint64_t dropped(MessageType type) const {
     return dropped_[static_cast<std::size_t>(type)];
   }
+  uint64_t dropped(DropReason reason) const {
+    return dropped_by_reason_[static_cast<std::size_t>(reason)];
+  }
+
+  uint64_t retransmits() const { return total_retransmits_; }
+  uint64_t retransmits(MessageType type) const {
+    return retransmits_[static_cast<std::size_t>(type)];
+  }
+  uint64_t acks_received() const { return acks_received_; }
+  uint64_t give_ups() const { return total_give_ups_; }
+  uint64_t give_ups(MessageType type) const {
+    return give_ups_[static_cast<std::size_t>(type)];
+  }
+
+  /// Fraction of sent messages that were delivered (1.0 when nothing was
+  /// sent, so a quiet network reads as healthy).
+  double delivery_rate() const {
+    return total_sent_ == 0 ? 1.0
+                            : static_cast<double>(total_delivered_) /
+                                  static_cast<double>(total_sent_);
+  }
 
   void Reset();
 
-  /// Multi-line per-type breakdown.
+  /// Multi-line per-type breakdown plus drop-reason and retry summaries.
   std::string ToString() const;
 
  private:
@@ -60,10 +108,16 @@ class NetworkStats {
   std::array<uint64_t, kNumTypes> bytes_{};
   std::array<uint64_t, kNumTypes> delivered_{};
   std::array<uint64_t, kNumTypes> dropped_{};
+  std::array<uint64_t, kNumTypes> retransmits_{};
+  std::array<uint64_t, kNumTypes> give_ups_{};
+  std::array<uint64_t, kNumDropReasons> dropped_by_reason_{};
   uint64_t total_sent_ = 0;
   uint64_t total_delivered_ = 0;
   uint64_t total_dropped_ = 0;
   uint64_t total_bytes_ = 0;
+  uint64_t total_retransmits_ = 0;
+  uint64_t total_give_ups_ = 0;
+  uint64_t acks_received_ = 0;
 };
 
 }  // namespace p2pdt

@@ -1,0 +1,130 @@
+#include "p2psim/transport.h"
+
+#include <algorithm>
+
+#include "common/rng.h"
+
+namespace p2pdt {
+
+ReliableTransport::ReliableTransport(Simulator& sim, PhysicalNetwork& net,
+                                     ReliableTransportOptions options)
+    : sim_(sim), net_(net), options_(options) {
+  options_.backoff_factor = std::max(1.0, options_.backoff_factor);
+  options_.jitter = std::clamp(options_.jitter, 0.0, 0.9);
+}
+
+double ReliableTransport::EstimateRtt(NodeId from, NodeId to,
+                                      std::size_t bytes) const {
+  double bw = net_.options().bandwidth_bytes_per_sec;
+  return 2.0 * net_.Latency(from, to) +
+         static_cast<double>(bytes + options_.ack_bytes) / bw;
+}
+
+double ReliableTransport::RetransmissionTimeout(MsgId id, std::size_t attempt,
+                                                double base_rto) const {
+  double rto = base_rto;
+  for (std::size_t i = 0; i < attempt; ++i) rto *= options_.backoff_factor;
+  if (options_.jitter > 0.0) {
+    // Jitter stream keyed by (seed, msg_id, attempt): independent of thread
+    // count and of every other message's schedule.
+    Rng jitter_rng(DeriveSeed(options_.seed, id, attempt));
+    rto *= jitter_rng.Uniform(1.0 - options_.jitter, 1.0 + options_.jitter);
+  }
+  return std::clamp(rto, options_.rto_min, options_.rto_max);
+}
+
+ReliableTransport::MsgId ReliableTransport::SendReliable(
+    NodeId from, NodeId to, std::size_t bytes, MessageType type,
+    std::function<void()> on_deliver, std::function<void()> on_acked,
+    std::function<void()> on_give_up) {
+  auto p = std::make_shared<Pending>();
+  p->id = next_id_++;
+  p->from = from;
+  p->to = to;
+  p->bytes = bytes;
+  p->type = type;
+  p->on_deliver = std::move(on_deliver);
+  p->on_acked = std::move(on_acked);
+  p->on_give_up = std::move(on_give_up);
+  pending_.emplace(p->id, p);
+  Attempt(p);
+  return p->id;
+}
+
+void ReliableTransport::Attempt(std::shared_ptr<Pending> p) {
+  const std::size_t attempt = p->attempts++;  // 0-based attempt index
+  net_.Send(
+      p->from, p->to, p->bytes, p->type,
+      [this, p] {
+        // Receiver side: run the payload exactly once per logical message,
+        // then (re-)ACK — a duplicate data arrival still deserves an ACK
+        // because the previous one may have been lost.
+        if (delivered_.insert(p->id).second && p->on_deliver) {
+          p->on_deliver();
+        }
+        net_.Send(p->to, p->from, options_.ack_bytes, MessageType::kAck,
+                  [this, p] { HandleAck(p); }, nullptr);
+      },
+      nullptr);
+
+  double base_rto = options_.rto_multiplier *
+                    EstimateRtt(p->from, p->to, p->bytes);
+  double timeout = RetransmissionTimeout(p->id, attempt, base_rto);
+  sim_.Schedule(timeout, [this, p, attempt] { HandleTimeout(p, attempt); });
+}
+
+void ReliableTransport::HandleTimeout(std::shared_ptr<Pending> p,
+                                      std::size_t attempt) {
+  if (p->settled) return;
+  // Only the timeout armed by the newest attempt may act; earlier ones are
+  // stale (defensive — attempts are issued strictly one at a time).
+  if (attempt + 1 != p->attempts) return;
+  if (p->attempts > options_.max_retries) {
+    GiveUp(std::move(p));
+    return;
+  }
+  net_.stats().RecordRetransmit(p->type);
+  Attempt(std::move(p));
+}
+
+void ReliableTransport::HandleAck(std::shared_ptr<Pending> p) {
+  if (p->settled) return;  // duplicate ACK
+  p->settled = true;
+  pending_.erase(p->id);
+  net_.stats().RecordAckReceived();
+  // Proof of life: the peer answered, so any accumulated suspicion is
+  // stale.
+  if (p->to < suspicion_.size()) suspicion_[p->to] = 0;
+  if (p->on_acked) p->on_acked();
+}
+
+void ReliableTransport::GiveUp(std::shared_ptr<Pending> p) {
+  p->settled = true;
+  pending_.erase(p->id);
+  net_.stats().RecordGiveUp(p->type);
+  RaiseSuspicion(p->to);
+  if (p->on_give_up) p->on_give_up();
+}
+
+void ReliableTransport::RaiseSuspicion(NodeId node) {
+  if (node >= suspicion_.size()) suspicion_.resize(node + 1, 0);
+  ++suspicion_[node];
+  if (suspicion_[node] == options_.suspicion_threshold &&
+      suspicion_listener_) {
+    suspicion_listener_(node);
+  }
+}
+
+bool ReliableTransport::IsSuspected(NodeId node) const {
+  return SuspicionLevel(node) >= options_.suspicion_threshold;
+}
+
+std::size_t ReliableTransport::SuspicionLevel(NodeId node) const {
+  return node < suspicion_.size() ? suspicion_[node] : 0;
+}
+
+void ReliableTransport::ClearSuspicion(NodeId node) {
+  if (node < suspicion_.size()) suspicion_[node] = 0;
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,129 @@
+#ifndef P2PDT_P2PSIM_TRANSPORT_H_
+#define P2PDT_P2PSIM_TRANSPORT_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "p2psim/network.h"
+
+namespace p2pdt {
+
+/// Tuning knobs for the reliable transport. Defaults are sized for the
+/// simulated underlay (tens of milliseconds RTT): an initial timeout of a
+/// few RTTs, doubling per retry with ±jitter, capped attempts.
+struct ReliableTransportOptions {
+  /// Retransmissions after the first attempt; attempts = max_retries + 1.
+  std::size_t max_retries = 6;
+  /// Initial retransmission timeout = rto_multiplier × estimated RTT
+  /// (propagation both ways plus data and ACK transmission time).
+  double rto_multiplier = 3.0;
+  /// Floor / ceiling on any single timeout (seconds).
+  double rto_min = 0.05;
+  double rto_max = 30.0;
+  /// Timeout growth per retry (exponential backoff).
+  double backoff_factor = 2.0;
+  /// Jitter: each timeout is scaled by a factor drawn uniformly from
+  /// [1 - jitter, 1 + jitter] with a DeriveSeed(seed, msg_id, attempt)
+  /// stream, so backoff schedules are bit-reproducible at any thread count.
+  double jitter = 0.1;
+  /// Wire size of an acknowledgement.
+  std::size_t ack_bytes = 24;
+  /// Consecutive give-ups targeting one peer before it is suspected dead.
+  std::size_t suspicion_threshold = 2;
+  uint64_t seed = 0x5EED7A6;
+};
+
+/// Reliable, at-most-once-effect delivery on top of the lossy
+/// PhysicalNetwork: positive ACKs, per-message timeouts derived from the
+/// estimated RTT, exponential backoff with deterministic jitter, bounded
+/// retries, and dead-peer suspicion.
+///
+/// Semantics:
+///  - `on_deliver` runs at the receiver exactly once per logical message,
+///    no matter how many retransmissions arrive (duplicates are ACKed but
+///    deduplicated by message id) — protocols get idempotent delivery for
+///    free.
+///  - Exactly one of `on_acked` / `on_give_up` eventually runs at the
+///    sender, so barrier-style completion accounting never hangs.
+///  - A peer that accumulates `suspicion_threshold` consecutive give-ups
+///    is *suspected* dead; any later ACK from it clears the suspicion.
+///    The suspicion listener fires on the transition into suspicion — the
+///    hook CEMPaR uses to promote a standby super-peer.
+///
+/// Determinism: all calls run on the simulator driver thread; message ids
+/// increase in scheduling order and jitter streams are keyed by
+/// (seed, msg_id, attempt), never by wall clock or thread identity.
+class ReliableTransport {
+ public:
+  using MsgId = uint64_t;
+  using SuspicionListener = std::function<void(NodeId suspect)>;
+
+  ReliableTransport(Simulator& sim, PhysicalNetwork& net,
+                    ReliableTransportOptions options = {});
+
+  /// Sends `bytes` from `from` to `to` with retries. Any callback may be
+  /// empty. Returns the logical message id.
+  MsgId SendReliable(NodeId from, NodeId to, std::size_t bytes,
+                     MessageType type, std::function<void()> on_deliver,
+                     std::function<void()> on_acked = nullptr,
+                     std::function<void()> on_give_up = nullptr);
+
+  /// Estimated round-trip time for a (data, ACK) exchange between two
+  /// peers, used to derive the initial retransmission timeout.
+  double EstimateRtt(NodeId from, NodeId to, std::size_t bytes) const;
+
+  /// Timeout armed for attempt `attempt` (0-based) of message `id`.
+  double RetransmissionTimeout(MsgId id, std::size_t attempt,
+                               double base_rto) const;
+
+  bool IsSuspected(NodeId node) const;
+  std::size_t SuspicionLevel(NodeId node) const;
+  void ClearSuspicion(NodeId node);
+  void SetSuspicionListener(SuspicionListener listener) {
+    suspicion_listener_ = std::move(listener);
+  }
+
+  /// Messages currently awaiting an ACK.
+  std::size_t in_flight() const { return pending_.size(); }
+
+  const ReliableTransportOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    MsgId id = 0;
+    NodeId from = kInvalidNode;
+    NodeId to = kInvalidNode;
+    std::size_t bytes = 0;
+    MessageType type = MessageType::kCount;
+    std::size_t attempts = 0;  // attempts issued so far
+    bool settled = false;      // acked or given up
+    std::function<void()> on_deliver;
+    std::function<void()> on_acked;
+    std::function<void()> on_give_up;
+  };
+
+  void Attempt(std::shared_ptr<Pending> p);
+  void HandleTimeout(std::shared_ptr<Pending> p, std::size_t attempt);
+  void HandleAck(std::shared_ptr<Pending> p);
+  void GiveUp(std::shared_ptr<Pending> p);
+  void RaiseSuspicion(NodeId node);
+
+  Simulator& sim_;
+  PhysicalNetwork& net_;
+  ReliableTransportOptions options_;
+  MsgId next_id_ = 1;
+  std::unordered_map<MsgId, std::shared_ptr<Pending>> pending_;
+  /// Message ids whose payload already ran at the receiver (dedup).
+  std::unordered_set<MsgId> delivered_;
+  /// Consecutive give-ups per target peer.
+  std::vector<std::size_t> suspicion_;
+  SuspicionListener suspicion_listener_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PSIM_TRANSPORT_H_

@@ -1,0 +1,105 @@
+// Regression for the routing retry cap (chord.cc try_forward): when every
+// candidate a lookup can reach is stale (dead without any table refresh),
+// the retry loop must terminate within max_hops and report routing failure
+// instead of ping-ponging between stale entries forever.
+
+#include <gtest/gtest.h>
+
+#include "p2psim/chord.h"
+
+namespace p2pdt {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  PhysicalNetwork net;
+  ChordOverlay chord;
+
+  explicit Fixture(std::size_t nodes, ChordOptions options = {})
+      : net(sim), chord(sim, net, options) {
+    net.AddNodes(nodes);
+    for (NodeId n = 0; n < nodes; ++n) chord.AddNode(n);
+    chord.Bootstrap();
+  }
+
+  ChordOverlay::LookupResult LookupSync(NodeId origin, uint64_t key) {
+    ChordOverlay::LookupResult out;
+    bool done = false;
+    chord.Lookup(origin, key, [&](ChordOverlay::LookupResult r) {
+      out = r;
+      done = true;
+    });
+    sim.RunUntil(sim.Now() + 3600.0);
+    EXPECT_TRUE(done);
+    return out;
+  }
+};
+
+TEST(ChordRetryTest, StaleCandidatesTerminateWithinHopCap) {
+  ChordOptions opt;
+  opt.max_hops = 6;
+  Fixture f(16, opt);
+
+  // Kill everyone but the origin WITHOUT refreshing any routing state: the
+  // origin's fingers and successors all point at corpses. Every forward or
+  // successor attempt is a drop; only the hop cap stops the retry loop.
+  const NodeId origin = 0;
+  for (NodeId n = 1; n < 16; ++n) f.net.SetOnline(n, false);
+
+  uint64_t events_before = f.sim.executed_events();
+  ChordOverlay::LookupResult r =
+      f.LookupSync(origin, f.chord.HashToKey(0xDEADBEEF));
+  EXPECT_FALSE(r.success);
+  EXPECT_EQ(r.owner, kInvalidNode);
+  EXPECT_LE(r.hops, opt.max_hops);
+  // Terminated promptly — no runaway retry storm.
+  EXPECT_LT(f.sim.executed_events() - events_before, 1000u);
+  // Every routing attempt was paid for and dropped at the dead receiver.
+  EXPECT_GT(f.net.stats().dropped(DropReason::kRecvOffline), 0u);
+}
+
+TEST(ChordRetryTest, EveryOriginTerminatesAgainstStaleRing) {
+  ChordOptions opt;
+  opt.max_hops = 5;
+  Fixture f(12, opt);
+  // Half the ring dies silently; lookups from every survivor must resolve
+  // or fail within the cap — never hang.
+  for (NodeId n = 6; n < 12; ++n) f.net.SetOnline(n, false);
+
+  for (NodeId origin = 0; origin < 6; ++origin) {
+    ChordOverlay::LookupResult r =
+        f.LookupSync(origin, f.chord.HashToKey(origin * 7919));
+    EXPECT_LE(r.hops, opt.max_hops) << "origin " << origin;
+    if (r.success) {
+      EXPECT_NE(r.owner, kInvalidNode);
+      EXPECT_TRUE(f.net.IsOnline(r.owner)) << "origin " << origin;
+    }
+  }
+}
+
+TEST(ChordRetryTest, SuccessorListSkipsOneDeadCandidate) {
+  // Positive case: a single dead successor is routed around via the
+  // successor list (one extra paid hop), not reported as failure.
+  ChordOptions opt;
+  opt.max_hops = 32;
+  Fixture f(12, opt);
+
+  // Find a key owned by some node != 0, kill exactly that owner.
+  uint64_t key = f.chord.HashToKey(4242);
+  NodeId owner = f.chord.OwnerOf(key);
+  ASSERT_NE(owner, kInvalidNode);
+  if (owner == 0) {
+    key = f.chord.HashToKey(4243);
+    owner = f.chord.OwnerOf(key);
+  }
+  ASSERT_NE(owner, 0u);
+  f.net.SetOnline(owner, false);
+
+  ChordOverlay::LookupResult r = f.LookupSync(0, key);
+  ASSERT_TRUE(r.success);
+  EXPECT_NE(r.owner, owner);
+  EXPECT_TRUE(f.net.IsOnline(r.owner));
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,199 @@
+#include "p2psim/fault.h"
+
+#include <algorithm>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+struct Fixture {
+  Simulator sim;
+  PhysicalNetwork net;
+  FaultInjector fault;
+
+  explicit Fixture(std::size_t nodes, PhysicalNetworkOptions popt = {})
+      : net(sim, popt), fault(sim, net) {
+    net.AddNodes(nodes);
+  }
+
+  /// Sends one message at absolute time `when`; flips `*delivered` on
+  /// arrival.
+  void SendAt(double when, NodeId from, NodeId to, MessageType type,
+              std::shared_ptr<bool> delivered) {
+    sim.ScheduleAt(when, [this, from, to, type, delivered] {
+      net.Send(from, to, 100, type, [delivered] { *delivered = true; });
+    });
+  }
+};
+
+TEST(FaultInjectionTest, BurstLossDropsOnlyInsideWindow) {
+  Fixture f(4);
+  f.fault.AddBurstLoss(1.0, 2.0, 1.0);
+  f.fault.Arm();
+
+  auto before = std::make_shared<bool>(false);
+  auto inside = std::make_shared<bool>(false);
+  auto after = std::make_shared<bool>(false);
+  f.SendAt(0.5, 0, 1, MessageType::kModelUpload, before);
+  f.SendAt(1.5, 0, 1, MessageType::kModelUpload, inside);
+  f.SendAt(2.5, 0, 1, MessageType::kModelUpload, after);
+  f.sim.RunUntil(10.0);
+
+  EXPECT_TRUE(*before);
+  EXPECT_FALSE(*inside);
+  EXPECT_TRUE(*after);
+  EXPECT_EQ(f.net.stats().dropped(DropReason::kInjectedFault), 1u);
+  EXPECT_EQ(f.fault.injected_drops(), 1u);
+}
+
+TEST(FaultInjectionTest, TypeDropTargetsOneMessageType) {
+  Fixture f(4);
+  f.fault.AddMessageTypeDrop(0.0, 10.0, MessageType::kModelUpload, 1.0);
+  f.fault.Arm();
+
+  auto upload = std::make_shared<bool>(false);
+  auto lookup = std::make_shared<bool>(false);
+  f.SendAt(1.0, 0, 1, MessageType::kModelUpload, upload);
+  f.SendAt(1.0, 0, 1, MessageType::kLookup, lookup);
+  f.sim.RunUntil(10.0);
+
+  EXPECT_FALSE(*upload);
+  EXPECT_TRUE(*lookup);
+}
+
+TEST(FaultInjectionTest, PartitionBlocksCrossGroupBothDirections) {
+  Fixture f(4);
+  f.fault.AddPartition(0.0, 5.0, {0, 1}, {2, 3});
+  f.fault.Arm();
+
+  auto cross_ab = std::make_shared<bool>(false);
+  auto cross_ba = std::make_shared<bool>(false);
+  auto within_a = std::make_shared<bool>(false);
+  auto within_b = std::make_shared<bool>(false);
+  auto healed = std::make_shared<bool>(false);
+  f.SendAt(1.0, 0, 2, MessageType::kGossip, cross_ab);
+  f.SendAt(1.0, 3, 1, MessageType::kGossip, cross_ba);
+  f.SendAt(1.0, 0, 1, MessageType::kGossip, within_a);
+  f.SendAt(1.0, 2, 3, MessageType::kGossip, within_b);
+  f.SendAt(6.0, 0, 2, MessageType::kGossip, healed);
+  f.sim.RunUntil(10.0);
+
+  EXPECT_FALSE(*cross_ab);
+  EXPECT_FALSE(*cross_ba);
+  EXPECT_TRUE(*within_a);
+  EXPECT_TRUE(*within_b);
+  EXPECT_TRUE(*healed);
+  EXPECT_EQ(f.fault.injected_drops(), 2u);
+}
+
+TEST(FaultInjectionTest, LatencySpikeDelaysButDelivers) {
+  Fixture f(4);
+  f.fault.AddLatencySpike(0.0, 5.0, 2.0);
+  f.fault.Arm();
+
+  double delivered_at = -1.0;
+  f.sim.ScheduleAt(1.0, [&] {
+    f.net.Send(0, 1, 100, MessageType::kGossip,
+               [&] { delivered_at = f.sim.Now(); });
+  });
+  f.sim.RunUntil(10.0);
+  // Base one-way latency is far below 1 s; the spike dominates.
+  EXPECT_GE(delivered_at, 3.0);
+  EXPECT_LT(delivered_at, 4.0);
+  EXPECT_EQ(f.net.stats().messages_dropped(), 0u);
+}
+
+TEST(FaultInjectionTest, ScriptedCrashAndRecoverNotifyListeners) {
+  Fixture f(4);
+  f.fault.AddCrash(1.0, 2);
+  f.fault.AddRecover(2.0, 2);
+  std::vector<std::pair<NodeId, bool>> transitions;
+  f.fault.AddTransitionListener([&](NodeId node, bool online) {
+    transitions.emplace_back(node, online);
+  });
+  f.fault.Arm();
+  EXPECT_EQ(f.fault.num_scheduled_transitions(), 2u);
+
+  bool down_mid_window = false;
+  f.sim.ScheduleAt(1.5, [&] { down_mid_window = !f.net.IsOnline(2); });
+  f.sim.RunUntil(3.0);
+
+  EXPECT_TRUE(down_mid_window);
+  EXPECT_TRUE(f.net.IsOnline(2));
+  ASSERT_EQ(transitions.size(), 2u);
+  EXPECT_EQ(transitions[0], (std::pair<NodeId, bool>{2, false}));
+  EXPECT_EQ(transitions[1], (std::pair<NodeId, bool>{2, true}));
+}
+
+TEST(FaultInjectionTest, AddPlanComposesAllRuleKinds) {
+  FaultPlanSpec spec;
+  spec.burst_loss.push_back({0.0, 1.0, 0.5});
+  spec.type_drops.push_back({0.0, 1.0, MessageType::kAck, 1.0});
+  spec.partitions.push_back({0.0, 1.0, {0}, {1}});
+  spec.latency_spikes.push_back({0.0, 1.0, 0.1});
+  spec.crashes.push_back({0.5, 3});
+  spec.recoveries.push_back({0.8, 3});
+  EXPECT_FALSE(spec.empty());
+
+  Fixture f(4);
+  f.fault.AddPlan(spec);
+  EXPECT_EQ(f.fault.num_message_rules(), 4u);
+  EXPECT_EQ(f.fault.num_scheduled_transitions(), 2u);
+}
+
+TEST(FaultInjectionTest, ArmedInactivePlanDoesNotPerturbBaselineLoss) {
+  // The underlay always draws its baseline Bernoulli sample, so a fault
+  // plan whose windows never match leaves the random-loss stream — and
+  // therefore the delivered/dropped pattern — bit-identical.
+  PhysicalNetworkOptions popt;
+  popt.loss_rate = 0.3;
+
+  auto run = [&](bool with_plan) {
+    Fixture f(4, popt);
+    if (with_plan) {
+      f.fault.AddBurstLoss(1000.0, 1001.0, 1.0);  // never reached
+      f.fault.Arm();
+    }
+    std::vector<bool> outcome;
+    for (int i = 0; i < 50; ++i) {
+      auto ok = std::make_shared<bool>(false);
+      f.SendAt(0.1 * i, 0, 1, MessageType::kGossip, ok);
+      f.sim.ScheduleAt(0.1 * i + 5.0, [&outcome, ok] {
+        outcome.push_back(*ok);
+      });
+    }
+    f.sim.RunUntil(100.0);
+    return outcome;
+  };
+
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(FaultInjectionTest, ProbabilisticRulesAreDeterministicAcrossRuns) {
+  PhysicalNetworkOptions popt;
+  auto run = [&] {
+    Fixture f(4, popt);
+    f.fault.AddBurstLoss(0.0, 100.0, 0.5);
+    f.fault.Arm();
+    std::vector<bool> outcome;
+    for (int i = 0; i < 50; ++i) {
+      auto ok = std::make_shared<bool>(false);
+      f.SendAt(0.1 * i, 0, 1, MessageType::kGossip, ok);
+      f.sim.ScheduleAt(0.1 * i + 5.0, [&outcome, ok] {
+        outcome.push_back(*ok);
+      });
+    }
+    f.sim.RunUntil(100.0);
+    return outcome;
+  };
+  std::vector<bool> a = run();
+  EXPECT_EQ(a, run());
+  // A 50% burst over 50 messages drops some but not all.
+  EXPECT_GT(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_GT(std::count(a.begin(), a.end(), false), 0);
+}
+
+}  // namespace
+}  // namespace p2pdt
