@@ -1,0 +1,250 @@
+#include "common/checkpoint.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+
+#include "common/crc32.h"
+#include "common/string_util.h"
+
+namespace p2pdt {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr uint32_t kCheckpointMagic = 0x50324350;  // "P2CP"
+constexpr uint16_t kCheckpointVersion = 1;
+constexpr std::size_t kHeaderBytes = 4 + 2 + 2 + 8 + 4;
+constexpr char kManifestName[] = "MANIFEST";
+constexpr char kManifestHeader[] = "p2pdt-checkpoint-manifest v1";
+
+bool ValidKey(const std::string& key) {
+  if (key.empty()) return false;
+  for (char c : key) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+void PutLE(uint64_t v, int bytes, std::string& out) {
+  for (int i = 0; i < bytes; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint64_t GetLE(const unsigned char* p, int bytes) {
+  uint64_t v = 0;
+  for (int i = 0; i < bytes; ++i) v |= uint64_t{p[i]} << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+Status AtomicWriteFile(const std::string& path, const std::string& data) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
+    if (!f) return Status::IOError("cannot open " + tmp);
+    f.write(data.data(), static_cast<std::streamsize>(data.size()));
+    f.flush();
+    if (!f) {
+      std::error_code ec;
+      fs::remove(tmp, ec);
+      return Status::IOError("short write to " + tmp);
+    }
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    return Status::IOError("cannot rename " + tmp + " -> " + path + ": " +
+                           ec.message());
+  }
+  return Status::OK();
+}
+
+CheckpointManager::CheckpointManager(std::string directory)
+    : directory_(std::move(directory)) {}
+
+std::string CheckpointManager::PathFor(const std::string& key) const {
+  return directory_ + "/" + key + ".ckpt";
+}
+
+Status CheckpointManager::EnsureLoaded() {
+  if (loaded_) return Status::OK();
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+  if (ec) {
+    return Status::IOError("cannot create " + directory_ + ": " +
+                           ec.message());
+  }
+  loaded_ = true;
+  manifest_.clear();
+
+  std::ifstream f(directory_ + "/" + kManifestName);
+  if (!f) {
+    // No manifest (fresh directory, or it was lost): scan for checkpoints.
+    RebuildManifestFromScan();
+    return Status::OK();
+  }
+  std::string line;
+  bool valid_header = std::getline(f, line) && line == kManifestHeader;
+  bool torn = !valid_header;
+  while (valid_header && std::getline(f, line)) {
+    if (line.empty()) continue;
+    std::vector<std::string> fields = Split(line, '\t');
+    if (fields.size() != 3 || !ValidKey(fields[0])) {
+      torn = true;  // half-written entry; fall back to the files themselves
+      break;
+    }
+    ManifestEntry entry;
+    char* end = nullptr;
+    entry.size = std::strtoull(fields[1].c_str(), &end, 10);
+    if (end == fields[1].c_str()) {
+      torn = true;
+      break;
+    }
+    entry.crc =
+        static_cast<uint32_t>(std::strtoul(fields[2].c_str(), &end, 16));
+    if (end == fields[2].c_str()) {
+      torn = true;
+      break;
+    }
+    manifest_[fields[0]] = entry;
+  }
+  if (torn) {
+    // A torn manifest must not hide valid checkpoints: rebuild from scan.
+    manifest_.clear();
+    RebuildManifestFromScan();
+  }
+  return Status::OK();
+}
+
+void CheckpointManager::RebuildManifestFromScan() {
+  std::error_code ec;
+  fs::directory_iterator it(directory_, ec);
+  if (ec) return;
+  for (const auto& entry : it) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (!EndsWith(name, ".ckpt")) continue;
+    std::string key = name.substr(0, name.size() - 5);
+    if (!ValidKey(key)) continue;
+    // Sizes/CRCs are re-derived lazily by Read; the scan records presence.
+    ManifestEntry e;
+    std::error_code size_ec;
+    uint64_t fsize = entry.file_size(size_ec);
+    e.size = size_ec || fsize < kHeaderBytes ? 0 : fsize - kHeaderBytes;
+    manifest_[key] = e;
+  }
+}
+
+Status CheckpointManager::WriteManifest() const {
+  std::string out = kManifestHeader;
+  out += '\n';
+  for (const auto& [key, entry] : manifest_) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%08x", entry.crc);
+    out += key + '\t' + std::to_string(entry.size) + '\t' + buf + '\n';
+  }
+  return AtomicWriteFile(directory_ + "/" + kManifestName, out);
+}
+
+Status CheckpointManager::Write(const std::string& key,
+                                const std::string& payload) {
+  if (!ValidKey(key)) {
+    return Status::InvalidArgument("invalid checkpoint key: " + key);
+  }
+  P2PDT_RETURN_IF_ERROR(EnsureLoaded());
+
+  const uint32_t crc = Crc32(payload);
+  std::string file;
+  file.reserve(kHeaderBytes + payload.size());
+  PutLE(kCheckpointMagic, 4, file);
+  PutLE(kCheckpointVersion, 2, file);
+  PutLE(0, 2, file);  // flags
+  PutLE(payload.size(), 8, file);
+  PutLE(crc, 4, file);
+  file += payload;
+
+  P2PDT_RETURN_IF_ERROR(AtomicWriteFile(PathFor(key), file));
+  manifest_[key] = {payload.size(), crc};
+  ++stats_.writes;
+  stats_.bytes_written += file.size();
+  return WriteManifest();
+}
+
+Result<std::string> CheckpointManager::Read(const std::string& key) {
+  if (!ValidKey(key)) {
+    return Status::InvalidArgument("invalid checkpoint key: " + key);
+  }
+  P2PDT_RETURN_IF_ERROR(EnsureLoaded());
+
+  std::ifstream f(PathFor(key), std::ios::binary);
+  if (!f) return Status::NotFound("no checkpoint for key " + key);
+  std::string file((std::istreambuf_iterator<char>(f)),
+                   std::istreambuf_iterator<char>());
+  ++stats_.reads;
+
+  auto corrupt = [&](const std::string& why) -> Status {
+    ++stats_.corrupt_reads;
+    return Status::DataLoss("checkpoint " + key + ": " + why);
+  };
+  if (file.size() < kHeaderBytes) return corrupt("truncated header");
+  const auto* p = reinterpret_cast<const unsigned char*>(file.data());
+  if (GetLE(p, 4) != kCheckpointMagic) return corrupt("bad magic");
+  const uint64_t version = GetLE(p + 4, 2);
+  if (version != kCheckpointVersion) {
+    return corrupt("unsupported version " + std::to_string(version));
+  }
+  const uint64_t payload_size = GetLE(p + 8, 8);
+  const uint32_t expected_crc = static_cast<uint32_t>(GetLE(p + 16, 4));
+  if (file.size() - kHeaderBytes != payload_size) {
+    return corrupt("declared " + std::to_string(payload_size) +
+                   " payload bytes, file holds " +
+                   std::to_string(file.size() - kHeaderBytes));
+  }
+  std::string payload = file.substr(kHeaderBytes);
+  if (Crc32(payload) != expected_crc) return corrupt("checksum mismatch");
+
+  // Cross-check the manifest when it has real data for this key; a stale
+  // manifest entry is repaired in memory rather than failing the read.
+  auto it = manifest_.find(key);
+  if (it == manifest_.end() || it->second.size != payload_size ||
+      it->second.crc != expected_crc) {
+    manifest_[key] = {payload_size, expected_crc};
+  }
+  stats_.bytes_read += file.size();
+  return payload;
+}
+
+Status CheckpointManager::Remove(const std::string& key) {
+  if (!ValidKey(key)) {
+    return Status::InvalidArgument("invalid checkpoint key: " + key);
+  }
+  P2PDT_RETURN_IF_ERROR(EnsureLoaded());
+  std::error_code ec;
+  fs::remove(PathFor(key), ec);
+  if (ec) return Status::IOError("cannot remove checkpoint: " + ec.message());
+  if (manifest_.erase(key) > 0) return WriteManifest();
+  return Status::OK();
+}
+
+bool CheckpointManager::Contains(const std::string& key) const {
+  auto* self = const_cast<CheckpointManager*>(this);
+  if (!self->EnsureLoaded().ok()) return false;
+  return manifest_.count(key) > 0;
+}
+
+std::vector<std::string> CheckpointManager::Keys() const {
+  auto* self = const_cast<CheckpointManager*>(this);
+  if (!self->EnsureLoaded().ok()) return {};
+  std::vector<std::string> keys;
+  keys.reserve(manifest_.size());
+  for (const auto& [key, entry] : manifest_) keys.push_back(key);
+  return keys;
+}
+
+}  // namespace p2pdt

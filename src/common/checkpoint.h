@@ -1,0 +1,93 @@
+#ifndef P2PDT_COMMON_CHECKPOINT_H_
+#define P2PDT_COMMON_CHECKPOINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace p2pdt {
+
+/// Writes `data` to `path` atomically: temp sibling + rename. The rename is
+/// atomic on POSIX filesystems, so concurrent readers (and crash recovery)
+/// only ever observe the old file or the complete new one. Shared by every
+/// on-disk writer that must never leave a torn file (checkpoints, manifest,
+/// metadata sidecars).
+Status AtomicWriteFile(const std::string& path, const std::string& data);
+
+/// Durable, checksummed key→blob store backing peer-state checkpoints.
+///
+/// Each checkpoint is one file `<key>.ckpt` in the manager's directory:
+///
+///   magic "P2CP" (u32 LE) | format version (u16) | flags (u16, zero) |
+///   payload size (u64)    | CRC-32 of payload (u32) | payload bytes
+///
+/// Writes are atomic: the file is written to a `.tmp` sibling and renamed
+/// into place, so a crash mid-write leaves either the old checkpoint or
+/// none — never a half-written one under the live name. Reads validate
+/// magic, version, declared size and CRC; any mismatch returns
+/// StatusCode::kDataLoss so the caller degrades to a cold rebuild instead
+/// of crashing or silently loading a wrong model.
+///
+/// A `MANIFEST` file (also atomically replaced) records every live
+/// checkpoint's key, size and CRC. It is an accelerator and a
+/// cross-check, not a single point of failure: a missing or torn manifest
+/// is rebuilt by scanning the directory.
+///
+/// Not thread-safe; the simulator drives all checkpoint traffic from the
+/// single driver thread.
+class CheckpointManager {
+ public:
+  /// Keys name files, so they are restricted to [A-Za-z0-9._-]+ (no path
+  /// separators); Write rejects anything else.
+  explicit CheckpointManager(std::string directory);
+
+  /// Atomically writes (or replaces) the checkpoint for `key`.
+  Status Write(const std::string& key, const std::string& payload);
+
+  /// Reads and validates the checkpoint for `key`. kNotFound when no
+  /// checkpoint exists; kDataLoss when it exists but fails validation.
+  Result<std::string> Read(const std::string& key);
+
+  /// Removes the checkpoint for `key` (missing is not an error).
+  Status Remove(const std::string& key);
+
+  bool Contains(const std::string& key) const;
+
+  /// Keys with live checkpoints, sorted.
+  std::vector<std::string> Keys() const;
+
+  /// I/O accounting, so experiments can report checkpoint cost.
+  struct Stats {
+    uint64_t writes = 0;
+    uint64_t reads = 0;
+    uint64_t corrupt_reads = 0;
+    uint64_t bytes_written = 0;
+    uint64_t bytes_read = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  struct ManifestEntry {
+    uint64_t size = 0;
+    uint32_t crc = 0;
+  };
+
+  std::string PathFor(const std::string& key) const;
+  Status EnsureLoaded();
+  Status WriteManifest() const;
+  void RebuildManifestFromScan();
+
+  std::string directory_;
+  bool loaded_ = false;
+  std::map<std::string, ManifestEntry> manifest_;
+  Stats stats_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_COMMON_CHECKPOINT_H_

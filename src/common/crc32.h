@@ -1,0 +1,26 @@
+#ifndef P2PDT_COMMON_CRC32_H_
+#define P2PDT_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace p2pdt {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) — the integrity
+/// check on every checkpoint payload. Table-driven, no dependencies; the
+/// same polynomial zlib/PNG use, so externally produced checksums can be
+/// cross-checked.
+uint32_t Crc32(const void* data, std::size_t size);
+
+inline uint32_t Crc32(const std::string& data) {
+  return Crc32(data.data(), data.size());
+}
+
+/// Incremental form: feed `crc` from a previous call to extend a running
+/// checksum over multiple buffers. Start from 0.
+uint32_t Crc32Update(uint32_t crc, const void* data, std::size_t size);
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_COMMON_CRC32_H_

@@ -22,6 +22,11 @@ enum class StatusCode : uint8_t {
   kUnavailable,
   kInternal,
   kIOError,
+  /// Stored data exists but failed an integrity check (bad checksum, torn
+  /// write, unsupported version). Distinct from kIOError (the read itself
+  /// failed) and kNotFound (nothing stored): callers holding a kDataLoss
+  /// can safely discard the artifact and rebuild from source.
+  kDataLoss,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -64,6 +69,9 @@ class Status {
   }
   static Status IOError(std::string msg) {
     return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include "common/checkpoint.h"
+#include "common/logging.h"
 #include "common/string_util.h"
 
 namespace p2pdt {
@@ -26,26 +28,37 @@ Status MetadataStore::Save(const Document& doc) const {
     return Status::IOError("cannot create " + directory_ + ": " +
                            ec.message());
   }
-  std::ofstream f(PathFor(doc.id), std::ios::trunc);
-  if (!f) return Status::IOError("cannot open " + PathFor(doc.id));
+  std::string out;
   for (const TagAssignment& a : doc.tags) {
-    f << a.tag << '\t' << TagSourceToString(a.source) << '\t' << a.confidence
-      << '\n';
+    out += a.tag;
+    out += '\t';
+    out += TagSourceToString(a.source);
+    out += '\t';
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", a.confidence);
+    out += buf;
+    out += '\n';
   }
-  if (!f) return Status::IOError("short write to " + PathFor(doc.id));
-  return Status::OK();
+  return AtomicWriteFile(PathFor(doc.id), out);
 }
 
-Result<std::vector<TagAssignment>> MetadataStore::Load(DocId id) const {
+Result<std::vector<TagAssignment>> MetadataStore::Load(
+    DocId id, std::size_t* skipped_lines) const {
   std::ifstream f(PathFor(id));
   if (!f) return Status::NotFound("no sidecar for doc " + std::to_string(id));
   std::vector<TagAssignment> out;
+  std::size_t skipped = 0;
   std::string line;
   while (std::getline(f, line)) {
     if (line.empty()) continue;
     std::vector<std::string> fields = Split(line, '\t');
     if (fields.empty() || fields[0].empty()) {
-      return Status::IOError("malformed sidecar line: " + line);
+      // Torn line (crash mid-append with a pre-atomic writer, or an
+      // external editor): salvage the rest of the sidecar.
+      ++skipped;
+      P2PDT_LOG(Warning) << "skipping malformed sidecar line in "
+                         << PathFor(id);
+      continue;
     }
     TagAssignment a;
     a.tag = fields[0];
@@ -65,6 +78,7 @@ Result<std::vector<TagAssignment>> MetadataStore::Load(DocId id) const {
     }
     out.push_back(std::move(a));
   }
+  if (skipped_lines != nullptr) *skipped_lines = skipped;
   return out;
 }
 

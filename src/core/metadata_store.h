@@ -20,12 +20,18 @@ class MetadataStore {
  public:
   explicit MetadataStore(std::string directory);
 
-  /// Writes (replaces) the sidecar for one document.
+  /// Writes (replaces) the sidecar for one document. Crash-safe: the
+  /// sidecar is written to a temp sibling and renamed into place, so a
+  /// crash mid-save leaves the previous sidecar intact, never a torn one.
   Status Save(const Document& doc) const;
 
   /// Loads tag assignments for a document id; NotFound when no sidecar
-  /// exists.
-  Result<std::vector<TagAssignment>> Load(DocId id) const;
+  /// exists. Torn or malformed lines (e.g. left by a pre-atomic-save crash
+  /// or an external writer) are skipped, not fatal: the valid assignments
+  /// are returned and `skipped_lines`, when non-null, reports how many
+  /// lines were dropped.
+  Result<std::vector<TagAssignment>> Load(
+      DocId id, std::size_t* skipped_lines = nullptr) const;
 
   /// Removes a document's sidecar (missing file is not an error).
   Status Erase(DocId id) const;

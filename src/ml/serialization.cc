@@ -5,17 +5,7 @@
 
 namespace p2pdt {
 
-namespace {
-
-constexpr uint32_t kMagic = 0x50324454;  // "P2DT"
-constexpr uint16_t kVersion = 1;
-
-enum class ModelKind : uint8_t {
-  kAbsent = 0,
-  kLinear = 1,
-  kKernel = 2,
-  kConstant = 3,
-};
+namespace wire {
 
 void PutU8(uint8_t v, std::string& out) {
   out.push_back(static_cast<char>(v));
@@ -90,7 +80,38 @@ Result<double> GetDouble(const std::string& data, std::size_t& offset) {
   return v;
 }
 
+void PutBytes(const std::string& bytes, std::string& out) {
+  PutU32(static_cast<uint32_t>(bytes.size()), out);
+  out += bytes;
+}
+
+Result<std::string> GetBytes(const std::string& data, std::size_t& offset) {
+  Result<uint32_t> len = GetU32(data, offset);
+  if (!len.ok()) return len.status();
+  P2PDT_NEED(len.value());
+  std::string bytes = data.substr(offset, len.value());
+  offset += len.value();
+  return bytes;
+}
+
 #undef P2PDT_NEED
+
+}  // namespace wire
+
+namespace {
+
+using namespace wire;  // NOLINT — the serializers are built from these
+
+constexpr uint32_t kMagic = 0x50324454;  // "P2DT"
+constexpr uint16_t kVersion = 1;
+
+enum class ModelKind : uint8_t {
+  kAbsent = 0,
+  kLinear = 1,
+  kKernel = 2,
+  kConstant = 3,
+  kCentroids = 4,
+};
 
 Status PutHeader(std::string& out) {
   PutU32(kMagic, out);
@@ -330,6 +351,39 @@ Result<OneVsAllModel> DeserializeOneVsAll(const std::string& data) {
     return Status::InvalidArgument("trailing bytes after model");
   }
   return model;
+}
+
+std::string SerializeCentroids(const std::vector<SparseVector>& centroids) {
+  std::string out;
+  PutHeader(out);
+  PutU8(static_cast<uint8_t>(ModelKind::kCentroids), out);
+  PutU32(static_cast<uint32_t>(centroids.size()), out);
+  for (const SparseVector& c : centroids) SerializeSparseVector(c, out);
+  return out;
+}
+
+Result<std::vector<SparseVector>> DeserializeCentroids(
+    const std::string& data) {
+  std::size_t offset = 0;
+  P2PDT_RETURN_IF_ERROR(CheckHeader(data, offset));
+  Result<uint8_t> kind = GetU8(data, offset);
+  if (!kind.ok()) return kind.status();
+  if (kind.value() != static_cast<uint8_t>(ModelKind::kCentroids)) {
+    return Status::InvalidArgument("buffer does not hold centroids");
+  }
+  Result<uint32_t> count = GetU32(data, offset);
+  if (!count.ok()) return count.status();
+  std::vector<SparseVector> centroids;
+  centroids.reserve(count.value());
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    Result<SparseVector> c = DeserializeSparseVector(data, offset);
+    if (!c.ok()) return c.status();
+    centroids.push_back(std::move(c).value());
+  }
+  if (offset != data.size()) {
+    return Status::InvalidArgument("trailing bytes after centroids");
+  }
+  return centroids;
 }
 
 Status SaveOneVsAll(const OneVsAllModel& model, const std::string& path) {

@@ -20,6 +20,29 @@ namespace p2pdt {
 /// This also grounds the WireSize() accounting: the serialized size of a
 /// model is within a small constant of what the simulator charges.
 
+/// Primitive little-endian encode/decode helpers, shared by the model
+/// serializers below and by composite peer-state snapshots (CEMPaR / PACE
+/// checkpoints) that embed models next to their own fields. Getters
+/// validate remaining length and return InvalidArgument on truncation.
+namespace wire {
+
+void PutU8(uint8_t v, std::string& out);
+void PutU16(uint16_t v, std::string& out);
+void PutU32(uint32_t v, std::string& out);
+void PutU64(uint64_t v, std::string& out);
+void PutDouble(double v, std::string& out);
+/// Length-prefixed (u32) byte string.
+void PutBytes(const std::string& bytes, std::string& out);
+
+Result<uint8_t> GetU8(const std::string& data, std::size_t& offset);
+Result<uint16_t> GetU16(const std::string& data, std::size_t& offset);
+Result<uint32_t> GetU32(const std::string& data, std::size_t& offset);
+Result<uint64_t> GetU64(const std::string& data, std::size_t& offset);
+Result<double> GetDouble(const std::string& data, std::size_t& offset);
+Result<std::string> GetBytes(const std::string& data, std::size_t& offset);
+
+}  // namespace wire
+
 /// Appends the serialized form of `v` to `out`.
 void SerializeSparseVector(const SparseVector& v, std::string& out);
 
@@ -37,6 +60,12 @@ Result<KernelSvmModel> DeserializeKernelSvm(const std::string& data);
 /// constant, absent).
 std::string SerializeOneVsAll(const OneVsAllModel& model);
 Result<OneVsAllModel> DeserializeOneVsAll(const std::string& data);
+
+/// k-means centroid sets (PACE broadcasts these next to the linear models;
+/// peer checkpoints persist them so a warm rejoin skips re-clustering).
+std::string SerializeCentroids(const std::vector<SparseVector>& centroids);
+Result<std::vector<SparseVector>> DeserializeCentroids(
+    const std::string& data);
 
 /// File helpers.
 Status SaveOneVsAll(const OneVsAllModel& model, const std::string& path);

@@ -1,10 +1,18 @@
 #include "p2pdmt/experiment.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
+#include <filesystem>
 #include <numeric>
 
 #include "common/stopwatch.h"
+
+#ifdef _WIN32
+#include <process.h>
+#else
+#include <unistd.h>
+#endif
 
 namespace p2pdt {
 
@@ -97,6 +105,33 @@ struct StatsSnapshot {
   }
 };
 
+/// Unique per-run scratch directory for auto-managed checkpoints; pid +
+/// counter keep `ctest -j` processes and same-process sweeps apart.
+std::string MakeCheckpointScratchDir(uint64_t seed) {
+  static std::atomic<uint64_t> counter{0};
+#ifdef _WIN32
+  int pid = _getpid();
+#else
+  int pid = getpid();
+#endif
+  std::filesystem::path dir =
+      std::filesystem::temp_directory_path() /
+      ("p2pdt-ckpt-" + std::to_string(pid) + "-" + std::to_string(seed) +
+       "-" + std::to_string(counter.fetch_add(1)));
+  return dir.string();
+}
+
+/// Removes an auto-created scratch directory on every exit path.
+struct ScratchDirGuard {
+  std::string dir;
+  ~ScratchDirGuard() {
+    if (!dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(dir, ec);
+    }
+  }
+};
+
 }  // namespace
 
 Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
@@ -159,6 +194,37 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
   result.train_bytes =
       (after_train.bytes - before_train.bytes) -
       (after_train.maintenance_bytes - before_train.maintenance_bytes);
+
+  // 3b. Durability: checkpoint the trained peers, then recover every peer
+  // that churns out and back during the post-training exposure window.
+  std::unique_ptr<CheckpointManager> checkpoints;
+  std::unique_ptr<RecoveryCoordinator> recovery;
+  ScratchDirGuard scratch;
+  if (options.recovery.enabled) {
+    if (!algo.SupportsDurability()) {
+      return Status::FailedPrecondition(
+          std::string(AlgorithmTypeToString(options.algorithm)) +
+          " does not support durable peer state");
+    }
+    std::string dir = options.recovery.checkpoint_dir;
+    if (dir.empty()) {
+      scratch.dir = MakeCheckpointScratchDir(options.seed);
+      dir = scratch.dir;
+    }
+    checkpoints = std::make_unique<CheckpointManager>(dir);
+    recovery = std::make_unique<RecoveryCoordinator>(
+        env.sim(), env.net(), env.churn(), algo, *checkpoints,
+        options.recovery);
+    P2PDT_RETURN_IF_ERROR(recovery->CheckpointAll());
+    recovery->Attach();
+  }
+  if (options.post_train_sim_seconds > 0.0) {
+    bool never = false;
+    env.RunUntilFlag(never, options.post_train_sim_seconds);
+    // Recovery/resync traffic in this window is neither training nor
+    // prediction cost; restart the prediction delta from here.
+    after_train = StatsSnapshot::Take(env.net().stats());
+  }
 
   // 4. Evaluate: sample test documents, predict from random online peers.
   Rng eval_rng(options.seed ^ 0xE7A1);
@@ -224,6 +290,18 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
   result.give_ups = stats.give_ups();
   if (auto* pace = dynamic_cast<Pace*>(&algo)) {
     result.model_coverage = pace->ModelCoverage();
+  }
+  result.churn_failures = env.churn().num_failures();
+  result.churn_rejoins = env.churn().num_rejoins();
+  result.warm_rejoins = env.churn().num_warm_rejoins();
+  result.cold_rejoins = env.churn().num_cold_rejoins();
+  if (recovery != nullptr) {
+    const RecoveryStats& rs = recovery->stats();
+    result.corrupt_checkpoints = rs.corrupt_checkpoints;
+    result.retrain_examples = rs.retrain_examples;
+    result.checkpoint_bytes = rs.snapshot_bytes;
+    result.mean_rejoin_latency_sec = rs.mean_rejoin_latency_sec();
+    result.max_rejoin_latency_sec = rs.max_rejoin_latency_sec;
   }
 
   result.metrics =

@@ -10,6 +10,7 @@
 #include "ml/metrics.h"
 #include "p2pdmt/data_distribution.h"
 #include "p2pdmt/environment.h"
+#include "p2pdmt/recovery.h"
 #include "p2pml/baselines.h"
 #include "p2pml/cempar.h"
 #include "p2pml/pace.h"
@@ -52,6 +53,12 @@ struct ExperimentOptions {
   /// Warm-up simulated seconds before training starts (lets churn and
   /// stabilization reach steady state).
   double warmup_sim_seconds = 0.0;
+  /// Durable peer state: checkpoint trained models and recover rejoining
+  /// peers warm (restore) or cold (retrain) — see RecoveryCoordinator.
+  RecoveryOptions recovery;
+  /// Simulated seconds of post-training churn exposure before evaluation
+  /// (lets failures/rejoins — and hence recoveries — actually happen).
+  double post_train_sim_seconds = 0.0;
   uint64_t seed = 777;
 };
 
@@ -92,6 +99,18 @@ struct ExperimentResult {
   double train_sim_seconds = 0.0;
   double predict_sim_seconds = 0.0;
   double wall_seconds = 0.0;
+
+  /// Churn exposure over the run (0 when the churn model is `none`).
+  uint64_t churn_failures = 0;
+  uint64_t churn_rejoins = 0;
+  /// Recovery accounting (all 0 unless options.recovery.enabled).
+  uint64_t warm_rejoins = 0;
+  uint64_t cold_rejoins = 0;
+  uint64_t corrupt_checkpoints = 0;
+  uint64_t retrain_examples = 0;
+  uint64_t checkpoint_bytes = 0;
+  double mean_rejoin_latency_sec = 0.0;
+  double max_rejoin_latency_sec = 0.0;
 
   DistributionSummary distribution;
 

@@ -1,0 +1,251 @@
+#include "p2pdmt/recovery_experiment.h"
+
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <utility>
+
+#include "common/logging.h"
+#include "p2pdmt/recovery.h"
+
+namespace p2pdt {
+
+namespace {
+
+/// Everything one pass of the crash-restore experiment produces.
+struct PassOutput {
+  std::vector<P2PPrediction> predictions;
+  std::size_t crashed = 0;
+  std::size_t restored = 0;
+  std::size_t resnapshot_mismatches = 0;
+  uint64_t checkpoint_bytes = 0;
+};
+
+/// Runs split → train → (optional crash/checkpoint-restore) → predict with
+/// fully deterministic seeding, so two passes differing only in the crash
+/// step are comparable prediction-by-prediction.
+Result<PassOutput> RunPass(const VectorizedCorpus& corpus,
+                           const ExperimentOptions& options,
+                           std::size_t num_crashed_peers) {
+  PassOutput out;
+  CorpusSplit split =
+      SplitCorpus(corpus, options.train_fraction, options.seed);
+  Result<std::vector<MultiLabelDataset>> peers = DistributeData(
+      split.train, options.env.num_peers, options.distribution,
+      &split.train_user);
+  if (!peers.ok()) return peers.status();
+
+  Result<std::unique_ptr<Environment>> env_result =
+      Environment::Create(options.env);
+  if (!env_result.ok()) return env_result.status();
+  Environment& env = *env_result.value();
+  Result<std::unique_ptr<P2PClassifier>> algo_result =
+      MakeClassifier(env, options);
+  if (!algo_result.ok()) return algo_result.status();
+  P2PClassifier& algo = *algo_result.value();
+  P2PDT_RETURN_IF_ERROR(
+      algo.Setup(std::move(peers).value(), corpus.dataset.num_tags()));
+
+  env.StartDynamics();
+  bool train_done = false;
+  Status train_status = Status::OK();
+  algo.Train([&](Status s) {
+    train_status = s;
+    train_done = true;
+  });
+  env.RunUntilFlag(train_done, options.max_train_sim_seconds);
+  if (!train_done) return Status::Internal("training did not quiesce");
+  P2PDT_RETURN_IF_ERROR(train_status);
+
+  if (num_crashed_peers > 0) {
+    if (!algo.SupportsDurability()) {
+      return Status::FailedPrecondition(algo.name() +
+                                        " does not support durable state");
+    }
+    // Victims spread across the id space (avoids only testing peer 0's
+    // special cases, e.g. owning many Chord keys).
+    std::size_t n = env.net().num_nodes();
+    std::size_t stride = n / num_crashed_peers;
+    if (stride == 0) stride = 1;
+    std::vector<NodeId> victims;
+    for (std::size_t i = 0; i < num_crashed_peers && i * stride < n; ++i) {
+      victims.push_back(static_cast<NodeId>(i * stride));
+    }
+    out.crashed = victims.size();
+
+    // Checkpoint before the crash, evict (what the crash destroys), then
+    // restore from the checkpoint — the exact warm-rejoin path.
+    std::vector<std::string> blobs(victims.size());
+    for (std::size_t i = 0; i < victims.size(); ++i) {
+      Result<std::string> blob = algo.Snapshot(victims[i]);
+      if (!blob.ok()) return blob.status();
+      blobs[i] = std::move(blob).value();
+      out.checkpoint_bytes += blobs[i].size();
+    }
+    for (NodeId v : victims) algo.EvictPeer(v);
+    for (std::size_t i = 0; i < victims.size(); ++i) {
+      P2PDT_RETURN_IF_ERROR(algo.Restore(victims[i], blobs[i]));
+      ++out.restored;
+      // Byte-exact round trip: re-snapshotting a restored peer must
+      // reproduce the pre-crash blob.
+      Result<std::string> again = algo.Snapshot(victims[i]);
+      if (!again.ok() || *again != blobs[i]) ++out.resnapshot_mismatches;
+    }
+    // One anti-entropy round, as a real rejoin would run.
+    std::size_t outstanding = victims.size();
+    bool resynced = (outstanding == 0);
+    for (NodeId v : victims) {
+      algo.ResyncPeer(v, [&] {
+        if (--outstanding == 0) resynced = true;
+      });
+    }
+    env.RunUntilFlag(resynced, options.max_train_sim_seconds);
+    if (!resynced) return Status::Internal("resync did not quiesce");
+  }
+
+  // Identical prediction workload to RunExperiment's evaluation loop.
+  Rng eval_rng(options.seed ^ 0xE7A1);
+  std::vector<std::size_t> test_idx(split.test.size());
+  std::iota(test_idx.begin(), test_idx.end(), 0);
+  eval_rng.Shuffle(test_idx);
+  if (options.max_test_documents > 0 &&
+      test_idx.size() > options.max_test_documents) {
+    test_idx.resize(options.max_test_documents);
+  }
+  out.predictions.resize(test_idx.size());
+  std::size_t outstanding = test_idx.size();
+  bool predict_done = (outstanding == 0);
+  for (std::size_t i = 0; i < test_idx.size(); ++i) {
+    const MultiLabelExample& ex = split.test[test_idx[i]];
+    NodeId requester = eval_rng.NextU64(env.net().num_nodes());
+    algo.Predict(requester, ex.x, [&, i](P2PPrediction p) {
+      out.predictions[i] = std::move(p);
+      if (--outstanding == 0) predict_done = true;
+    });
+  }
+  env.RunUntilFlag(predict_done, options.max_predict_sim_seconds);
+  if (!predict_done) return Status::Internal("prediction did not quiesce");
+  return out;
+}
+
+bool SameBits(const std::vector<double>& a, const std::vector<double>& b) {
+  if (a.size() != b.size()) return false;
+  return a.empty() ||
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+}  // namespace
+
+Result<CrashRestoreReport> RunCrashRestoreExperiment(
+    const VectorizedCorpus& corpus, const ExperimentOptions& base,
+    std::size_t num_crashed_peers) {
+  ExperimentOptions options = base;
+  options.env.churn = ChurnType::kNone;  // isolate the restore path
+  options.recovery.enabled = false;      // this harness drives recovery itself
+
+  Result<PassOutput> baseline = RunPass(corpus, options, 0);
+  if (!baseline.ok()) return baseline.status();
+  Result<PassOutput> recovered = RunPass(corpus, options, num_crashed_peers);
+  if (!recovered.ok()) return recovered.status();
+
+  CrashRestoreReport report;
+  report.algorithm = AlgorithmTypeToString(options.algorithm);
+  report.crashed_peers = recovered->crashed;
+  report.restored_peers = recovered->restored;
+  report.resnapshot_mismatches = recovered->resnapshot_mismatches;
+  report.checkpoint_bytes = recovered->checkpoint_bytes;
+  report.predictions = baseline->predictions.size();
+  if (baseline->predictions.size() != recovered->predictions.size()) {
+    return Status::Internal("prediction counts diverged between passes");
+  }
+  for (std::size_t i = 0; i < baseline->predictions.size(); ++i) {
+    const P2PPrediction& a = baseline->predictions[i];
+    const P2PPrediction& b = recovered->predictions[i];
+    if (a.tags != b.tags) ++report.mismatched_tags;
+    if (!SameBits(a.scores, b.scores)) ++report.mismatched_scores;
+  }
+  return report;
+}
+
+namespace {
+
+ChurnRow MakeChurnRow(const ExperimentResult& r, bool warm) {
+  ChurnRow row;
+  row.algorithm = r.algorithm;
+  row.churn = r.churn;
+  row.rejoin_mode = warm ? "warm" : "cold";
+  row.micro_f1 = r.metrics.micro_f1;
+  row.macro_f1 = r.metrics.macro_f1;
+  row.failed_predictions = r.failed_predictions;
+  row.test_documents = r.test_documents;
+  row.failures = r.churn_failures;
+  row.rejoins = r.churn_rejoins;
+  row.warm_rejoins = r.warm_rejoins;
+  row.cold_rejoins = r.cold_rejoins;
+  row.corrupt_checkpoints = r.corrupt_checkpoints;
+  row.retrain_examples = r.retrain_examples;
+  row.checkpoint_bytes = r.checkpoint_bytes;
+  row.mean_rejoin_latency_sec = r.mean_rejoin_latency_sec;
+  row.max_rejoin_latency_sec = r.max_rejoin_latency_sec;
+  return row;
+}
+
+}  // namespace
+
+std::vector<ChurnRow> RunWarmColdSweep(const VectorizedCorpus& corpus,
+                                       const ChurnSweepOptions& options) {
+  std::vector<ChurnRow> rows;
+  for (AlgorithmType algo : options.algorithms) {
+    for (ChurnType churn : options.churn_models) {
+      for (bool warm : {true, false}) {
+        ExperimentOptions opt = options.base;
+        opt.algorithm = algo;
+        opt.env.churn = churn;
+        opt.recovery.enabled = true;
+        opt.recovery.warm_rejoin = warm;
+        opt.post_train_sim_seconds = options.exposure_sim_seconds;
+        Result<ExperimentResult> r = RunExperiment(corpus, opt);
+        if (!r.ok()) {
+          P2PDT_LOG(Warning)
+              << AlgorithmTypeToString(algo) << " churn="
+              << ChurnTypeToString(churn) << " mode="
+              << (warm ? "warm" : "cold")
+              << " failed: " << r.status().ToString();
+          continue;
+        }
+        rows.push_back(MakeChurnRow(*r, warm));
+        if (options.on_point) options.on_point(rows.back());
+      }
+    }
+  }
+  return rows;
+}
+
+CsvWriter ChurnCsv(const std::vector<ChurnRow>& rows) {
+  CsvWriter csv({"algorithm", "churn", "rejoin_mode", "micro_f1", "macro_f1",
+                 "failed", "attempted", "failures", "rejoins", "warm_rejoins",
+                 "cold_rejoins", "corrupt_checkpoints", "retrain_examples",
+                 "checkpoint_bytes", "mean_rejoin_latency_sec",
+                 "max_rejoin_latency_sec"});
+  char buf[32];
+  auto fmt = [&buf](double v) {
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return std::string(buf);
+  };
+  for (const ChurnRow& row : rows) {
+    csv.AddRow({row.algorithm, row.churn, row.rejoin_mode, fmt(row.micro_f1),
+                fmt(row.macro_f1), std::to_string(row.failed_predictions),
+                std::to_string(row.test_documents),
+                std::to_string(row.failures), std::to_string(row.rejoins),
+                std::to_string(row.warm_rejoins),
+                std::to_string(row.cold_rejoins),
+                std::to_string(row.corrupt_checkpoints),
+                std::to_string(row.retrain_examples),
+                std::to_string(row.checkpoint_bytes),
+                fmt(row.mean_rejoin_latency_sec),
+                fmt(row.max_rejoin_latency_sec)});
+  }
+  return csv;
+}
+
+}  // namespace p2pdt

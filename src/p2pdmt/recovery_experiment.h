@@ -1,0 +1,106 @@
+#ifndef P2PDT_P2PDMT_RECOVERY_EXPERIMENT_H_
+#define P2PDT_P2PDMT_RECOVERY_EXPERIMENT_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/csv.h"
+#include "p2pdmt/experiment.h"
+
+namespace p2pdt {
+
+/// Outcome of the crash-restore equivalence experiment.
+struct CrashRestoreReport {
+  std::string algorithm;
+  std::size_t crashed_peers = 0;
+  std::size_t restored_peers = 0;
+  uint64_t checkpoint_bytes = 0;
+  std::size_t predictions = 0;
+  /// Predictions whose tag sets differ between the uninterrupted run and
+  /// the crash→checkpoint-restore run.
+  std::size_t mismatched_tags = 0;
+  /// Predictions whose raw score vectors differ *bitwise* (exact double
+  /// comparison, no tolerance).
+  std::size_t mismatched_scores = 0;
+  /// Restored peers whose re-snapshot differs from the pre-crash blob —
+  /// a byte-exact round-trip check on Snapshot/Restore themselves.
+  std::size_t resnapshot_mismatches = 0;
+
+  /// The durability guarantee under test: restoring from checkpoints is
+  /// indistinguishable — bit for bit — from never having crashed.
+  bool bit_identical() const {
+    return mismatched_tags == 0 && mismatched_scores == 0 &&
+           resnapshot_mismatches == 0 && predictions > 0 &&
+           restored_peers == crashed_peers;
+  }
+};
+
+/// Runs the same experiment twice with identical seeds — once uninterrupted,
+/// once crashing `num_crashed_peers` peers after training (state evicted),
+/// checkpoint-restoring them, and re-running the identical prediction
+/// workload — then compares every prediction bitwise.
+///
+/// `base.env.churn` is forced to none: this experiment isolates the
+/// restore path; the churn sweep covers random failure timing.
+Result<CrashRestoreReport> RunCrashRestoreExperiment(
+    const VectorizedCorpus& corpus, const ExperimentOptions& base,
+    std::size_t num_crashed_peers);
+
+/// One grid point of the warm-vs-cold rejoin sweep, flattened for
+/// bench_results/churn.csv.
+struct ChurnRow {
+  std::string algorithm;
+  std::string churn = "none";
+  /// "warm" (checkpoint restore) or "cold" (retrain from scratch).
+  std::string rejoin_mode = "warm";
+
+  double micro_f1 = 0.0;
+  double macro_f1 = 0.0;
+  std::size_t failed_predictions = 0;
+  std::size_t test_documents = 0;
+
+  uint64_t failures = 0;
+  uint64_t rejoins = 0;
+  uint64_t warm_rejoins = 0;
+  uint64_t cold_rejoins = 0;
+  uint64_t corrupt_checkpoints = 0;
+  /// Retrain work a rejoining peer performed (training examples refit);
+  /// the cost warm rejoin avoids.
+  uint64_t retrain_examples = 0;
+  uint64_t checkpoint_bytes = 0;
+  double mean_rejoin_latency_sec = 0.0;
+  double max_rejoin_latency_sec = 0.0;
+};
+
+struct ChurnSweepOptions {
+  /// Template for every run; churn model and rejoin mode are overridden
+  /// per grid point.
+  ExperimentOptions base;
+  std::vector<AlgorithmType> algorithms = {AlgorithmType::kCempar,
+                                           AlgorithmType::kPace};
+  std::vector<ChurnType> churn_models = {ChurnType::kNone,
+                                         ChurnType::kExponential,
+                                         ChurnType::kPareto};
+  /// Post-training churn exposure before evaluation (simulated seconds).
+  double exposure_sim_seconds = 600.0;
+  /// Invoked after every completed point (progress reporting); may be null.
+  std::function<void(const ChurnRow&)> on_point;
+};
+
+/// Runs algorithms × churn models × {warm, cold}: every churned point runs
+/// with recovery enabled, once restoring from checkpoints and once
+/// retraining cold, under identical seeds — so the rows differ only in
+/// recovery cost, never in final accuracy (training is deterministic).
+/// Failed runs are skipped with a warning rather than aborting the sweep.
+std::vector<ChurnRow> RunWarmColdSweep(const VectorizedCorpus& corpus,
+                                       const ChurnSweepOptions& options);
+
+/// Flattens sweep rows into the CSV schema bench_churn writes
+/// (bench_results/churn.csv).
+CsvWriter ChurnCsv(const std::vector<ChurnRow>& rows);
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PDMT_RECOVERY_EXPERIMENT_H_

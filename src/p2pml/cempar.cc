@@ -5,10 +5,15 @@
 
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "ml/serialization.h"
 
 namespace p2pdt {
 
 namespace {
+
+/// Version byte of the CEMPaR peer-snapshot layout (inside the checkpoint
+/// envelope, which already guards integrity; this guards evolution).
+constexpr uint8_t kCemparSnapshotVersion = 1;
 
 /// Wire size of a prediction request: the document vector plus a small
 /// header naming the homes being queried.
@@ -524,6 +529,111 @@ void Cempar::OnSuspect(NodeId suspect) {
     // Restore the replication invariant under the new primary.
     ReplicateHome(h);
   }
+}
+
+Result<std::string> Cempar::Snapshot(NodeId peer) const {
+  if (peer >= local_models_.size()) {
+    return Status::InvalidArgument("snapshot of unknown peer " +
+                                   std::to_string(peer));
+  }
+  std::string out;
+  wire::PutU8(kCemparSnapshotVersion, out);
+  wire::PutU32(num_tags_, out);
+  wire::PutU32(static_cast<uint32_t>(options_.regions_per_tag), out);
+  wire::PutU32(static_cast<uint32_t>(local_models_[peer].size()), out);
+  for (const auto& [home, model] : local_models_[peer]) {
+    wire::PutU64(home, out);
+    wire::PutBytes(SerializeKernelSvm(model), out);
+  }
+  return out;
+}
+
+Status Cempar::Restore(NodeId peer, const std::string& blob) {
+  if (peer >= local_models_.size()) {
+    return Status::InvalidArgument("restore of unknown peer " +
+                                   std::to_string(peer));
+  }
+  std::size_t offset = 0;
+  Result<uint8_t> version = wire::GetU8(blob, offset);
+  if (!version.ok()) return version.status();
+  if (version.value() != kCemparSnapshotVersion) {
+    return Status::InvalidArgument("unsupported cempar snapshot version " +
+                                   std::to_string(version.value()));
+  }
+  Result<uint32_t> num_tags = wire::GetU32(blob, offset);
+  if (!num_tags.ok()) return num_tags.status();
+  Result<uint32_t> regions = wire::GetU32(blob, offset);
+  if (!regions.ok()) return regions.status();
+  if (num_tags.value() != num_tags_ ||
+      regions.value() != options_.regions_per_tag) {
+    return Status::InvalidArgument(
+        "cempar snapshot was taken under a different configuration");
+  }
+  Result<uint32_t> count = wire::GetU32(blob, offset);
+  if (!count.ok()) return count.status();
+  std::map<std::size_t, KernelSvmModel> restored;
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    Result<uint64_t> home = wire::GetU64(blob, offset);
+    if (!home.ok()) return home.status();
+    if (home.value() >= homes_.size()) {
+      return Status::InvalidArgument("cempar snapshot references home " +
+                                     std::to_string(home.value()) +
+                                     " out of " +
+                                     std::to_string(homes_.size()));
+    }
+    Result<std::string> bytes = wire::GetBytes(blob, offset);
+    if (!bytes.ok()) return bytes.status();
+    Result<KernelSvmModel> model = DeserializeKernelSvm(bytes.value());
+    if (!model.ok()) return model.status();
+    restored.emplace(static_cast<std::size_t>(home.value()),
+                     std::move(model).value());
+  }
+  if (offset != blob.size()) {
+    return Status::InvalidArgument("trailing bytes after cempar snapshot");
+  }
+  // Commit only after the whole blob parsed: restore is all-or-nothing.
+  local_models_[peer] = std::move(restored);
+  return Status::OK();
+}
+
+void Cempar::EvictPeer(NodeId peer) {
+  if (peer >= local_models_.size()) return;
+  local_models_[peer].clear();
+  owner_cache_[peer].clear();
+}
+
+std::size_t Cempar::ColdRestart(NodeId peer) {
+  if (peer >= peer_data_.size()) return 0;
+  local_models_[peer].clear();
+  owner_cache_[peer].clear();
+  const MultiLabelDataset& data = peer_data_[peer];
+  if (data.empty()) return 0;
+  std::vector<std::size_t> counts = data.TagCounts();
+  const std::size_t region = peer % options_.regions_per_tag;
+  std::size_t examples_refit = 0;
+  for (TagId tag = 0; tag < num_tags_; ++tag) {
+    if (tag >= counts.size() || counts[tag] == 0) continue;
+    // Same trainer, same data, same options as the original fit: SMO is
+    // deterministic, so the recovered models are bit-identical and only
+    // the work is different from a warm restore.
+    Result<KernelSvmModel> model =
+        TrainKernelSvm(data.OneAgainstAll(tag), options_.svm);
+    if (!model.ok()) {
+      P2PDT_LOG(Warning) << "peer " << peer << " tag " << tag
+                         << " cold-restart SVM failed: "
+                         << model.status().ToString();
+      continue;
+    }
+    local_models_[peer].emplace(HomeIndex(tag, region),
+                                std::move(model).value());
+    examples_refit += data.size();
+  }
+  return examples_refit;
+}
+
+void Cempar::ResyncPeer(NodeId peer, std::function<void()> done) {
+  (void)peer;  // RepairRound already sweeps every stale home network-wide.
+  RepairRound(std::move(done));
 }
 
 bool Cempar::LocalScores(NodeId peer, const SparseVector& x,

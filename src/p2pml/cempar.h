@@ -85,6 +85,24 @@ class Cempar final : public P2PClassifier {
   /// `on_complete` fires when the repair traffic quiesces.
   void RepairRound(std::function<void()> on_complete);
 
+  // Durability: a CEMPaR peer's crash-volatile state is its locally
+  // trained per-(tag, region) kernel SVMs (regional cascades live at
+  // super-peers and are repaired through the DHT, not checkpointed here).
+  bool SupportsDurability() const override { return true; }
+  /// Blob: format version, num_tags/regions guards, then each local model
+  /// as (home index, serialized kernel SVM).
+  Result<std::string> Snapshot(NodeId peer) const override;
+  Status Restore(NodeId peer, const std::string& blob) override;
+  /// Drops the peer's local models and its cached super-peer resolutions.
+  void EvictPeer(NodeId peer) override;
+  /// Refits every local per-tag SVM from the peer's retained training data
+  /// (deterministic, so the refit models equal the lost ones bit-for-bit).
+  std::size_t ColdRestart(NodeId peer) override;
+  /// Anti-entropy for a rejoined peer: one RepairRound, which re-uploads
+  /// local models to any home whose collection point died while the peer
+  /// was away and re-cascades.
+  void ResyncPeer(NodeId peer, std::function<void()> done) override;
+
   /// Number of (tag, region) homes whose regional model is currently
   /// hosted on an *online* node.
   std::size_t NumLiveHomes() const;

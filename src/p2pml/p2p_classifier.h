@@ -57,6 +57,56 @@ class P2PClassifier {
 
   /// Protocol name for reports ("cempar", "pace", ...).
   virtual std::string name() const = 0;
+
+  // --- Durability hooks (optional) -----------------------------------------
+  //
+  // A peer's trained state normally lives only in memory: a crash loses it
+  // and a rejoin starts cold. Protocols that override these hooks let a
+  // RecoveryCoordinator checkpoint per-peer state to durable storage and
+  // warm-restore it on rejoin. The defaults make every protocol safely
+  // non-durable (Snapshot/Restore report Unavailable; eviction and cold
+  // restart are no-ops).
+
+  /// True when Snapshot/Restore are meaningful for this protocol.
+  virtual bool SupportsDurability() const { return false; }
+
+  /// Serializes everything peer-local that would be lost in a crash:
+  /// trained models plus whatever received/replicated state the peer holds.
+  /// The blob is opaque to callers; only Restore of the same protocol can
+  /// consume it. Integrity (checksums, atomic writes) is the storage
+  /// layer's job, not encoded here.
+  virtual Result<std::string> Snapshot(NodeId peer) const {
+    (void)peer;
+    return Status::Unavailable(name() + " does not support snapshots");
+  }
+
+  /// Reinstates a peer's state from a Snapshot blob. Malformed blobs are
+  /// rejected with a non-OK status and leave the peer evicted (cold).
+  virtual Status Restore(NodeId peer, const std::string& blob) {
+    (void)peer;
+    (void)blob;
+    return Status::Unavailable(name() + " does not support restore");
+  }
+
+  /// Drops the peer's volatile state, simulating what a crash destroys.
+  virtual void EvictPeer(NodeId peer) { (void)peer; }
+
+  /// Cold-start path: retrains the peer's local models from its retained
+  /// training data. Returns the number of training examples refit — the
+  /// retrain-work metric warm rejoin avoids (0 when nothing to retrain).
+  virtual std::size_t ColdRestart(NodeId peer) {
+    (void)peer;
+    return 0;
+  }
+
+  /// One anti-entropy round bringing a rejoined peer (and any state it was
+  /// responsible for) back in sync with the network: CEMPaR re-uploads to
+  /// repair dead homes, PACE re-fetches missed model bundles. `done` fires
+  /// in simulated time when the repair traffic quiesces.
+  virtual void ResyncPeer(NodeId peer, std::function<void()> done) {
+    (void)peer;
+    done();
+  }
 };
 
 }  // namespace p2pdt

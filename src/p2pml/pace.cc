@@ -7,8 +7,17 @@
 #include "common/logging.h"
 #include "common/rng.h"
 #include "common/thread_pool.h"
+#include "ml/serialization.h"
 
 namespace p2pdt {
+
+namespace {
+
+/// Version byte of the PACE peer-snapshot layout (the checkpoint envelope
+/// already guards integrity; this guards format evolution).
+constexpr uint8_t kPaceSnapshotVersion = 1;
+
+}  // namespace
 
 Pace::Pace(Simulator& sim, PhysicalNetwork& net, Overlay& overlay,
            PaceOptions options)
@@ -233,6 +242,9 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
   for (std::size_t item : candidates) {
     const auto& [peer, cidx] = index_items_[item];
     if (!received_[requester][peer] || !models_[peer].valid) continue;
+    // A restored bundle is expected to carry the indexed centroids, but a
+    // stale index entry must degrade to "skip", never to an OOB read.
+    if (cidx >= models_[peer].centroids.size()) continue;
     double d = x.SquaredDistance(models_[peer].centroids[cidx]);
     best_dist[peer] = std::min(best_dist[peer], d);
   }
@@ -291,6 +303,187 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
   sim_.Schedule(0.0, [done = std::move(done), out = std::move(out)] {
     done(std::move(out));
   });
+}
+
+Result<std::string> Pace::Snapshot(NodeId peer) const {
+  if (peer >= models_.size()) {
+    return Status::InvalidArgument("snapshot of unknown peer " +
+                                   std::to_string(peer));
+  }
+  const PeerModel& pm = models_[peer];
+  std::string out;
+  wire::PutU8(kPaceSnapshotVersion, out);
+  wire::PutU32(num_tags_, out);
+  wire::PutU32(static_cast<uint32_t>(models_.size()), out);
+  wire::PutU8(pm.valid ? 1 : 0, out);
+  if (pm.valid) {
+    wire::PutBytes(SerializeOneVsAll(pm.model), out);
+    wire::PutBytes(SerializeCentroids(pm.centroids), out);
+    wire::PutU32(static_cast<uint32_t>(pm.tag_accuracy.size()), out);
+    for (double a : pm.tag_accuracy) wire::PutDouble(a, out);
+    wire::PutU32(static_cast<uint32_t>(pm.tag_informed.size()), out);
+    for (bool b : pm.tag_informed) wire::PutU8(b ? 1 : 0, out);
+    wire::PutU64(pm.wire_size, out);
+  }
+  // The receiver-side view: which contributors' bundles this peer holds.
+  wire::PutU32(static_cast<uint32_t>(received_[peer].size()), out);
+  for (bool held : received_[peer]) wire::PutU8(held ? 1 : 0, out);
+  return out;
+}
+
+Status Pace::Restore(NodeId peer, const std::string& blob) {
+  if (peer >= models_.size()) {
+    return Status::InvalidArgument("restore of unknown peer " +
+                                   std::to_string(peer));
+  }
+  std::size_t offset = 0;
+  Result<uint8_t> version = wire::GetU8(blob, offset);
+  if (!version.ok()) return version.status();
+  if (version.value() != kPaceSnapshotVersion) {
+    return Status::InvalidArgument("unsupported pace snapshot version " +
+                                   std::to_string(version.value()));
+  }
+  Result<uint32_t> num_tags = wire::GetU32(blob, offset);
+  if (!num_tags.ok()) return num_tags.status();
+  Result<uint32_t> num_peers = wire::GetU32(blob, offset);
+  if (!num_peers.ok()) return num_peers.status();
+  if (num_tags.value() != num_tags_ || num_peers.value() != models_.size()) {
+    return Status::InvalidArgument(
+        "pace snapshot was taken under a different configuration");
+  }
+  Result<uint8_t> valid = wire::GetU8(blob, offset);
+  if (!valid.ok()) return valid.status();
+
+  PeerModel restored;
+  if (valid.value() != 0) {
+    Result<std::string> model_bytes = wire::GetBytes(blob, offset);
+    if (!model_bytes.ok()) return model_bytes.status();
+    Result<OneVsAllModel> model = DeserializeOneVsAll(model_bytes.value());
+    if (!model.ok()) return model.status();
+    restored.model = std::move(model).value();
+    Result<std::string> centroid_bytes = wire::GetBytes(blob, offset);
+    if (!centroid_bytes.ok()) return centroid_bytes.status();
+    Result<std::vector<SparseVector>> centroids =
+        DeserializeCentroids(centroid_bytes.value());
+    if (!centroids.ok()) return centroids.status();
+    restored.centroids = std::move(centroids).value();
+    Result<uint32_t> n_acc = wire::GetU32(blob, offset);
+    if (!n_acc.ok()) return n_acc.status();
+    restored.tag_accuracy.reserve(n_acc.value());
+    for (uint32_t i = 0; i < n_acc.value(); ++i) {
+      Result<double> a = wire::GetDouble(blob, offset);
+      if (!a.ok()) return a.status();
+      restored.tag_accuracy.push_back(a.value());
+    }
+    Result<uint32_t> n_inf = wire::GetU32(blob, offset);
+    if (!n_inf.ok()) return n_inf.status();
+    restored.tag_informed.reserve(n_inf.value());
+    for (uint32_t i = 0; i < n_inf.value(); ++i) {
+      Result<uint8_t> b = wire::GetU8(blob, offset);
+      if (!b.ok()) return b.status();
+      restored.tag_informed.push_back(b.value() != 0);
+    }
+    Result<uint64_t> wire_size = wire::GetU64(blob, offset);
+    if (!wire_size.ok()) return wire_size.status();
+    restored.wire_size = static_cast<std::size_t>(wire_size.value());
+    restored.valid = true;
+  }
+
+  Result<uint32_t> n_recv = wire::GetU32(blob, offset);
+  if (!n_recv.ok()) return n_recv.status();
+  if (n_recv.value() != received_[peer].size()) {
+    return Status::InvalidArgument("pace snapshot received-row size " +
+                                   std::to_string(n_recv.value()) +
+                                   " does not match network size");
+  }
+  std::vector<bool> row(n_recv.value(), false);
+  for (uint32_t i = 0; i < n_recv.value(); ++i) {
+    Result<uint8_t> b = wire::GetU8(blob, offset);
+    if (!b.ok()) return b.status();
+    row[i] = b.value() != 0;
+  }
+  if (offset != blob.size()) {
+    return Status::InvalidArgument("trailing bytes after pace snapshot");
+  }
+  // Commit only after the whole blob parsed: restore is all-or-nothing.
+  models_[peer] = std::move(restored);
+  received_[peer] = std::move(row);
+  return Status::OK();
+}
+
+void Pace::EvictPeer(NodeId peer) {
+  if (peer >= received_.size()) return;
+  // The peer's RAM is gone: it no longer holds anyone's bundle, its own
+  // included. models_[peer] itself is left in place — it doubles as the
+  // copy other receivers hold, which a crash of the contributor does not
+  // destroy; visibility is entirely received_[q][peer].
+  received_[peer].assign(received_[peer].size(), false);
+}
+
+std::size_t Pace::ColdRestart(NodeId peer) {
+  if (peer >= peer_data_.size()) return 0;
+  received_[peer].assign(received_[peer].size(), false);
+  const MultiLabelDataset& data = peer_data_[peer];
+  if (data.empty()) return 0;
+  TrainLocal(peer);
+  if (!models_[peer].valid) return 0;
+  received_[peer][peer] = true;
+  std::vector<std::size_t> counts = data.TagCounts();
+  std::size_t informed_tags = 0;
+  for (std::size_t c : counts) {
+    if (c > 0) ++informed_tags;
+  }
+  return data.size() * informed_tags;
+}
+
+void Pace::ResyncPeer(NodeId peer, std::function<void()> done) {
+  if (peer >= received_.size() || !net_.IsOnline(peer)) {
+    sim_.Schedule(0.0, std::move(done));
+    return;
+  }
+  auto pending = std::make_shared<std::size_t>(1);
+  auto barrier = std::make_shared<std::function<void()>>();
+  *barrier = [pending, done = std::move(done)] {
+    if (--*pending > 0) return;
+    done();
+  };
+  for (NodeId p = 0; p < models_.size(); ++p) {
+    if (p == peer || !models_[p].valid || received_[peer][p]) continue;
+    // SRM-style repair: *any* online peer holding p's bundle can serve it,
+    // not only the contributor — so a bundle stays recoverable as long as
+    // one live copy exists, even while its contributor is offline.
+    NodeId sender = kInvalidNode;
+    if (net_.IsOnline(p)) {
+      sender = p;
+    } else {
+      for (NodeId q = 0; q < received_.size(); ++q) {
+        if (q != peer && received_[q][p] && net_.IsOnline(q)) {
+          sender = q;
+          break;
+        }
+      }
+    }
+    if (sender == kInvalidNode) continue;  // no live copy anywhere
+    ++*pending;
+    auto deliver = [this, p, peer] {
+      if (peer < received_.size()) received_[peer][p] = true;
+    };
+    if (transport_ != nullptr) {
+      transport_->SendReliable(
+          sender, peer, models_[p].wire_size, MessageType::kModelBroadcast,
+          std::move(deliver), /*on_acked=*/[barrier] { (*barrier)(); },
+          /*on_give_up=*/[barrier] { (*barrier)(); });
+    } else {
+      net_.Send(
+          sender, peer, models_[p].wire_size, MessageType::kModelBroadcast,
+          [deliver = std::move(deliver), barrier] {
+            deliver();
+            (*barrier)();
+          },
+          [barrier] { (*barrier)(); });
+    }
+  }
+  sim_.Schedule(0.0, [barrier] { (*barrier)(); });  // consume root token
 }
 
 double Pace::ModelCoverage() const {

@@ -86,6 +86,25 @@ class Pace final : public P2PClassifier {
   /// Repair passes actually run during Train (diagnostics).
   std::size_t repair_rounds_run() const { return repair_rounds_run_; }
 
+  // Durability: a PACE peer's crash-volatile state is its own trained
+  // bundle (one-vs-all linear models, centroids, accuracy weights) plus
+  // its view of which other contributors' bundles it holds. A cold rejoin
+  // must both retrain locally and re-fetch every missed bundle; a warm
+  // rejoin restores both from the checkpoint.
+  bool SupportsDurability() const override { return true; }
+  Result<std::string> Snapshot(NodeId peer) const override;
+  Status Restore(NodeId peer, const std::string& blob) override;
+  /// The peer forgets every bundle it received (including its own copy);
+  /// contributed bundles held by *other* peers survive, as they would in a
+  /// real deployment.
+  void EvictPeer(NodeId peer) override;
+  /// Retrains the peer's own bundle from retained data (deterministic →
+  /// bit-identical) and marks only the self-bundle as held.
+  std::size_t ColdRestart(NodeId peer) override;
+  /// Anti-entropy: contributors unicast the bundles this peer is missing
+  /// (reliably when the transport is on, best-effort otherwise).
+  void ResyncPeer(NodeId peer, std::function<void()> done) override;
+
  private:
   struct PeerModel {
     bool valid = false;

@@ -96,6 +96,20 @@ class ChurnDriver {
   uint64_t num_failures() const { return num_failures_; }
   uint64_t num_rejoins() const { return num_rejoins_; }
 
+  /// Classifies the most recent rejoin as warm (state restored from a
+  /// durable checkpoint) or cold (state rebuilt from scratch). Called by
+  /// the recovery layer from its rejoin listener, so every experiment
+  /// surfaces the same counters regardless of which coordinator ran.
+  void NoteRejoin(bool warm) {
+    if (warm) {
+      ++num_warm_rejoins_;
+    } else {
+      ++num_cold_rejoins_;
+    }
+  }
+  uint64_t num_warm_rejoins() const { return num_warm_rejoins_; }
+  uint64_t num_cold_rejoins() const { return num_cold_rejoins_; }
+
  private:
   void ScheduleNext(NodeId node);
 
@@ -107,6 +121,8 @@ class ChurnDriver {
   std::vector<TransitionListener> listeners_;
   uint64_t num_failures_ = 0;
   uint64_t num_rejoins_ = 0;
+  uint64_t num_warm_rejoins_ = 0;
+  uint64_t num_cold_rejoins_ = 0;
 };
 
 }  // namespace p2pdt

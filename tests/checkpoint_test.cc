@@ -1,0 +1,195 @@
+#include "common/checkpoint.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+namespace fs = std::filesystem;
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/p2pdt_ckpt_" +
+           std::to_string(reinterpret_cast<uintptr_t>(this));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string FileFor(const std::string& key) const {
+    return dir_ + "/" + key + ".ckpt";
+  }
+  std::string ReadRaw(const std::string& key) const {
+    std::ifstream f(FileFor(key), std::ios::binary);
+    return std::string((std::istreambuf_iterator<char>(f)),
+                       std::istreambuf_iterator<char>());
+  }
+  void WriteRaw(const std::string& key, const std::string& bytes) const {
+    std::ofstream f(FileFor(key), std::ios::binary | std::ios::trunc);
+    f.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  std::string dir_;
+};
+
+TEST_F(CheckpointTest, RoundTrip) {
+  CheckpointManager mgr(dir_);
+  std::string payload = "hello\0world", key = "peer-1";
+  payload.push_back('\xff');
+  ASSERT_TRUE(mgr.Write(key, payload).ok());
+  Result<std::string> back = mgr.Read(key);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, payload);
+  EXPECT_TRUE(mgr.Contains(key));
+  EXPECT_EQ(mgr.stats().writes, 1u);
+  EXPECT_EQ(mgr.stats().reads, 1u);
+  EXPECT_EQ(mgr.stats().corrupt_reads, 0u);
+}
+
+TEST_F(CheckpointTest, MissingKeyIsNotFound) {
+  CheckpointManager mgr(dir_);
+  EXPECT_EQ(mgr.Read("absent").status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(CheckpointTest, InvalidKeyRejected) {
+  CheckpointManager mgr(dir_);
+  EXPECT_EQ(mgr.Write("../escape", "x").code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(mgr.Write("", "x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(mgr.Write("a/b", "x").code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(CheckpointTest, WriteReplacesAtomically) {
+  CheckpointManager mgr(dir_);
+  ASSERT_TRUE(mgr.Write("k", "old-state").ok());
+  ASSERT_TRUE(mgr.Write("k", "new-state").ok());
+  Result<std::string> back = mgr.Read("k");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, "new-state");
+  // No temp sibling survives a completed write.
+  EXPECT_FALSE(fs::exists(FileFor("k") + ".tmp"));
+}
+
+TEST_F(CheckpointTest, TruncatedFileIsDataLoss) {
+  CheckpointManager mgr(dir_);
+  ASSERT_TRUE(mgr.Write("k", "some payload bytes").ok());
+  std::string raw = ReadRaw("k");
+  // A torn write: only the first half of the file made it to disk.
+  WriteRaw("k", raw.substr(0, raw.size() / 2));
+  EXPECT_EQ(mgr.Read("k").status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(mgr.stats().corrupt_reads, 1u);
+}
+
+TEST_F(CheckpointTest, TruncatedBelowHeaderIsDataLoss) {
+  CheckpointManager mgr(dir_);
+  ASSERT_TRUE(mgr.Write("k", "payload").ok());
+  WriteRaw("k", ReadRaw("k").substr(0, 5));
+  EXPECT_EQ(mgr.Read("k").status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CheckpointTest, FlippedPayloadByteIsDataLoss) {
+  CheckpointManager mgr(dir_);
+  ASSERT_TRUE(mgr.Write("k", "model weights go here").ok());
+  std::string raw = ReadRaw("k");
+  raw[raw.size() - 3] ^= 0x20;  // silent disk corruption in the payload
+  WriteRaw("k", raw);
+  EXPECT_EQ(mgr.Read("k").status().code(), StatusCode::kDataLoss);
+  EXPECT_EQ(mgr.stats().corrupt_reads, 1u);
+}
+
+TEST_F(CheckpointTest, WrongVersionIsDataLoss) {
+  CheckpointManager mgr(dir_);
+  ASSERT_TRUE(mgr.Write("k", "payload").ok());
+  std::string raw = ReadRaw("k");
+  raw[4] = 0x7F;  // version field (LE u16 at offset 4)
+  WriteRaw("k", raw);
+  EXPECT_EQ(mgr.Read("k").status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CheckpointTest, WrongMagicIsDataLoss) {
+  CheckpointManager mgr(dir_);
+  ASSERT_TRUE(mgr.Write("k", "payload").ok());
+  std::string raw = ReadRaw("k");
+  raw[0] = 'X';
+  WriteRaw("k", raw);
+  EXPECT_EQ(mgr.Read("k").status().code(), StatusCode::kDataLoss);
+}
+
+TEST_F(CheckpointTest, CorruptionDoesNotAffectOtherKeys) {
+  CheckpointManager mgr(dir_);
+  ASSERT_TRUE(mgr.Write("good", "good payload").ok());
+  ASSERT_TRUE(mgr.Write("bad", "bad payload").ok());
+  std::string raw = ReadRaw("bad");
+  raw.back() ^= 0x01;
+  WriteRaw("bad", raw);
+  EXPECT_EQ(mgr.Read("bad").status().code(), StatusCode::kDataLoss);
+  Result<std::string> good = mgr.Read("good");
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(*good, "good payload");
+}
+
+TEST_F(CheckpointTest, SurvivesReopen) {
+  {
+    CheckpointManager mgr(dir_);
+    ASSERT_TRUE(mgr.Write("a", "alpha").ok());
+    ASSERT_TRUE(mgr.Write("b", "beta").ok());
+  }
+  CheckpointManager fresh(dir_);
+  EXPECT_EQ(fresh.Keys(), (std::vector<std::string>{"a", "b"}));
+  Result<std::string> a = fresh.Read("a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(*a, "alpha");
+}
+
+TEST_F(CheckpointTest, TornManifestIsRebuiltFromScan) {
+  {
+    CheckpointManager mgr(dir_);
+    ASSERT_TRUE(mgr.Write("a", "alpha").ok());
+    ASSERT_TRUE(mgr.Write("b", "beta").ok());
+  }
+  {
+    // Crash mid-manifest-write with a non-atomic writer: garbage content.
+    std::ofstream f(dir_ + "/MANIFEST", std::ios::trunc);
+    f << "p2pdt-checkpoint-manifest v1\na\t12";  // torn entry, no newline
+  }
+  CheckpointManager fresh(dir_);
+  EXPECT_EQ(fresh.Keys(), (std::vector<std::string>{"a", "b"}));
+  Result<std::string> b = fresh.Read("b");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(*b, "beta");
+}
+
+TEST_F(CheckpointTest, MissingManifestIsRebuiltFromScan) {
+  {
+    CheckpointManager mgr(dir_);
+    ASSERT_TRUE(mgr.Write("only", "payload").ok());
+  }
+  fs::remove(dir_ + "/MANIFEST");
+  CheckpointManager fresh(dir_);
+  EXPECT_TRUE(fresh.Contains("only"));
+  EXPECT_EQ(*fresh.Read("only"), "payload");
+}
+
+TEST_F(CheckpointTest, RemoveDeletesFileAndManifestEntry) {
+  CheckpointManager mgr(dir_);
+  ASSERT_TRUE(mgr.Write("k", "payload").ok());
+  ASSERT_TRUE(mgr.Remove("k").ok());
+  EXPECT_FALSE(mgr.Contains("k"));
+  EXPECT_FALSE(fs::exists(FileFor("k")));
+  EXPECT_EQ(mgr.Read("k").status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(mgr.Remove("k").ok());  // idempotent
+}
+
+TEST_F(CheckpointTest, EmptyPayloadRoundTrips) {
+  CheckpointManager mgr(dir_);
+  ASSERT_TRUE(mgr.Write("empty", "").ok());
+  Result<std::string> back = mgr.Read("empty");
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+}  // namespace
+}  // namespace p2pdt

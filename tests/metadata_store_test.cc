@@ -1,6 +1,7 @@
 #include "core/metadata_store.h"
 
 #include <filesystem>
+#include <fstream>
 
 #include <gtest/gtest.h>
 
@@ -82,6 +83,28 @@ TEST_F(MetadataStoreTest, ListOnMissingDirectoryIsEmpty) {
   Result<std::vector<DocId>> docs = store.ListDocuments();
   ASSERT_TRUE(docs.ok());
   EXPECT_TRUE(docs->empty());
+}
+
+TEST_F(MetadataStoreTest, SaveLeavesNoTempFile) {
+  MetadataStore store(dir_);
+  ASSERT_TRUE(store.Save(Doc(4)).ok());
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/4.tags.tmp"));
+}
+
+TEST_F(MetadataStoreTest, TornSidecarLineIsSkippedNotFatal) {
+  MetadataStore store(dir_);
+  ASSERT_TRUE(store.Save(Doc(6)).ok());
+  {
+    // A crash mid-append (pre-atomic writer / external editor) leaves a
+    // partial line: field separator but an empty tag.
+    std::ofstream f(dir_ + "/6.tags", std::ios::app);
+    f << "\tau";  // torn: no tag, truncated source, no newline
+  }
+  std::size_t skipped = 0;
+  Result<std::vector<TagAssignment>> loaded = store.Load(6, &skipped);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded->size(), 3u);  // the valid assignments survive
+  EXPECT_EQ(skipped, 1u);
 }
 
 TEST_F(MetadataStoreTest, EmptyTagListProducesEmptySidecar) {

@@ -157,6 +157,40 @@ TEST(SerializationTest, FileRoundTrip) {
   EXPECT_EQ(LoadOneVsAll(path).status().code(), StatusCode::kNotFound);
 }
 
+TEST(SerializationTest, CentroidsRoundTrip) {
+  Rng rng(9);
+  std::vector<SparseVector> centroids;
+  for (int i = 0; i < 5; ++i) centroids.push_back(RandomVector(rng, 10));
+  centroids.push_back(SparseVector());  // empty centroid is legal
+  Result<std::vector<SparseVector>> back =
+      DeserializeCentroids(SerializeCentroids(centroids));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), centroids.size());
+  for (std::size_t i = 0; i < centroids.size(); ++i) {
+    EXPECT_EQ((*back)[i], centroids[i]) << "centroid " << i;
+  }
+}
+
+TEST(SerializationTest, CentroidsEmptyListRoundTrips) {
+  Result<std::vector<SparseVector>> back =
+      DeserializeCentroids(SerializeCentroids({}));
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(SerializationTest, CentroidsCorruptionRejectedCleanly) {
+  Rng rng(10);
+  std::string buf = SerializeCentroids({RandomVector(rng, 6)});
+  for (std::size_t cut = 0; cut < buf.size(); ++cut) {
+    EXPECT_FALSE(DeserializeCentroids(buf.substr(0, cut)).ok()) << cut;
+  }
+  std::string trailing = buf + "y";
+  EXPECT_FALSE(DeserializeCentroids(trailing).ok());
+  // A linear-model buffer is not a centroid buffer (kind byte differs).
+  LinearSvmModel model(RandomVector(rng, 4), 0.5);
+  EXPECT_FALSE(DeserializeCentroids(SerializeLinearSvm(model)).ok());
+}
+
 TEST(SerializationTest, SerializedSizeTracksWireSize) {
   Rng rng(8);
   LinearSvmModel model(RandomVector(rng, 20), 0.0);

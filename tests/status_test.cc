@@ -28,9 +28,18 @@ TEST(StatusTest, EqualityComparesCodeAndMessage) {
 }
 
 TEST(StatusTest, AllCodesHaveNames) {
-  for (int c = 0; c <= static_cast<int>(StatusCode::kIOError); ++c) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kDataLoss); ++c) {
     EXPECT_STRNE(StatusCodeToString(static_cast<StatusCode>(c)), "UNKNOWN");
   }
+}
+
+TEST(StatusTest, DataLossDistinctFromIOErrorAndNotFound) {
+  Status s = Status::DataLoss("checksum mismatch");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.ToString(), "DATA_LOSS: checksum mismatch");
+  EXPECT_NE(s.code(), Status::IOError("x").code());
+  EXPECT_NE(s.code(), Status::NotFound("x").code());
 }
 
 TEST(ResultTest, HoldsValue) {
