@@ -1,0 +1,129 @@
+// OBS1 — cost of observability: run the same CEMPaR / PACE experiment with
+// the metrics + tracing subsystems off and on, and report wall-clock and
+// message counts side by side. The subsystems are required to be
+// behavior-neutral (identical quality and traffic) and cheap (small
+// wall-clock overhead), and this bench is where that claim is measured.
+//
+// `--smoke` runs one small traced CEMPaR experiment and writes its three
+// artifacts (trace / metrics / run report JSON) under
+// bench_results/observe/ for CI schema validation, skipping the sweep.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "bench/bench_util.h"
+
+using namespace p2pdt_bench;
+
+namespace {
+
+ExperimentOptions PointOptions(AlgorithmType algo, bool observed) {
+  ExperimentOptions opt = MacroDefaults(algo, 32);
+  opt.max_test_documents = 150;
+  opt.env.physical.loss_rate = 0.05;
+  opt.cempar.reliable_transport = true;
+  opt.env.observe.metrics = observed;
+  opt.env.observe.tracing = observed;
+  return opt;
+}
+
+int RunSmoke() {
+  std::printf("=== OBS1 smoke: traced CEMPaR experiment for CI ===\n");
+  CorpusOptions copt;
+  copt.num_users = 10;
+  copt.min_docs_per_user = 30;
+  copt.max_docs_per_user = 40;
+  copt.num_tags = 5;
+  copt.vocabulary_size = 1000;
+  copt.seed = 4242;
+  Result<VectorizedCorpus> corpus = MakeVectorizedCorpus(copt);
+  if (!corpus.ok()) {
+    std::fprintf(stderr, "corpus: %s\n", corpus.status().ToString().c_str());
+    return 1;
+  }
+
+  ExperimentOptions opt;
+  opt.algorithm = AlgorithmType::kCempar;
+  opt.env.num_peers = 10;
+  opt.distribution.cls = ClassDistribution::kByUser;
+  opt.max_test_documents = 40;
+  opt.env.physical.loss_rate = 0.1;
+  opt.cempar.reliable_transport = true;
+  opt.env.observe.metrics = true;
+  opt.env.observe.tracing = true;
+
+  std::error_code ec;
+  std::filesystem::create_directories("bench_results/observe", ec);
+  opt.trace_path = "bench_results/observe/trace.json";
+  opt.metrics_path = "bench_results/observe/metrics.json";
+  opt.report_path = "bench_results/observe/report.json";
+
+  Result<ExperimentResult> r = RunExperiment(corpus.value(), opt);
+  if (!r.ok()) {
+    std::fprintf(stderr, "experiment: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("macro_f1=%.4f metrics=%zu failed=%zu\n", r->metrics.macro_f1,
+              r->observability.entries.size(), r->failed_predictions);
+  std::printf("[artifacts written to bench_results/observe/]\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--smoke") == 0) return RunSmoke();
+
+  std::printf("=== OBS1: observability overhead (off vs on) ===\n\n");
+  const VectorizedCorpus& corpus = SharedCorpus(/*num_users=*/64,
+                                                /*num_tags=*/8);
+
+  CsvWriter csv({"algorithm", "observability", "macro_f1", "train_messages",
+                 "train_bytes", "predict_messages", "predict_bytes",
+                 "retransmits", "wall_seconds", "metric_families"});
+  std::printf("%-8s %-4s %8s %10s %10s %10s %9s %8s\n", "algo", "obs",
+              "macroF1", "trainMsgs", "predMsgs", "retx", "wall(s)",
+              "metrics");
+
+  for (AlgorithmType algo : {AlgorithmType::kCempar, AlgorithmType::kPace}) {
+    double wall_off = 0.0;
+    for (bool observed : {false, true}) {
+      Result<ExperimentResult> r =
+          RunExperiment(corpus, PointOptions(algo, observed));
+      if (!r.ok()) {
+        std::fprintf(stderr, "point failed: %s\n",
+                     r.status().ToString().c_str());
+        return 1;
+      }
+      if (!observed) wall_off = r->wall_seconds;
+      std::printf("%-8s %-4s %8.4f %10llu %10llu %10llu %9.2f %8zu\n",
+                  r->algorithm.c_str(), observed ? "on" : "off",
+                  r->metrics.macro_f1,
+                  static_cast<unsigned long long>(r->train_messages),
+                  static_cast<unsigned long long>(r->predict_messages),
+                  static_cast<unsigned long long>(r->retransmits),
+                  r->wall_seconds, r->observability.entries.size());
+      if (observed && wall_off > 0.0) {
+        std::printf("  -> overhead %+.1f%%\n",
+                    100.0 * (r->wall_seconds - wall_off) / wall_off);
+      }
+      Status s = csv.AddRow(
+          {r->algorithm, observed ? "on" : "off",
+           std::to_string(r->metrics.macro_f1),
+           std::to_string(r->train_messages), std::to_string(r->train_bytes),
+           std::to_string(r->predict_messages),
+           std::to_string(r->predict_bytes), std::to_string(r->retransmits),
+           std::to_string(r->wall_seconds),
+           std::to_string(r->observability.entries.size())});
+      if (!s.ok()) {
+        std::fprintf(stderr, "csv: %s\n", s.ToString().c_str());
+        return 1;
+      }
+    }
+  }
+
+  WriteResults(csv, "observe.csv");
+  return 0;
+}

@@ -24,7 +24,7 @@ std::string Logger::EndCapture() {
 }
 
 void Logger::Write(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(level_)) return;
+  if (static_cast<int>(level) < static_cast<int>(this->level())) return;
   std::lock_guard<std::mutex> lock(mu_);
   if (capturing_) {
     capture_ += message;
@@ -32,6 +32,28 @@ void Logger::Write(LogLevel level, const std::string& message) {
     return;
   }
   std::fprintf(stderr, "%s\n", message.c_str());
+}
+
+void LogStructured(
+    LogLevel level, const std::string& event,
+    std::initializer_list<std::pair<const char*, std::string>> fields) {
+  std::string line = event;
+  for (const auto& [key, value] : fields) {
+    line += ' ';
+    line += key;
+    line += '=';
+    if (value.find_first_of(" \t=\"") != std::string::npos) {
+      line += '"';
+      for (char c : value) {
+        if (c == '"' || c == '\\') line += '\\';
+        line += c;
+      }
+      line += '"';
+    } else {
+      line += value;
+    }
+  }
+  Logger::Instance().Write(level, line);
 }
 
 namespace internal {

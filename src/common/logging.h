@@ -1,9 +1,12 @@
 #ifndef P2PDT_COMMON_LOGGING_H_
 #define P2PDT_COMMON_LOGGING_H_
 
+#include <atomic>
+#include <initializer_list>
 #include <mutex>
 #include <sstream>
 #include <string>
+#include <utility>
 
 namespace p2pdt {
 
@@ -17,15 +20,18 @@ enum class LogLevel : int {
 
 /// Process-wide logger with a settable severity threshold and an optional
 /// capture sink for tests. Write() is thread-safe (training fans out over
-/// the thread pool and workers log failures); level and capture mode are
-/// still expected to be configured from a single thread before any
-/// parallel region starts.
+/// the thread pool and workers log failures), and the threshold is atomic
+/// so it may be adjusted while workers are logging; capture mode is still
+/// expected to be configured from a single thread before any parallel
+/// region starts.
 class Logger {
  public:
   static Logger& Instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) {
+    level_.store(level, std::memory_order_relaxed);
+  }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Redirects output into an internal buffer instead of stderr. Tests use
   /// this to assert on log content without polluting test output.
@@ -37,11 +43,18 @@ class Logger {
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarning;
+  std::atomic<LogLevel> level_{LogLevel::kWarning};
   std::mutex mu_;  // serializes sink access across pool workers
   bool capturing_ = false;
   std::string capture_;
 };
+
+/// Structured log line: `event key=value key=value ...` — one greppable
+/// line per event; values containing whitespace or '=' are double-quoted.
+/// The observability layer reports exports and summaries this way.
+void LogStructured(
+    LogLevel level, const std::string& event,
+    std::initializer_list<std::pair<const char*, std::string>> fields);
 
 namespace internal {
 

@@ -7,9 +7,14 @@
 namespace p2pdt {
 
 void ActivityLog::Record(SimTime time, std::string actor,
-                         std::string category, std::string detail) {
+                         std::string category, std::string detail,
+                         uint64_t trace_id) {
+  if (max_entries_ > 0 && entries_.size() == max_entries_) {
+    entries_.pop_front();
+    ++dropped_;
+  }
   entries_.push_back(Entry{time, std::move(actor), std::move(category),
-                           std::move(detail)});
+                           std::move(detail), trace_id});
 }
 
 std::vector<ActivityLog::Entry> ActivityLog::FilterByCategory(
@@ -30,12 +35,12 @@ std::size_t ActivityLog::CountCategory(const std::string& category) const {
 }
 
 Status ActivityLog::WriteCsv(const std::string& path) const {
-  CsvWriter csv({"time", "actor", "category", "detail"});
+  CsvWriter csv({"time", "actor", "category", "detail", "trace_id"});
   for (const Entry& e : entries_) {
     char time_buf[32];
     std::snprintf(time_buf, sizeof(time_buf), "%.6f", e.time);
-    P2PDT_RETURN_IF_ERROR(
-        csv.AddRow({time_buf, e.actor, e.category, e.detail}));
+    P2PDT_RETURN_IF_ERROR(csv.AddRow({time_buf, e.actor, e.category, e.detail,
+                                      std::to_string(e.trace_id)}));
   }
   return csv.WriteFile(path);
 }

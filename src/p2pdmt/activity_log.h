@@ -1,6 +1,8 @@
 #ifndef P2PDT_P2PDMT_ACTIVITY_LOG_H_
 #define P2PDT_P2PDMT_ACTIVITY_LOG_H_
 
+#include <cstdint>
+#include <deque>
 #include <string>
 #include <vector>
 
@@ -12,20 +14,35 @@ namespace p2pdt {
 /// Structured record of simulation activity ("Log activities" in P2PDMT's
 /// architecture, Fig. 2): timestamped (actor, category, detail) rows with
 /// CSV export, so a run can be audited or charted after the fact.
+///
+/// Memory is bounded on request: constructed with `max_entries > 0` the
+/// log becomes a ring buffer that keeps only the newest rows and counts
+/// what it evicted, so long churn campaigns cannot grow without limit.
+/// Rows carry the causal trace id of the operation they belong to (0 when
+/// untraced), joining the activity record to exported traces.
 class ActivityLog {
  public:
+  ActivityLog() = default;
+  /// `max_entries == 0` keeps every row (unbounded, the default).
+  explicit ActivityLog(std::size_t max_entries)
+      : max_entries_(max_entries) {}
+
   struct Entry {
     SimTime time = 0.0;
     std::string actor;     // "peer/17", "superpeer/3", "system"
     std::string category;  // "churn", "train", "predict", "repair", ...
     std::string detail;
+    uint64_t trace_id = 0;  // causal trace this row belongs to (0 = none)
   };
 
   void Record(SimTime time, std::string actor, std::string category,
-              std::string detail);
+              std::string detail, uint64_t trace_id = 0);
 
-  const std::vector<Entry>& entries() const { return entries_; }
+  const std::deque<Entry>& entries() const { return entries_; }
   std::size_t size() const { return entries_.size(); }
+  std::size_t max_entries() const { return max_entries_; }
+  /// Rows evicted by ring-buffer mode since construction or Clear().
+  uint64_t dropped_entries() const { return dropped_; }
 
   /// Entries matching a category, in time order.
   std::vector<Entry> FilterByCategory(const std::string& category) const;
@@ -33,11 +50,17 @@ class ActivityLog {
   /// Count of entries in a category.
   std::size_t CountCategory(const std::string& category) const;
 
+  /// Columns: time, actor, category, detail, trace_id.
   Status WriteCsv(const std::string& path) const;
-  void Clear() { entries_.clear(); }
+  void Clear() {
+    entries_.clear();
+    dropped_ = 0;
+  }
 
  private:
-  std::vector<Entry> entries_;
+  std::size_t max_entries_ = 0;
+  uint64_t dropped_ = 0;
+  std::deque<Entry> entries_;
 };
 
 }  // namespace p2pdt

@@ -40,6 +40,17 @@ Result<std::unique_ptr<Environment>> Environment::Create(
   env->net_ = std::make_unique<PhysicalNetwork>(*env->sim_, phys);
   env->net_->AddNodes(options.num_peers);
 
+  // Observability attaches before the overlay joins so bootstrap traffic is
+  // measured too. Disabled subsystems stay null — zero cost downstream.
+  if (options.observe.metrics) {
+    env->metrics_ = std::make_unique<MetricsRegistry>();
+    env->net_->SetMetrics(env->metrics_.get());
+  }
+  if (options.observe.tracing) {
+    env->tracer_ = std::make_unique<Tracer>();
+    env->net_->SetTracer(env->tracer_.get());
+  }
+
   switch (options.overlay) {
     case OverlayType::kChord: {
       ChordOptions chord = options.chord;

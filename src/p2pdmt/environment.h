@@ -4,6 +4,7 @@
 #include <memory>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "p2psim/chord.h"
 #include "p2psim/churn.h"
@@ -19,6 +20,17 @@ enum class ChurnType { kNone, kExponential, kPareto };
 
 const char* OverlayTypeToString(OverlayType t);
 const char* ChurnTypeToString(ChurnType t);
+
+/// Which observability subsystems an environment installs. Both default
+/// off: a disabled subsystem is a null pointer on the network, so every
+/// instrumentation site costs one pointer test and the event schedule is
+/// bit-identical either way.
+struct ObservabilityOptions {
+  /// Metrics registry: counters / gauges / latency histograms.
+  bool metrics = false;
+  /// Causal tracer: per-message spans exported as Chrome trace JSON.
+  bool tracing = false;
+};
 
 /// One-stop configuration of a simulated P2P environment — the "Configure
 /// physical network / Generate P2P network / Simulate node failures" block
@@ -41,6 +53,8 @@ struct EnvironmentOptions {
   /// non-empty. Scripted transitions notify the overlay exactly like churn
   /// transitions do.
   FaultPlanSpec fault;
+  /// Metrics / tracing subsystems (both off by default).
+  ObservabilityOptions observe;
   uint64_t seed = 99;
 };
 
@@ -61,6 +75,10 @@ class Environment {
   ChurnDriver& churn() { return *churn_; }
   /// Non-null only when options.fault was non-empty.
   FaultInjector* fault_injector() { return fault_.get(); }
+  /// Non-null only when options.observe.metrics was set.
+  MetricsRegistry* metrics() { return metrics_.get(); }
+  /// Non-null only when options.observe.tracing was set.
+  Tracer* tracer() { return tracer_.get(); }
   const EnvironmentOptions& options() const { return options_; }
 
   /// Starts churn transitions and (for Chord) periodic stabilization.
@@ -83,6 +101,8 @@ class Environment {
   UnstructuredOverlay* unstructured_ = nullptr;
   std::unique_ptr<ChurnDriver> churn_;
   std::unique_ptr<FaultInjector> fault_;
+  std::unique_ptr<MetricsRegistry> metrics_;
+  std::unique_ptr<Tracer> tracer_;
 };
 
 }  // namespace p2pdt

@@ -6,7 +6,9 @@
 #include <filesystem>
 #include <numeric>
 
+#include "common/logging.h"
 #include "common/stopwatch.h"
+#include "p2pdmt/run_report.h"
 
 #ifdef _WIN32
 #include <process.h>
@@ -307,6 +309,39 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
   result.metrics =
       EvaluateMultiLabel(truth, predicted, corpus.dataset.num_tags());
   result.wall_seconds = wall.ElapsedSeconds();
+
+  // 5. Observability artifacts.
+  if (env.metrics() != nullptr) {
+    result.observability = env.metrics()->Snapshot();
+  }
+  if (!options.metrics_path.empty()) {
+    if (env.metrics() == nullptr) {
+      return Status::InvalidArgument(
+          "metrics_path set but env.observe.metrics is off");
+    }
+    P2PDT_RETURN_IF_ERROR(env.metrics()->WriteJson(options.metrics_path));
+  }
+  if (!options.trace_path.empty()) {
+    if (env.tracer() == nullptr) {
+      return Status::InvalidArgument(
+          "trace_path set but env.observe.tracing is off");
+    }
+    P2PDT_RETURN_IF_ERROR(env.tracer()->WriteChromeTrace(options.trace_path));
+  }
+  if (!options.report_path.empty()) {
+    P2PDT_RETURN_IF_ERROR(RunReport::Write(options.report_path, result,
+                                           result.observability));
+  }
+  if (env.metrics() != nullptr || env.tracer() != nullptr) {
+    LogStructured(
+        LogLevel::kInfo, "observability",
+        {{"algorithm", result.algorithm},
+         {"metrics",
+          std::to_string(env.metrics() ? env.metrics()->num_metrics() : 0)},
+         {"spans",
+          std::to_string(env.tracer() ? env.tracer()->num_spans() : 0)},
+         {"report", options.report_path}});
+  }
   return result;
 }
 

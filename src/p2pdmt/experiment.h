@@ -59,6 +59,12 @@ struct ExperimentOptions {
   /// Simulated seconds of post-training churn exposure before evaluation
   /// (lets failures/rejoins — and hence recoveries — actually happen).
   double post_train_sim_seconds = 0.0;
+  /// Observability artifacts (all optional; empty = don't write). Each
+  /// requires the matching env.observe subsystem to be enabled, otherwise
+  /// there is nothing to export and the path is an error.
+  std::string report_path;   ///< Run report JSON (see RunReport).
+  std::string metrics_path;  ///< Raw metrics registry JSON export.
+  std::string trace_path;    ///< Chrome trace_event JSON export.
   uint64_t seed = 777;
 };
 
@@ -113,6 +119,10 @@ struct ExperimentResult {
   double max_rejoin_latency_sec = 0.0;
 
   DistributionSummary distribution;
+
+  /// Snapshot of every metric the environment collected (empty unless
+  /// env.observe.metrics was set) — phase latency histograms live here.
+  MetricsSnapshot observability;
 
   /// Mean bytes per peer spent on training — the per-user cost the paper's
   /// efficiency argument is about.

@@ -2,7 +2,20 @@
 
 #include <utility>
 
+#include "common/metrics.h"
+#include "common/stopwatch.h"
+
 namespace p2pdt {
+
+namespace {
+
+Histogram* PhaseHistogram(MetricsRegistry* metrics, const char* phase) {
+  if (metrics == nullptr) return nullptr;
+  return &metrics->GetHistogram(
+      "phase_seconds", {{"classifier", "recovery"}, {"phase", phase}});
+}
+
+}  // namespace
 
 RecoveryCoordinator::RecoveryCoordinator(Simulator& sim, PhysicalNetwork& net,
                                          ChurnDriver& churn,
@@ -28,11 +41,15 @@ void RecoveryCoordinator::Attach() {
 }
 
 Status RecoveryCoordinator::CheckpointPeer(NodeId peer) {
+  Stopwatch write_wall;
   Result<std::string> blob = classifier_.Snapshot(peer);
   if (!blob.ok()) return blob.status();
   P2PDT_RETURN_IF_ERROR(checkpoints_.Write(KeyFor(peer), *blob));
   ++stats_.snapshots_written;
   stats_.snapshot_bytes += blob->size();
+  if (Histogram* hist = PhaseHistogram(net_.metrics(), "checkpoint_write")) {
+    hist->Observe(write_wall.ElapsedSeconds());
+  }
   return Status::OK();
 }
 
@@ -64,9 +81,14 @@ void RecoveryCoordinator::HandleRejoin(NodeId node) {
   double latency = 0.0;
   bool warm = false;
   if (options_.warm_rejoin) {
+    Stopwatch restore_wall;
     Result<std::string> blob = checkpoints_.Read(KeyFor(node));
     if (blob.ok()) {
       Status restored = classifier_.Restore(node, *blob);
+      if (Histogram* hist =
+              PhaseHistogram(net_.metrics(), "checkpoint_restore")) {
+        hist->Observe(restore_wall.ElapsedSeconds());
+      }
       if (restored.ok()) {
         warm = true;
         latency = options_.warm_restore_latency_sec;
@@ -110,7 +132,13 @@ void RecoveryCoordinator::HandleRejoin(NodeId node) {
     ++stats_.resync_rounds;
     sim_.Schedule(latency, [this, node] {
       if (!net_.IsOnline(node)) return;  // failed again while recovering
-      classifier_.ResyncPeer(node, [] {});
+      const SimTime resync_started = sim_.Now();
+      classifier_.ResyncPeer(node, [this, resync_started] {
+        // Sim-time the anti-entropy round took to quiesce.
+        if (Histogram* hist = PhaseHistogram(net_.metrics(), "resync")) {
+          hist->Observe(sim_.Now() - resync_started);
+        }
+      });
     });
   }
 }

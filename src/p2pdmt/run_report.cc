@@ -1,0 +1,150 @@
+#include "p2pdmt/run_report.h"
+
+#include <cstdio>
+#include <fstream>
+
+namespace p2pdt {
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string Str(const std::string& s) { return "\"" + JsonEscape(s) + "\""; }
+
+}  // namespace
+
+std::string RunReport::ToJson(const ExperimentResult& result,
+                              const MetricsSnapshot& metrics) {
+  std::string out = "{\n";
+  out += "  \"run\": {";
+  out += "\"algorithm\": " + Str(result.algorithm);
+  out += ", \"overlay\": " + Str(result.overlay);
+  out += ", \"churn\": " + Str(result.churn);
+  out += ", \"num_peers\": " + std::to_string(result.num_peers);
+  out += ", \"train_documents\": " + std::to_string(result.train_documents);
+  out += ", \"test_documents\": " + std::to_string(result.test_documents);
+  out += "},\n";
+
+  out += "  \"quality\": {";
+  out += "\"micro_f1\": " + Num(result.metrics.micro_f1);
+  out += ", \"macro_f1\": " + Num(result.metrics.macro_f1);
+  out += ", \"micro_precision\": " + Num(result.metrics.micro_precision);
+  out += ", \"micro_recall\": " + Num(result.metrics.micro_recall);
+  out += ", \"hamming_loss\": " + Num(result.metrics.hamming_loss);
+  out += ", \"subset_accuracy\": " + Num(result.metrics.subset_accuracy);
+  out += ", \"jaccard_accuracy\": " + Num(result.metrics.jaccard_accuracy);
+  out += ", \"failed_predictions\": " +
+         std::to_string(result.failed_predictions);
+  out += ", \"degraded_predictions\": " +
+         std::to_string(result.degraded_predictions);
+  out += "},\n";
+
+  out += "  \"cost\": {";
+  out += "\"train_messages\": " + std::to_string(result.train_messages);
+  out += ", \"train_bytes\": " + std::to_string(result.train_bytes);
+  out += ", \"predict_messages\": " + std::to_string(result.predict_messages);
+  out += ", \"predict_bytes\": " + std::to_string(result.predict_bytes);
+  out += ", \"maintenance_messages\": " +
+         std::to_string(result.maintenance_messages);
+  out += ", \"maintenance_bytes\": " +
+         std::to_string(result.maintenance_bytes);
+  out += ", \"delivery_rate\": " + Num(result.delivery_rate);
+  out += ", \"dropped_messages\": " + std::to_string(result.dropped_messages);
+  out += ", \"retransmits\": " + std::to_string(result.retransmits);
+  out += ", \"acks_received\": " + std::to_string(result.acks_received);
+  out += ", \"give_ups\": " + std::to_string(result.give_ups);
+  out += "},\n";
+
+  out += "  \"timing\": {";
+  out += "\"train_sim_seconds\": " + Num(result.train_sim_seconds);
+  out += ", \"predict_sim_seconds\": " + Num(result.predict_sim_seconds);
+  out += ", \"wall_seconds\": " + Num(result.wall_seconds);
+  out += "},\n";
+
+  // Per-phase latency histograms — every `phase_seconds` family member the
+  // run recorded, in canonical (deterministic) snapshot order.
+  out += "  \"phases\": [";
+  bool first = true;
+  for (const MetricsSnapshot::Entry& e : metrics.entries) {
+    if (e.name != "phase_seconds" ||
+        e.kind != MetricsSnapshot::Kind::kHistogram) {
+      continue;
+    }
+    std::string classifier, phase;
+    for (const auto& [k, v] : e.labels) {
+      if (k == "classifier") classifier = v;
+      if (k == "phase") phase = v;
+    }
+    if (!first) out += ",";
+    first = false;
+    out += "\n    {";
+    out += "\"classifier\": " + Str(classifier);
+    out += ", \"phase\": " + Str(phase);
+    out += ", \"count\": " + std::to_string(e.count);
+    out += ", \"sum\": " + Num(e.sum);
+    out += ", \"mean\": " +
+           Num(e.count == 0 ? 0.0 : e.sum / static_cast<double>(e.count));
+    out += ", \"max\": " + Num(e.max);
+    out += ", \"p50\": " + Num(e.p50);
+    out += ", \"p95\": " + Num(e.p95);
+    out += ", \"p99\": " + Num(e.p99);
+    out += "}";
+  }
+  out += first ? "]\n" : "\n  ]\n";
+  out += "}\n";
+  return out;
+}
+
+Status RunReport::Write(const std::string& path,
+                        const ExperimentResult& result,
+                        const MetricsSnapshot& metrics) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out.is_open()) {
+    return Status::IOError("cannot open run report file " + path);
+  }
+  out << ToJson(result, metrics);
+  out.flush();
+  if (!out.good()) {
+    return Status::IOError("failed writing run report " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,32 @@
+#ifndef P2PDT_P2PDMT_RUN_REPORT_H_
+#define P2PDT_P2PDMT_RUN_REPORT_H_
+
+#include <string>
+
+#include "common/metrics.h"
+#include "common/status.h"
+#include "p2pdmt/experiment.h"
+
+namespace p2pdt {
+
+/// One JSON document joining what a run *achieved* (macro/micro F1), what
+/// it *cost* (messages, bytes, retransmits, give-ups) and where the time
+/// went (per-phase latency histograms: p50/p95/p99/max from the run's
+/// `phase_seconds` metric family). Built from an ExperimentResult plus the
+/// metrics snapshot the environment collected — the single artifact an
+/// experiment leaves behind for regression tracking.
+struct RunReport {
+  /// Renders the report as a JSON object (always syntactically valid; an
+  /// empty snapshot yields an empty "phases" array).
+  static std::string ToJson(const ExperimentResult& result,
+                            const MetricsSnapshot& metrics);
+
+  /// Writes ToJson() to `path`.
+  static Status Write(const std::string& path,
+                      const ExperimentResult& result,
+                      const MetricsSnapshot& metrics);
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PDMT_RUN_REPORT_H_

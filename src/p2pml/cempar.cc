@@ -4,12 +4,22 @@
 #include <optional>
 
 #include "common/logging.h"
+#include "common/metrics.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "ml/serialization.h"
 
 namespace p2pdt {
 
 namespace {
+
+/// Per-phase latency family shared by both classifiers; resolved once per
+/// call site so recording stays lock-free (see MetricsRegistry).
+Histogram* PhaseHistogram(MetricsRegistry* metrics, const char* phase) {
+  if (metrics == nullptr) return nullptr;
+  return &metrics->GetHistogram(
+      "phase_seconds", {{"classifier", "cempar"}, {"phase", phase}});
+}
 
 /// Version byte of the CEMPaR peer-snapshot layout (inside the checkpoint
 /// envelope, which already guards integrity; this guards evolution).
@@ -61,6 +71,17 @@ void Cempar::UploadModel(NodeId peer, TagId tag, std::size_t region,
                          KernelSvmModel model,
                          std::shared_ptr<std::function<void()>> barrier) {
   const std::size_t h = HomeIndex(tag, region);
+  if (Histogram* hist = PhaseHistogram(net_.metrics(), "sv_upload")) {
+    // Sim-time from issue to settlement (lookup + upload + retries), no
+    // matter which path below settles the barrier.
+    const SimTime started = sim_.Now();
+    auto inner = barrier;
+    barrier = std::make_shared<std::function<void()>>(
+        [this, hist, started, inner] {
+          hist->Observe(sim_.Now() - started);
+          (*inner)();
+        });
+  }
   chord_.Lookup(peer, HomeKey(tag, region),
                 [this, peer, h, model = std::move(model),
                  barrier](ChordOverlay::LookupResult res) {
@@ -134,13 +155,20 @@ void Cempar::Train(std::function<void(Status)> on_complete) {
     }
   }
   std::vector<std::optional<Result<KernelSvmModel>>> fitted(grid.size());
+  // Resolved on the driver thread; workers record wall time per cell
+  // lock-free (null when metrics are disabled).
+  Histogram* train_hist = PhaseHistogram(net_.metrics(), "local_train");
   ParallelFor(0, grid.size(), 1, options_.num_threads,
               [&](std::size_t lo, std::size_t hi) {
                 for (std::size_t i = lo; i < hi; ++i) {
                   const GridCell& cell = grid[i];
+                  Stopwatch cell_wall;
                   fitted[i] = TrainKernelSvm(
                       peer_data_[cell.peer].OneAgainstAll(cell.tag),
                       options_.svm);
+                  if (train_hist != nullptr) {
+                    train_hist->Observe(cell_wall.ElapsedSeconds());
+                  }
                 }
               });
 
@@ -166,14 +194,19 @@ void Cempar::Train(std::function<void(Status)> on_complete) {
 }
 
 void Cempar::CascadeAll() {
+  Histogram* cascade_hist = PhaseHistogram(net_.metrics(), "cascade_merge");
   for (Home& home : homes_) {
     if (home.locals.empty() || !home.dirty) continue;
     home.dirty = false;
     std::vector<const KernelSvmModel*> locals;
     locals.reserve(home.locals.size());
     for (const auto& [peer, model] : home.locals) locals.push_back(&model);
+    Stopwatch merge_wall;
     Result<KernelSvmModel> regional =
         CascadeTree(locals, options_.svm, options_.cascade_fan_in);
+    if (cascade_hist != nullptr) {
+      cascade_hist->Observe(merge_wall.ElapsedSeconds());
+    }
     if (!regional.ok()) {
       P2PDT_LOG(Warning) << "cascade failed: " << regional.status().ToString();
       continue;
@@ -200,16 +233,26 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
     std::size_t remaining = 0;
     std::size_t responded = 0;
     std::function<void(P2PPrediction)> done;
+    /// End-to-end prediction span; lookups, requests and responses all
+    /// nest under it (or under its descendants).
+    TraceContext span;
+    SimTime started = 0.0;
   };
   auto ctx = std::make_shared<PredictCtx>();
   ctx->weight_sum.assign(num_tags_, 0.0);
   ctx->score_sum.assign(num_tags_, 0.0);
   ctx->done = std::move(done);
+  ctx->started = sim_.Now();
+  if (Tracer* tracer = net_.tracer()) {
+    ctx->span = tracer->StartAuto("cempar/predict", sim_.Now(), requester);
+    tracer->AddArg(ctx->span, "requester", std::to_string(requester));
+  }
 
   auto finalize_one = [this, ctx, requester, x] {
     if (--ctx->remaining > 0) return;
     P2PPrediction out;
     out.scores.assign(num_tags_, 0.0);
+    Stopwatch vote_wall;
     for (TagId t = 0; t < num_tags_; ++t) {
       if (ctx->weight_sum[t] > 0.0) {
         out.scores[t] = ctx->score_sum[t] / ctx->weight_sum[t];
@@ -225,6 +268,24 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
     }
     out.tags = out.success ? DecideTags(out.scores, options_.policy)
                            : std::vector<TagId>{};
+    if (MetricsRegistry* metrics = net_.metrics()) {
+      PhaseHistogram(metrics, "vote")->Observe(vote_wall.ElapsedSeconds());
+      PhaseHistogram(metrics, "predict")
+          ->Observe(sim_.Now() - ctx->started);
+      metrics
+          ->GetCounter("predictions",
+                       {{"classifier", "cempar"},
+                        {"outcome", !out.success  ? "failed"
+                                    : out.degraded ? "degraded"
+                                                   : "ok"}})
+          .Increment();
+    }
+    if (Tracer* tracer = net_.tracer()) {
+      tracer->AddArg(ctx->span, "responded", std::to_string(ctx->responded));
+      tracer->AddArg(ctx->span, "success", out.success ? "true" : "false");
+      if (out.degraded) tracer->AddArg(ctx->span, "degraded", "true");
+      tracer->EndSpan(ctx->span, sim_.Now());
+    }
     ctx->done(std::move(out));
   };
 
@@ -281,6 +342,12 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
           if (home.owner != owner || !home.has_regional) continue;
           TagId tag = static_cast<TagId>(h / options_.regions_per_tag);
           partials->push_back({tag, home.regional.Decision(x), home.weight});
+        }
+        if (Tracer* tracer = net_.tracer()) {
+          // Runs inside the request message's delivery, so the marker lands
+          // in the prediction's trace at the super-peer.
+          tracer->Instant("super_peer_vote", sim_.Now(), owner,
+                          tracer->current());
         }
         return partials;
       };
@@ -355,7 +422,10 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
     }
   };
 
-  // Resolution phase.
+  // Resolution phase — issued under the prediction span, so every DHT
+  // lookup (and the request/response traffic its continuation sends) stays
+  // in the prediction's trace.
+  ScopedTraceContext predict_scope(net_.tracer(), ctx->span);
   res->outstanding = 1;  // root token
   auto res_done = std::make_shared<std::function<void()>>();
   *res_done = [res, dispatch]() {

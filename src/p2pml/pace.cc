@@ -5,7 +5,9 @@
 #include <limits>
 
 #include "common/logging.h"
+#include "common/metrics.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "ml/serialization.h"
 
@@ -16,6 +18,14 @@ namespace {
 /// Version byte of the PACE peer-snapshot layout (the checkpoint envelope
 /// already guards integrity; this guards format evolution).
 constexpr uint8_t kPaceSnapshotVersion = 1;
+
+/// Per-phase latency family; resolved once per call site so recording
+/// stays lock-free (see MetricsRegistry).
+Histogram* PhaseHistogram(MetricsRegistry* metrics, const char* phase) {
+  if (metrics == nullptr) return nullptr;
+  return &metrics->GetHistogram(
+      "phase_seconds", {{"classifier", "pace"}, {"phase", phase}});
+}
 
 }  // namespace
 
@@ -127,20 +137,31 @@ void Pace::Train(std::function<void(Status)> on_complete) {
     if (!net_.IsOnline(peer) || peer_data_[peer].empty()) continue;
     training_peers.push_back(peer);
   }
+  // Resolved on the driver thread; workers record wall time per peer
+  // lock-free (null when metrics are disabled).
+  Histogram* train_hist = PhaseHistogram(net_.metrics(), "local_train");
   ParallelFor(0, training_peers.size(), 1, options_.num_threads,
               [&](std::size_t lo, std::size_t hi) {
                 for (std::size_t i = lo; i < hi; ++i) {
+                  Stopwatch peer_wall;
                   TrainLocal(training_peers[i]);
+                  if (train_hist != nullptr) {
+                    train_hist->Observe(peer_wall.ElapsedSeconds());
+                  }
                 }
               });
 
   // Build the shared LSH index over all contributed centroids.
+  Stopwatch index_wall;
   for (NodeId peer = 0; peer < models_.size(); ++peer) {
     if (!models_[peer].valid) continue;
     for (std::size_t c = 0; c < models_[peer].centroids.size(); ++c) {
       index_->Insert(index_items_.size(), models_[peer].centroids[c]);
       index_items_.emplace_back(peer, c);
     }
+  }
+  if (Histogram* hist = PhaseHistogram(net_.metrics(), "lsh_index")) {
+    hist->Observe(index_wall.ElapsedSeconds());
   }
 
   // Dissemination phase: every contributor broadcasts its bundle; each
@@ -160,16 +181,24 @@ void Pace::Train(std::function<void(Status)> on_complete) {
     on_complete(Status::OK());
   };
 
+  Histogram* bcast_hist = PhaseHistogram(net_.metrics(), "model_broadcast");
   for (NodeId peer = 0; peer < models_.size(); ++peer) {
     if (!models_[peer].valid) continue;
     received_[peer][peer] = true;
     ++*pending;
+    const SimTime bcast_started = sim_.Now();
     overlay_.Broadcast(
         peer, models_[peer].wire_size, MessageType::kModelBroadcast,
         [this, peer](NodeId receiver) {
           if (receiver < received_.size()) received_[receiver][peer] = true;
         },
-        [barrier] { (*barrier)(); });
+        [this, barrier, bcast_hist, bcast_started] {
+          // Sim-time until this contributor's dissemination tree settled.
+          if (bcast_hist != nullptr) {
+            bcast_hist->Observe(sim_.Now() - bcast_started);
+          }
+          (*barrier)();
+        });
   }
   (*barrier)();
 }
@@ -226,9 +255,17 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
     return;
   }
 
+  Tracer* tracer = net_.tracer();
+  TraceContext span;
+  if (tracer != nullptr) {
+    span = tracer->StartAuto("pace/predict", sim_.Now(), requester);
+    tracer->AddArg(span, "requester", std::to_string(requester));
+  }
+
   // Entirely local: retrieve candidate models via LSH (multi-probe until we
   // have enough), filter to models this peer actually received, rank by
   // true centroid distance, keep top-k.
+  Stopwatch retrieve_wall;
   std::vector<std::size_t> candidates =
       index_->QueryAtLeast(x, options_.top_k * 4);
 
@@ -269,17 +306,31 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
   std::sort(nearest.begin(), nearest.end(),
             [](const Scored& a, const Scored& b) { return a.dist2 < b.dist2; });
   if (nearest.size() > options_.top_k) nearest.resize(options_.top_k);
+  if (Histogram* hist = PhaseHistogram(net_.metrics(), "top_k_retrieve")) {
+    hist->Observe(retrieve_wall.ElapsedSeconds());
+  }
 
   P2PPrediction out;
   out.scores.assign(num_tags_, 0.0);
   if (nearest.empty()) {
     out.success = false;
+    if (MetricsRegistry* metrics = net_.metrics()) {
+      metrics
+          ->GetCounter("predictions",
+                       {{"classifier", "pace"}, {"outcome", "failed"}})
+          .Increment();
+    }
+    if (tracer != nullptr) {
+      tracer->AddArg(span, "success", "false");
+      tracer->EndSpan(span, sim_.Now());
+    }
     sim_.Schedule(0.0, [done = std::move(done), out = std::move(out)] {
       done(std::move(out));
     });
     return;
   }
 
+  Stopwatch vote_wall;
   std::vector<double> weight_sum(num_tags_, 0.0);
   for (const Scored& s : nearest) {
     const PeerModel& pm = models_[s.peer];
@@ -300,6 +351,18 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
   }
   out.tags = DecideTags(out.scores, options_.policy);
   out.success = true;
+  if (MetricsRegistry* metrics = net_.metrics()) {
+    PhaseHistogram(metrics, "vote")->Observe(vote_wall.ElapsedSeconds());
+    metrics
+        ->GetCounter("predictions",
+                     {{"classifier", "pace"}, {"outcome", "ok"}})
+        .Increment();
+  }
+  if (tracer != nullptr) {
+    tracer->AddArg(span, "voters", std::to_string(nearest.size()));
+    tracer->AddArg(span, "success", "true");
+    tracer->EndSpan(span, sim_.Now());
+  }
   sim_.Schedule(0.0, [done = std::move(done), out = std::move(out)] {
     done(std::move(out));
   });

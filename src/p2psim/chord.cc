@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cassert>
 
+#include "common/metrics.h"
+
 namespace p2pdt {
 
 namespace {
@@ -184,12 +186,50 @@ void ChordOverlay::Lookup(NodeId origin, uint64_t key,
   auto ctx = std::make_shared<LookupContext>();
   ctx->key = key;
   ctx->current = origin;
-  ctx->done = std::move(done);
+  Tracer* tracer = net_.tracer();
+  if (tracer != nullptr || net_.metrics() != nullptr) {
+    if (tracer != nullptr) {
+      ctx->trace = tracer->StartSpan("lookup", sim_.Now(), origin,
+                                     tracer->current(), "dht");
+      tracer->AddArg(ctx->trace, "key", std::to_string(key));
+    }
+    // Wrap the continuation once so every completion path — success, hop
+    // cap, dead ring, offline origin — closes the span and charges the hop
+    // histogram; individual exit sites stay oblivious.
+    ctx->done = [this, trace = ctx->trace,
+                 done = std::move(done)](LookupResult r) {
+      if (MetricsRegistry* metrics = net_.metrics()) {
+        metrics
+            ->GetCounter("dht_lookups",
+                         {{"success", r.success ? "true" : "false"}})
+            .Increment();
+        metrics
+            ->GetHistogram("dht_lookup_hops", {},
+                           {0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64})
+            .Observe(static_cast<double>(r.hops));
+      }
+      Tracer* t = net_.tracer();
+      if (t != nullptr) {
+        t->AddArg(trace, "hops", std::to_string(r.hops));
+        t->AddArg(trace, "success", r.success ? "true" : "false");
+        t->EndSpan(trace, sim_.Now());
+      }
+      // Whatever the caller does next (upload, vote request, …) stays in
+      // this trace, parented on the lookup span.
+      ScopedTraceContext scope(t, trace);
+      done(r);
+    };
+  } else {
+    ctx->done = std::move(done);
+  }
   if (origin >= state_.size() || !state_[origin].member ||
       !net_.IsOnline(origin)) {
     sim_.Schedule(0.0, [ctx] { ctx->done({false, kInvalidNode, 0}); });
     return;
   }
+  // The first hop is issued under the lookup span; later hops chain off
+  // the previous hop's message span via the network's context propagation.
+  ScopedTraceContext scope(tracer, ctx->trace);
   Step(std::move(ctx));
 }
 

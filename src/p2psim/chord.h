@@ -10,6 +10,7 @@
 #include "common/rng.h"
 #include "p2psim/overlay.h"
 #include "p2psim/simulator.h"
+#include "p2psim/trace.h"
 
 namespace p2pdt {
 
@@ -120,6 +121,9 @@ class ChordOverlay final : public Overlay {
     NodeId current;
     int hops = 0;
     std::function<void(LookupResult)> done;
+    /// Lookup span: every routing hop nests under it (hop N+1 chains off
+    /// hop N's message span via the network's context propagation).
+    TraceContext trace;
   };
 
   // True when `key` lies in the half-open ring interval (a, b].

@@ -3,6 +3,8 @@
 #include <cassert>
 #include <cmath>
 
+#include "p2psim/trace.h"
+
 namespace p2pdt {
 
 PhysicalNetwork::PhysicalNetwork(Simulator& sim,
@@ -45,9 +47,30 @@ void PhysicalNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
   assert(from < online_.size() && to < online_.size());
   stats_.RecordSend(type, bytes);
 
+  // Message span: child of whatever span is being executed right now, so
+  // causality flows through the event queue without an explicit message
+  // object. Tracing draws no randomness and schedules nothing — the event
+  // sequence is bit-identical with or without it.
+  TraceContext span;
+  if (tracer_ != nullptr) {
+    span = tracer_->StartSpan(MessageTypeToString(type), sim_.Now(), from,
+                              tracer_->current(), "message");
+    tracer_->AddArg(span, "to", std::to_string(to));
+  }
+
   if (!online_[from]) {
     stats_.RecordDrop(type, DropReason::kSendOffline);
-    if (on_drop) sim_.Schedule(0.0, std::move(on_drop));
+    if (tracer_ != nullptr) {
+      tracer_->AddArg(span, "drop",
+                      DropReasonToString(DropReason::kSendOffline));
+      tracer_->EndSpan(span, sim_.Now());
+    }
+    if (on_drop) {
+      sim_.Schedule(0.0, [this, span, on_drop = std::move(on_drop)] {
+        ScopedTraceContext scope(tracer_, span);
+        on_drop();
+      });
+    }
     return;
   }
 
@@ -63,7 +86,7 @@ void PhysicalNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
     delay += fd.extra_latency;
   }
 
-  sim_.Schedule(delay, [this, to, type, lost_random, lost_injected,
+  sim_.Schedule(delay, [this, to, type, lost_random, lost_injected, span,
                         on_deliver = std::move(on_deliver),
                         on_drop = std::move(on_drop)]() {
     if (lost_injected || lost_random || !online_[to]) {
@@ -71,11 +94,24 @@ void PhysicalNetwork::Send(NodeId from, NodeId to, std::size_t bytes,
                           : lost_random ? DropReason::kRandomLoss
                                         : DropReason::kRecvOffline;
       stats_.RecordDrop(type, reason);
-      if (on_drop) on_drop();
+      if (tracer_ != nullptr) {
+        tracer_->AddArg(span, "drop", DropReasonToString(reason));
+        tracer_->EndSpan(span, sim_.Now());
+      }
+      if (on_drop) {
+        ScopedTraceContext scope(tracer_, span);
+        on_drop();
+      }
       return;
     }
     stats_.RecordDelivery(type);
-    if (on_deliver) on_deliver();
+    if (tracer_ != nullptr) tracer_->EndSpan(span, sim_.Now());
+    if (on_deliver) {
+      // The receiver reacts on behalf of this message: responses, ACKs and
+      // forwarded hops all become children of the message span.
+      ScopedTraceContext scope(tracer_, span);
+      on_deliver();
+    }
   });
 }
 

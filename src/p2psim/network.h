@@ -10,6 +10,9 @@
 
 namespace p2pdt {
 
+class Tracer;
+class MetricsRegistry;
+
 /// Index of a peer in the simulation (stable for the whole run; going
 /// offline does not invalidate the id).
 using NodeId = std::size_t;
@@ -93,11 +96,25 @@ class PhysicalNetwork {
   Simulator& simulator() { return sim_; }
   const PhysicalNetworkOptions& options() const { return options_; }
 
+  /// Observability attachments. Null (the default) means disabled and
+  /// every instrumentation site reduces to one pointer test — the
+  /// zero-cost-when-off guarantee. The network does not own either object;
+  /// Environment (or a test) does. With a tracer installed, every message
+  /// becomes a span parented on the tracer's current context, and the
+  /// delivery/drop callback runs with that span as current — this is what
+  /// stitches retries, DHT hops and request/response chains into one trace.
+  void SetTracer(Tracer* tracer) { tracer_ = tracer; }
+  Tracer* tracer() const { return tracer_; }
+  void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
+  MetricsRegistry* metrics() const { return metrics_; }
+
  private:
   Simulator& sim_;
   PhysicalNetworkOptions options_;
   Rng rng_;
   FaultHook fault_hook_;
+  Tracer* tracer_ = nullptr;
+  MetricsRegistry* metrics_ = nullptr;
   std::vector<std::pair<double, double>> coords_;
   std::vector<bool> online_;
   std::size_t num_online_ = 0;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/metrics.h"
 #include "common/rng.h"
 
 namespace p2pdt {
@@ -46,6 +47,14 @@ ReliableTransport::MsgId ReliableTransport::SendReliable(
   p->on_deliver = std::move(on_deliver);
   p->on_acked = std::move(on_acked);
   p->on_give_up = std::move(on_give_up);
+  p->sent_at = sim_.Now();
+  if (Tracer* tracer = net_.tracer()) {
+    p->trace = tracer->StartSpan(
+        std::string("reliable/") + MessageTypeToString(type), sim_.Now(),
+        from, tracer->current(), "transport");
+    tracer->AddArg(p->trace, "to", std::to_string(to));
+    tracer->AddArg(p->trace, "msg_id", std::to_string(p->id));
+  }
   pending_.emplace(p->id, p);
   Attempt(p);
   return p->id;
@@ -53,6 +62,10 @@ ReliableTransport::MsgId ReliableTransport::SendReliable(
 
 void ReliableTransport::Attempt(std::shared_ptr<Pending> p) {
   const std::size_t attempt = p->attempts++;  // 0-based attempt index
+  // Each physical attempt (and the ACK the receiver returns) nests under
+  // the logical-message span, including retransmissions fired from timeout
+  // events where no context would otherwise be live.
+  ScopedTraceContext scope(net_.tracer(), p->trace);
   net_.Send(
       p->from, p->to, p->bytes, p->type,
       [this, p] {
@@ -84,6 +97,9 @@ void ReliableTransport::HandleTimeout(std::shared_ptr<Pending> p,
     return;
   }
   net_.stats().RecordRetransmit(p->type);
+  if (Tracer* tracer = net_.tracer()) {
+    tracer->Instant("retransmit", sim_.Now(), p->from, p->trace);
+  }
   Attempt(std::move(p));
 }
 
@@ -92,18 +108,49 @@ void ReliableTransport::HandleAck(std::shared_ptr<Pending> p) {
   p->settled = true;
   pending_.erase(p->id);
   net_.stats().RecordAckReceived();
+  if (MetricsRegistry* metrics = net_.metrics()) {
+    metrics
+        ->GetHistogram("transport_settle_seconds",
+                       {{"type", MessageTypeToString(p->type)},
+                        {"outcome", "acked"}})
+        .Observe(sim_.Now() - p->sent_at);
+  }
+  if (Tracer* tracer = net_.tracer()) {
+    tracer->AddArg(p->trace, "attempts", std::to_string(p->attempts));
+    tracer->AddArg(p->trace, "outcome", "acked");
+    tracer->EndSpan(p->trace, sim_.Now());
+  }
   // Proof of life: the peer answered, so any accumulated suspicion is
   // stale.
   if (p->to < suspicion_.size()) suspicion_[p->to] = 0;
-  if (p->on_acked) p->on_acked();
+  if (p->on_acked) {
+    ScopedTraceContext scope(net_.tracer(), p->trace);
+    p->on_acked();
+  }
 }
 
 void ReliableTransport::GiveUp(std::shared_ptr<Pending> p) {
   p->settled = true;
   pending_.erase(p->id);
   net_.stats().RecordGiveUp(p->type);
+  if (MetricsRegistry* metrics = net_.metrics()) {
+    metrics
+        ->GetHistogram("transport_settle_seconds",
+                       {{"type", MessageTypeToString(p->type)},
+                        {"outcome", "give_up"}})
+        .Observe(sim_.Now() - p->sent_at);
+  }
+  if (Tracer* tracer = net_.tracer()) {
+    tracer->Instant("give_up", sim_.Now(), p->from, p->trace);
+    tracer->AddArg(p->trace, "attempts", std::to_string(p->attempts));
+    tracer->AddArg(p->trace, "outcome", "give_up");
+    tracer->EndSpan(p->trace, sim_.Now());
+  }
   RaiseSuspicion(p->to);
-  if (p->on_give_up) p->on_give_up();
+  if (p->on_give_up) {
+    ScopedTraceContext scope(net_.tracer(), p->trace);
+    p->on_give_up();
+  }
 }
 
 void ReliableTransport::RaiseSuspicion(NodeId node) {

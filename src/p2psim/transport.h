@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "p2psim/network.h"
+#include "p2psim/trace.h"
 
 namespace p2pdt {
 
@@ -101,6 +102,10 @@ class ReliableTransport {
     MessageType type = MessageType::kCount;
     std::size_t attempts = 0;  // attempts issued so far
     bool settled = false;      // acked or given up
+    SimTime sent_at = 0.0;     // first-attempt time, for settle latency
+    /// Logical-message span: every physical attempt (and its ACK) nests
+    /// under it, so one trace shows the full retry history.
+    TraceContext trace;
     std::function<void()> on_deliver;
     std::function<void()> on_acked;
     std::function<void()> on_give_up;

@@ -32,15 +32,48 @@ TEST(ActivityLogTest, FilterAndCount) {
 
 TEST(ActivityLogTest, CsvRoundTrip) {
   ActivityLog log;
-  log.Record(0.5, "peer/3", "predict", "tags: a,b");
+  log.Record(0.5, "peer/3", "predict", "tags: a,b", /*trace_id=*/42);
+  log.Record(0.7, "peer/4", "churn", "offline");  // untraced row
   std::string path = ::testing::TempDir() + "/p2pdt_activity.csv";
   ASSERT_TRUE(log.WriteCsv(path).ok());
   std::ifstream f(path);
   std::string content((std::istreambuf_iterator<char>(f)),
                       std::istreambuf_iterator<char>());
-  EXPECT_NE(content.find("time,actor,category,detail"), std::string::npos);
-  EXPECT_NE(content.find("\"tags: a,b\""), std::string::npos);
+  EXPECT_NE(content.find("time,actor,category,detail,trace_id"),
+            std::string::npos);
+  EXPECT_NE(content.find("\"tags: a,b\",42"), std::string::npos);
+  EXPECT_NE(content.find("offline,0"), std::string::npos);
   std::remove(path.c_str());
+}
+
+TEST(ActivityLogTest, RingBufferKeepsNewestAndCountsDrops) {
+  ActivityLog log(/*max_entries=*/3);
+  for (int i = 0; i < 5; ++i) {
+    log.Record(i, "peer/" + std::to_string(i), "churn", "x");
+  }
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.dropped_entries(), 2u);
+  EXPECT_EQ(log.max_entries(), 3u);
+  // Oldest two evicted; newest three retained in order.
+  EXPECT_DOUBLE_EQ(log.entries().front().time, 2.0);
+  EXPECT_DOUBLE_EQ(log.entries().back().time, 4.0);
+  log.Clear();
+  EXPECT_EQ(log.size(), 0u);
+  EXPECT_EQ(log.dropped_entries(), 0u);
+}
+
+TEST(ActivityLogTest, UnboundedModeNeverDrops) {
+  ActivityLog log;
+  for (int i = 0; i < 100; ++i) log.Record(i, "a", "b", "c");
+  EXPECT_EQ(log.size(), 100u);
+  EXPECT_EQ(log.dropped_entries(), 0u);
+}
+
+TEST(ActivityLogTest, TraceIdStoredOnEntries) {
+  ActivityLog log;
+  log.Record(1.0, "peer/0", "predict", "request", 7);
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.entries()[0].trace_id, 7u);
 }
 
 TEST(ActivityLogTest, ClearEmpties) {

@@ -1,0 +1,282 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "common/json_check.h"
+
+namespace p2pdt {
+namespace {
+
+TEST(RenderMetricKeyTest, UnlabeledIsBareName) {
+  EXPECT_EQ(RenderMetricKey("messages_total", {}), "messages_total");
+}
+
+TEST(RenderMetricKeyTest, LabelsAreSortedByKey) {
+  MetricLabels a = {{"phase", "train"}, {"classifier", "pace"}};
+  MetricLabels b = {{"classifier", "pace"}, {"phase", "train"}};
+  EXPECT_EQ(RenderMetricKey("phase_seconds", a),
+            "phase_seconds{classifier=pace,phase=train}");
+  EXPECT_EQ(RenderMetricKey("phase_seconds", a),
+            RenderMetricKey("phase_seconds", b));
+}
+
+TEST(CounterTest, IncrementAccumulates) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("sends");
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  // Same (name, labels) → same object.
+  EXPECT_EQ(&reg.GetCounter("sends"), &c);
+}
+
+TEST(CounterTest, LabelOrderResolvesToSameFamilyMember) {
+  MetricsRegistry reg;
+  Counter& a = reg.GetCounter("drops", {{"type", "ack"}, {"reason", "loss"}});
+  Counter& b = reg.GetCounter("drops", {{"reason", "loss"}, {"type", "ack"}});
+  EXPECT_EQ(&a, &b);
+  Counter& other = reg.GetCounter("drops", {{"type", "lookup"}});
+  EXPECT_NE(&a, &other);
+  EXPECT_EQ(reg.num_metrics(), 2u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  MetricsRegistry reg;
+  Gauge& g = reg.GetGauge("live_homes");
+  g.Set(10.0);
+  g.Add(-3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(HistogramTest, CountSumMaxMean) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("lat", {}, {1.0, 2.0, 4.0});
+  h.Observe(0.5);
+  h.Observe(1.5);
+  h.Observe(3.0);
+  h.Observe(10.0);  // overflow bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 15.0);
+  EXPECT_DOUBLE_EQ(h.max(), 10.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 3.75);
+  std::vector<uint64_t> buckets = h.bucket_counts();
+  ASSERT_EQ(buckets.size(), 4u);  // 3 bounds + overflow
+  EXPECT_EQ(buckets[0], 1u);
+  EXPECT_EQ(buckets[1], 1u);
+  EXPECT_EQ(buckets[2], 1u);
+  EXPECT_EQ(buckets[3], 1u);
+}
+
+TEST(HistogramTest, QuantilesInterpolateAndClampToMax) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("lat", {}, {1.0, 2.0, 4.0, 8.0});
+  // 100 observations uniformly placed in (0, 1].
+  for (int i = 1; i <= 100; ++i) h.Observe(i / 100.0);
+  // All mass is in the first bucket: quantiles interpolate within (0, 1]
+  // and must be monotone.
+  double p50 = h.Quantile(0.50);
+  double p95 = h.Quantile(0.95);
+  double p99 = h.Quantile(0.99);
+  EXPECT_GT(p50, 0.0);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_LE(p99, 1.0);  // clamped to observed max
+}
+
+TEST(HistogramTest, EmptyQuantileIsZero) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("lat");
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, DefaultBoundsUsedWhenUnspecified) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("lat");
+  EXPECT_EQ(h.bounds(), Histogram::DefaultLatencyBounds());
+}
+
+TEST(MetricsRegistryTest, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.GetCounter("z_metric").Increment(3);
+  reg.GetGauge("a_metric").Set(1.5);
+  reg.GetHistogram("m_metric").Observe(0.25);
+  MetricsSnapshot snap = reg.Snapshot();
+  ASSERT_EQ(snap.entries.size(), 3u);
+  EXPECT_EQ(snap.entries[0].name, "a_metric");
+  EXPECT_EQ(snap.entries[1].name, "m_metric");
+  EXPECT_EQ(snap.entries[2].name, "z_metric");
+
+  const MetricsSnapshot::Entry* c = snap.Find("z_metric");
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->kind, MetricsSnapshot::Kind::kCounter);
+  EXPECT_DOUBLE_EQ(c->value, 3.0);
+
+  const MetricsSnapshot::Entry* h = snap.Find("m_metric");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->kind, MetricsSnapshot::Kind::kHistogram);
+  EXPECT_EQ(h->count, 1u);
+  EXPECT_DOUBLE_EQ(h->sum, 0.25);
+
+  EXPECT_EQ(snap.Find("missing"), nullptr);
+}
+
+TEST(MetricsRegistryTest, DiffSubtractsCountersAndBuckets) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("sends");
+  Histogram& h = reg.GetHistogram("lat", {}, {1.0, 2.0});
+  Gauge& g = reg.GetGauge("homes");
+
+  c.Increment(5);
+  h.Observe(0.5);
+  g.Set(2.0);
+  MetricsSnapshot before = reg.Snapshot();
+
+  c.Increment(7);
+  h.Observe(0.5);
+  h.Observe(1.5);
+  g.Set(9.0);
+  MetricsSnapshot after = reg.Snapshot();
+
+  MetricsSnapshot diff = DiffSnapshots(before, after);
+  const MetricsSnapshot::Entry* dc = diff.Find("sends");
+  ASSERT_NE(dc, nullptr);
+  EXPECT_DOUBLE_EQ(dc->value, 7.0);
+
+  const MetricsSnapshot::Entry* dh = diff.Find("lat");
+  ASSERT_NE(dh, nullptr);
+  EXPECT_EQ(dh->count, 2u);
+  EXPECT_DOUBLE_EQ(dh->sum, 2.0);
+  ASSERT_EQ(dh->buckets.size(), 3u);
+  EXPECT_EQ(dh->buckets[0], 1u);
+  EXPECT_EQ(dh->buckets[1], 1u);
+
+  // Gauges report the `after` reading, not a delta.
+  const MetricsSnapshot::Entry* dg = diff.Find("homes");
+  ASSERT_NE(dg, nullptr);
+  EXPECT_DOUBLE_EQ(dg->value, 9.0);
+}
+
+TEST(MetricsRegistryTest, DiffPassesThroughNewMetrics) {
+  MetricsRegistry reg;
+  reg.GetCounter("old").Increment(1);
+  MetricsSnapshot before = reg.Snapshot();
+  reg.GetCounter("fresh").Increment(4);
+  MetricsSnapshot diff = DiffSnapshots(before, reg.Snapshot());
+  const MetricsSnapshot::Entry* e = diff.Find("fresh");
+  ASSERT_NE(e, nullptr);
+  EXPECT_DOUBLE_EQ(e->value, 4.0);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesButKeepsFamilies) {
+  MetricsRegistry reg;
+  reg.GetCounter("c").Increment(3);
+  reg.GetGauge("g").Set(2.0);
+  reg.GetHistogram("h").Observe(1.0);
+  reg.Reset();
+  EXPECT_EQ(reg.num_metrics(), 3u);
+  EXPECT_EQ(reg.GetCounter("c").value(), 0u);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("g").value(), 0.0);
+  EXPECT_EQ(reg.GetHistogram("h").count(), 0u);
+}
+
+TEST(MetricsRegistryTest, CsvExportHasHeaderAndRows) {
+  MetricsRegistry reg;
+  reg.GetCounter("sends", {{"type", "lookup"}}).Increment(2);
+  reg.GetHistogram("lat", {}, {1.0}).Observe(0.5);
+  std::string csv = reg.ToCsv();
+  std::istringstream in(csv);
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "name,labels,kind,value,count,sum,mean,max,p50,p95,p99");
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    if (!line.empty()) ++rows;
+  }
+  EXPECT_EQ(rows, 2u);
+  EXPECT_NE(csv.find("type=lookup"), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonExportIsSyntacticallyValid) {
+  MetricsRegistry reg;
+  reg.GetCounter("sends", {{"type", "lookup"}, {"dir", "out"}}).Increment(2);
+  reg.GetGauge("coverage").Set(0.75);
+  reg.GetHistogram("phase_seconds", {{"classifier", "pace"}}).Observe(0.01);
+  std::string json = reg.ToJson();
+  Status s = CheckJsonSyntax(json);
+  EXPECT_TRUE(s.ok()) << s.ToString() << "\n" << json;
+  EXPECT_TRUE(JsonHasKey(json, "metrics"));
+  EXPECT_NE(json.find("\"phase_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"classifier\""), std::string::npos);
+}
+
+TEST(MetricsRegistryTest, JsonEscapesSpecialCharacters) {
+  MetricsRegistry reg;
+  reg.GetCounter("odd", {{"path", "a\"b\\c\n"}}).Increment(1);
+  std::string json = reg.ToJson();
+  Status s = CheckJsonSyntax(json);
+  EXPECT_TRUE(s.ok()) << s.ToString() << "\n" << json;
+}
+
+TEST(MetricsRegistryTest, WriteFilesRoundTrip) {
+  MetricsRegistry reg;
+  reg.GetCounter("sends").Increment(1);
+  std::string csv_path = testing::TempDir() + "/metrics_test.csv";
+  std::string json_path = testing::TempDir() + "/metrics_test.json";
+  ASSERT_TRUE(reg.WriteCsv(csv_path).ok());
+  ASSERT_TRUE(reg.WriteJson(json_path).ok());
+  std::ifstream jf(json_path);
+  std::stringstream buf;
+  buf << jf.rdbuf();
+  EXPECT_TRUE(CheckJsonSyntax(buf.str()).ok());
+  std::remove(csv_path.c_str());
+  std::remove(json_path.c_str());
+}
+
+// Lock-free recording from many threads: exact counts must survive, and
+// TSan (ctest -L observability under the tsan preset) must stay quiet.
+TEST(MetricsRegistryTest, ConcurrentRecordingIsExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.GetCounter("hits");
+  Histogram& h = reg.GetHistogram("work", {}, {0.5, 1.0});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c, &h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.Increment();
+        h.Observe(0.25 * (1 + (t + i) % 4));  // 0.25 .. 1.0
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(h.max(), 1.0);
+}
+
+TEST(JsonCheckTest, AcceptsValidAndRejectsInvalid) {
+  EXPECT_TRUE(CheckJsonSyntax("{}").ok());
+  EXPECT_TRUE(CheckJsonSyntax("[1, 2.5, -3e2, \"x\\u0041\", true, null]").ok());
+  EXPECT_TRUE(CheckJsonSyntax("{\"a\":{\"b\":[{}]}}").ok());
+  EXPECT_FALSE(CheckJsonSyntax("").ok());
+  EXPECT_FALSE(CheckJsonSyntax("{").ok());
+  EXPECT_FALSE(CheckJsonSyntax("{\"a\":}").ok());
+  EXPECT_FALSE(CheckJsonSyntax("[1,]").ok());
+  EXPECT_FALSE(CheckJsonSyntax("{\"a\":1} trailing").ok());
+  EXPECT_FALSE(CheckJsonSyntax("\"unterminated").ok());
+  EXPECT_TRUE(JsonHasKey("{\"traceEvents\":[]}", "traceEvents"));
+  EXPECT_FALSE(JsonHasKey("{\"traceEvents\":[]}", "metrics"));
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,130 @@
+#include "p2psim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+TEST(NetworkStatsTest, PerTypeBreakdown) {
+  NetworkStats stats;
+  stats.RecordSend(MessageType::kLookup, 64);
+  stats.RecordSend(MessageType::kLookup, 64);
+  stats.RecordSend(MessageType::kModelUpload, 1000);
+  stats.RecordDelivery(MessageType::kLookup);
+
+  EXPECT_EQ(stats.messages_sent(), 3u);
+  EXPECT_EQ(stats.bytes_sent(), 1128u);
+  EXPECT_EQ(stats.messages_sent(MessageType::kLookup), 2u);
+  EXPECT_EQ(stats.bytes_sent(MessageType::kLookup), 128u);
+  EXPECT_EQ(stats.messages_sent(MessageType::kModelUpload), 1u);
+  EXPECT_EQ(stats.delivered(MessageType::kLookup), 1u);
+  EXPECT_EQ(stats.delivered(MessageType::kModelUpload), 0u);
+  EXPECT_EQ(stats.messages_sent(MessageType::kGossip), 0u);
+}
+
+TEST(NetworkStatsTest, PerReasonDropBreakdown) {
+  NetworkStats stats;
+  stats.RecordSend(MessageType::kLookup, 64);
+  stats.RecordSend(MessageType::kAck, 24);
+  stats.RecordSend(MessageType::kGossip, 128);
+  stats.RecordDrop(MessageType::kLookup, DropReason::kRandomLoss);
+  stats.RecordDrop(MessageType::kAck, DropReason::kRandomLoss);
+  stats.RecordDrop(MessageType::kGossip, DropReason::kRecvOffline);
+
+  EXPECT_EQ(stats.messages_dropped(), 3u);
+  EXPECT_EQ(stats.dropped(DropReason::kRandomLoss), 2u);
+  EXPECT_EQ(stats.dropped(DropReason::kRecvOffline), 1u);
+  EXPECT_EQ(stats.dropped(DropReason::kSendOffline), 0u);
+  EXPECT_EQ(stats.dropped(DropReason::kInjectedFault), 0u);
+  EXPECT_EQ(stats.dropped(MessageType::kLookup), 1u);
+  EXPECT_EQ(stats.dropped(MessageType::kGossip), 1u);
+}
+
+TEST(NetworkStatsTest, DeliveryRate) {
+  NetworkStats stats;
+  // No traffic yet: rate degrades to 1.0, not a division by zero.
+  EXPECT_DOUBLE_EQ(stats.delivery_rate(), 1.0);
+  for (int i = 0; i < 4; ++i) stats.RecordSend(MessageType::kLookup, 64);
+  for (int i = 0; i < 3; ++i) stats.RecordDelivery(MessageType::kLookup);
+  stats.RecordDrop(MessageType::kLookup, DropReason::kRandomLoss);
+  EXPECT_DOUBLE_EQ(stats.delivery_rate(), 0.75);
+}
+
+TEST(NetworkStatsTest, RetransmitAndGiveUpAccounting) {
+  NetworkStats stats;
+  stats.RecordRetransmit(MessageType::kModelUpload);
+  stats.RecordRetransmit(MessageType::kModelUpload);
+  stats.RecordRetransmit(MessageType::kPredictionRequest);
+  stats.RecordAckReceived();
+  stats.RecordGiveUp(MessageType::kPredictionRequest);
+
+  EXPECT_EQ(stats.retransmits(), 3u);
+  EXPECT_EQ(stats.retransmits(MessageType::kModelUpload), 2u);
+  EXPECT_EQ(stats.retransmits(MessageType::kPredictionRequest), 1u);
+  EXPECT_EQ(stats.acks_received(), 1u);
+  EXPECT_EQ(stats.give_ups(), 1u);
+  EXPECT_EQ(stats.give_ups(MessageType::kPredictionRequest), 1u);
+  EXPECT_EQ(stats.give_ups(MessageType::kModelUpload), 0u);
+}
+
+TEST(NetworkStatsTest, ToStringContainsBreakdowns) {
+  NetworkStats stats;
+  stats.RecordSend(MessageType::kModelUpload, 2048);
+  stats.RecordDelivery(MessageType::kModelUpload);
+  stats.RecordSend(MessageType::kLookup, 64);
+  stats.RecordDrop(MessageType::kLookup, DropReason::kInjectedFault);
+  stats.RecordRetransmit(MessageType::kModelUpload);
+  stats.RecordAckReceived();
+
+  std::string s = stats.ToString();
+  EXPECT_NE(s.find("2 msgs"), std::string::npos);        // totals line
+  EXPECT_NE(s.find("model_upload"), std::string::npos);  // per-type rows
+  EXPECT_NE(s.find("lookup"), std::string::npos);
+  EXPECT_NE(s.find("drops by reason:"), std::string::npos);
+  EXPECT_NE(s.find("injected_fault"), std::string::npos);
+  EXPECT_NE(s.find("1 retransmits"), std::string::npos);
+  EXPECT_NE(s.find("1 acks received"), std::string::npos);
+}
+
+TEST(NetworkStatsTest, ToStringOmitsEmptySections) {
+  NetworkStats stats;
+  stats.RecordSend(MessageType::kGossip, 10);
+  std::string s = stats.ToString();
+  EXPECT_EQ(s.find("drops by reason:"), std::string::npos);
+  EXPECT_EQ(s.find("reliable transport:"), std::string::npos);
+  // Unused message types are not listed.
+  EXPECT_EQ(s.find("model_upload"), std::string::npos);
+}
+
+TEST(NetworkStatsTest, ResetZeroesEverything) {
+  NetworkStats stats;
+  stats.RecordSend(MessageType::kLookup, 64);
+  stats.RecordDelivery(MessageType::kLookup);
+  stats.RecordDrop(MessageType::kAck, DropReason::kRandomLoss);
+  stats.RecordRetransmit(MessageType::kLookup);
+  stats.RecordAckReceived();
+  stats.RecordGiveUp(MessageType::kLookup);
+  stats.Reset();
+
+  EXPECT_EQ(stats.messages_sent(), 0u);
+  EXPECT_EQ(stats.messages_delivered(), 0u);
+  EXPECT_EQ(stats.messages_dropped(), 0u);
+  EXPECT_EQ(stats.bytes_sent(), 0u);
+  EXPECT_EQ(stats.messages_sent(MessageType::kLookup), 0u);
+  EXPECT_EQ(stats.dropped(DropReason::kRandomLoss), 0u);
+  EXPECT_EQ(stats.retransmits(), 0u);
+  EXPECT_EQ(stats.acks_received(), 0u);
+  EXPECT_EQ(stats.give_ups(), 0u);
+  EXPECT_DOUBLE_EQ(stats.delivery_rate(), 1.0);
+}
+
+TEST(NetworkStatsTest, EnumNamesAreStable) {
+  // Exported artifacts (metrics labels, trace span names) key on these.
+  EXPECT_STREQ(MessageTypeToString(MessageType::kLookup), "lookup");
+  EXPECT_STREQ(MessageTypeToString(MessageType::kAck), "ack");
+  EXPECT_STREQ(DropReasonToString(DropReason::kRandomLoss), "random_loss");
+  EXPECT_STREQ(DropReasonToString(DropReason::kSendOffline), "send_offline");
+}
+
+}  // namespace
+}  // namespace p2pdt

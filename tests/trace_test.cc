@@ -1,0 +1,301 @@
+#include "p2psim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/json_check.h"
+#include "p2psim/chord.h"
+#include "p2psim/network.h"
+#include "p2psim/transport.h"
+
+namespace p2pdt {
+namespace {
+
+TEST(TracerTest, RootAndChildSpans) {
+  Tracer tracer;
+  TraceContext root = tracer.StartTrace("predict", 1.0, 3);
+  EXPECT_TRUE(root.valid());
+  EXPECT_EQ(root.parent_span, 0u);
+
+  TraceContext child = tracer.StartSpan("lookup", 1.5, 3, root, "dht");
+  EXPECT_EQ(child.trace_id, root.trace_id);
+  EXPECT_EQ(child.parent_span, root.span_id);
+
+  tracer.EndSpan(child, 2.0);
+  tracer.EndSpan(root, 3.0);
+  ASSERT_EQ(tracer.num_spans(), 2u);
+  EXPECT_EQ(tracer.num_traces(), 1u);
+
+  const SpanRecord& r = tracer.spans()[0];
+  EXPECT_EQ(r.name, "predict");
+  EXPECT_DOUBLE_EQ(r.start, 1.0);
+  EXPECT_DOUBLE_EQ(r.end, 3.0);
+  EXPECT_EQ(r.node, 3u);
+}
+
+TEST(TracerTest, InvalidParentStartsFreshTrace) {
+  Tracer tracer;
+  TraceContext a = tracer.StartSpan("op", 0.0, 0, TraceContext{});
+  TraceContext b = tracer.StartSpan("op", 0.0, 0, TraceContext{});
+  EXPECT_TRUE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_NE(a.trace_id, b.trace_id);
+  EXPECT_EQ(tracer.num_traces(), 2u);
+}
+
+TEST(TracerTest, StartAutoFollowsCurrentContext) {
+  Tracer tracer;
+  TraceContext root = tracer.StartTrace("outer", 0.0, 1);
+  {
+    ScopedTraceContext scope(&tracer, root);
+    TraceContext inner = tracer.StartAuto("inner", 0.5, 1);
+    EXPECT_EQ(inner.trace_id, root.trace_id);
+    EXPECT_EQ(inner.parent_span, root.span_id);
+    tracer.EndSpan(inner, 0.6);
+  }
+  // Context restored: a new auto span is a fresh root.
+  TraceContext detached = tracer.StartAuto("detached", 1.0, 1);
+  EXPECT_NE(detached.trace_id, root.trace_id);
+}
+
+TEST(TracerTest, ScopedContextNestsAndRestores) {
+  Tracer tracer;
+  TraceContext a = tracer.StartTrace("a", 0.0, 0);
+  TraceContext b = tracer.StartTrace("b", 0.0, 0);
+  EXPECT_FALSE(tracer.current().valid());
+  {
+    ScopedTraceContext sa(&tracer, a);
+    EXPECT_EQ(tracer.current().span_id, a.span_id);
+    {
+      ScopedTraceContext sb(&tracer, b);
+      EXPECT_EQ(tracer.current().span_id, b.span_id);
+    }
+    EXPECT_EQ(tracer.current().span_id, a.span_id);
+  }
+  EXPECT_FALSE(tracer.current().valid());
+  // Null tracer: a no-op, must not crash.
+  ScopedTraceContext none(nullptr, a);
+}
+
+TEST(TracerTest, EndSpanIsIdempotentAndArgsOnlyLandOnOpenSpans) {
+  Tracer tracer;
+  TraceContext c = tracer.StartTrace("op", 0.0, 0);
+  tracer.AddArg(c, "k", "v");
+  tracer.EndSpan(c, 1.0);
+  tracer.EndSpan(c, 99.0);       // ignored
+  tracer.AddArg(c, "late", "x");  // ignored — span already closed
+  ASSERT_EQ(tracer.num_spans(), 1u);
+  const SpanRecord& r = tracer.spans()[0];
+  EXPECT_DOUBLE_EQ(r.end, 1.0);
+  bool has_late = false;
+  for (const auto& [k, v] : r.args) has_late |= (k == "late");
+  EXPECT_FALSE(has_late);
+}
+
+TEST(TracerTest, ChromeExportIsValidJson) {
+  Tracer tracer;
+  TraceContext root = tracer.StartTrace("predict \"q\"", 0.0, 2);
+  tracer.AddArg(root, "key", "42");
+  tracer.Instant("retransmit", 0.5, 2, root);
+  tracer.EndSpan(root, 1.0);
+
+  std::string json = tracer.ToChromeTraceJson();
+  Status s = CheckJsonSyntax(json);
+  EXPECT_TRUE(s.ok()) << s.ToString() << "\n" << json;
+  EXPECT_TRUE(JsonHasKey(json, "traceEvents"));
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+}
+
+TEST(TracerTest, ClearResetsState) {
+  Tracer tracer;
+  TraceContext c = tracer.StartTrace("op", 0.0, 0);
+  tracer.EndSpan(c, 1.0);
+  tracer.Clear();
+  EXPECT_EQ(tracer.num_spans(), 0u);
+  EXPECT_EQ(tracer.num_traces(), 0u);
+  EXPECT_FALSE(tracer.current().valid());
+}
+
+// ---------------------------------------------------------------------------
+// Network integration.
+
+struct NetFixture {
+  Simulator sim;
+  PhysicalNetwork net;
+  Tracer tracer;
+
+  explicit NetFixture(std::size_t nodes, PhysicalNetworkOptions popt = {})
+      : net(sim, popt) {
+    net.AddNodes(nodes);
+    net.SetTracer(&tracer);
+  }
+};
+
+TEST(NetworkTraceTest, ResponseChainsIntoSenderTrace) {
+  NetFixture f(3);
+  TraceContext op = f.tracer.StartTrace("request", 0.0, 0);
+  {
+    ScopedTraceContext scope(&f.tracer, op);
+    f.net.Send(0, 1, 100, MessageType::kPredictionRequest,
+               [&] {
+                 // Receiver responds on behalf of the request message.
+                 f.net.Send(1, 0, 50, MessageType::kPredictionResponse,
+                            nullptr, nullptr);
+               },
+               nullptr);
+  }
+  f.sim.RunUntil(10.0);
+  f.tracer.EndSpan(op, f.sim.Now());
+
+  ASSERT_EQ(f.tracer.num_spans(), 3u);
+  std::set<uint64_t> trace_ids;
+  for (const SpanRecord& s : f.tracer.spans()) trace_ids.insert(s.trace_id);
+  EXPECT_EQ(trace_ids.size(), 1u) << "request + response share one trace";
+
+  // The response span's parent must be the request *message* span.
+  const SpanRecord* request_msg = nullptr;
+  const SpanRecord* response_msg = nullptr;
+  for (const SpanRecord& s : f.tracer.spans()) {
+    if (s.name == MessageTypeToString(MessageType::kPredictionRequest))
+      request_msg = &s;
+    if (s.name == MessageTypeToString(MessageType::kPredictionResponse))
+      response_msg = &s;
+  }
+  ASSERT_NE(request_msg, nullptr);
+  ASSERT_NE(response_msg, nullptr);
+  EXPECT_EQ(response_msg->parent_span, request_msg->span_id);
+}
+
+TEST(NetworkTraceTest, DropsAreAnnotated) {
+  PhysicalNetworkOptions popt;
+  popt.loss_rate = 1.0;
+  NetFixture f(2, popt);
+  f.net.Send(0, 1, 100, MessageType::kLookup, nullptr, nullptr);
+  f.sim.RunUntil(10.0);
+  ASSERT_EQ(f.tracer.num_spans(), 1u);
+  const SpanRecord& s = f.tracer.spans()[0];
+  bool dropped = false;
+  for (const auto& [k, v] : s.args) dropped |= (k == "drop");
+  EXPECT_TRUE(dropped);
+}
+
+TEST(NetworkTraceTest, TracingDoesNotPerturbTheEventSequence) {
+  // Same seed, tracing on vs off: identical traffic and delivery counts.
+  PhysicalNetworkOptions popt;
+  popt.loss_rate = 0.2;
+  auto run = [&](bool traced) {
+    Simulator sim;
+    PhysicalNetwork net(sim, popt);
+    Tracer tracer;
+    if (traced) net.SetTracer(&tracer);
+    net.AddNodes(4);
+    ReliableTransport transport(sim, net);
+    int acked = 0;
+    for (int i = 0; i < 10; ++i) {
+      transport.SendReliable(0, 1 + (i % 3), 500, MessageType::kModelUpload,
+                             nullptr, [&] { ++acked; }, nullptr);
+    }
+    sim.RunUntil(600.0);
+    return std::tuple(acked, net.stats().messages_sent(),
+                      net.stats().messages_delivered(), sim.Now());
+  };
+  EXPECT_EQ(run(false), run(true));
+}
+
+TEST(TransportTraceTest, RetriesStayInOneLogicalSpan) {
+  // Scan seeds (deterministically) for a run where the lossy network makes
+  // the transport retransmit before the ACK lands, then assert the whole
+  // exchange — logical span, every physical attempt, every retry mark —
+  // stayed inside one trace.
+  for (uint64_t seed = 1;; ++seed) {
+    ASSERT_LT(seed, 64u) << "no seed produced a retransmitted-then-acked run";
+    PhysicalNetworkOptions popt;
+    popt.loss_rate = 0.6;
+    popt.seed = seed;
+    NetFixture f(2, popt);
+    ReliableTransport transport(f.sim, f.net, {.max_retries = 12});
+    int acked = 0;
+    transport.SendReliable(0, 1, 500, MessageType::kModelUpload, nullptr,
+                           [&] { ++acked; }, nullptr);
+    f.sim.RunUntil(600.0);
+    if (acked != 1 || f.net.stats().retransmits() == 0) continue;
+
+    std::set<uint64_t> trace_ids;
+    for (const SpanRecord& s : f.tracer.spans()) trace_ids.insert(s.trace_id);
+    ASSERT_EQ(trace_ids.size(), 1u);
+
+    const SpanRecord* logical = nullptr;
+    std::size_t attempts = 0, retransmit_marks = 0;
+    for (const SpanRecord& s : f.tracer.spans()) {
+      if (s.category == "transport") logical = &s;
+      if (s.category == "message" &&
+          s.name == MessageTypeToString(MessageType::kModelUpload)) {
+        ++attempts;
+      }
+      if (s.instant && s.name == "retransmit") ++retransmit_marks;
+    }
+    ASSERT_NE(logical, nullptr);
+    EXPECT_EQ(attempts, f.net.stats().retransmits() + 1);
+    EXPECT_EQ(retransmit_marks, f.net.stats().retransmits());
+    bool outcome_acked = false;
+    for (const auto& [k, v] : logical->args) {
+      outcome_acked |= (k == "outcome" && v == "acked");
+    }
+    EXPECT_TRUE(outcome_acked);
+    break;
+  }
+}
+
+TEST(ChordTraceTest, LookupHopsNestUnderLookupSpan) {
+  Simulator sim;
+  PhysicalNetwork net(sim);
+  Tracer tracer;
+  net.SetTracer(&tracer);
+  ChordOptions copt;
+  copt.key_bits = 16;
+  ChordOverlay chord(sim, net, copt);
+  net.AddNodes(32);
+  for (NodeId n = 0; n < 32; ++n) chord.AddNode(n);
+  chord.Bootstrap();
+  sim.RunUntil(sim.Now() + 60.0);
+  tracer.Clear();  // discard bootstrap maintenance spans
+
+  ChordOverlay::LookupResult result;
+  bool done = false;
+  chord.Lookup(0, chord.HashToKey(12345), [&](ChordOverlay::LookupResult r) {
+    result = r;
+    done = true;
+  });
+  sim.RunUntil(sim.Now() + 600.0);
+  ASSERT_TRUE(done);
+  ASSERT_TRUE(result.success);
+
+  // Both the DHT-level span and the per-hop message spans are named
+  // "lookup" — the category tells them apart.
+  const SpanRecord* lookup = nullptr;
+  std::size_t hop_msgs = 0;
+  std::set<uint64_t> trace_ids;
+  for (const SpanRecord& s : tracer.spans()) {
+    trace_ids.insert(s.trace_id);
+    if (s.category == "dht" && s.name == "lookup") lookup = &s;
+    if (s.category == "message" &&
+        s.name == MessageTypeToString(MessageType::kLookup)) {
+      ++hop_msgs;
+    }
+  }
+  ASSERT_NE(lookup, nullptr);
+  EXPECT_EQ(trace_ids.size(), 1u) << "all hops share the lookup's trace";
+  EXPECT_EQ(hop_msgs, static_cast<std::size_t>(result.hops));
+  bool hops_arg = false;
+  for (const auto& [k, v] : lookup->args) {
+    hops_arg |= (k == "hops" && v == std::to_string(result.hops));
+  }
+  EXPECT_TRUE(hops_arg);
+  EXPECT_GE(lookup->end, lookup->start);
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Validates the observability artifacts one traced experiment emits.
+
+Usage: validate_observability.py <dir>  (expects trace.json, metrics.json,
+report.json inside <dir>, as written by `bench_observe --smoke`).
+
+Pure stdlib; the "schema" is structural: required keys, types, and the
+invariants the exporters promise (every trace event carries a causal
+identity, histograms have ordered quantiles, the report joins quality and
+cost). Exits non-zero with a message per violation.
+"""
+
+import json
+import sys
+
+errors = []
+
+
+def check(cond, msg):
+    if not cond:
+        errors.append(msg)
+
+
+def validate_trace(path):
+    with open(path) as f:
+        doc = json.load(f)
+    check(isinstance(doc, dict), "trace: top level must be an object")
+    events = doc.get("traceEvents")
+    check(isinstance(events, list) and events,
+          "trace: non-empty traceEvents array required")
+    for i, ev in enumerate(events or []):
+        where = f"trace event {i}"
+        for key in ("name", "cat", "ph", "ts", "pid", "tid", "args"):
+            check(key in ev, f"{where}: missing '{key}'")
+        check(ev.get("ph") in ("X", "i"),
+              f"{where}: ph must be 'X' or 'i', got {ev.get('ph')!r}")
+        if ev.get("ph") == "X":
+            check("dur" in ev and ev["dur"] >= 0,
+                  f"{where}: complete event needs non-negative dur")
+        args = ev.get("args", {})
+        for key in ("trace_id", "span_id", "parent_span"):
+            check(isinstance(args.get(key), int),
+                  f"{where}: args.{key} must be an integer")
+        check(args.get("trace_id", 0) > 0, f"{where}: trace_id must be > 0")
+    names = {ev.get("name") for ev in events or []}
+    check("cempar/predict" in names,
+          "trace: expected a 'cempar/predict' root span in the smoke run")
+
+
+def validate_metrics(path):
+    with open(path) as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics")
+    check(isinstance(metrics, list) and metrics,
+          "metrics: non-empty metrics array required")
+    kinds = {"counter", "gauge", "histogram"}
+    seen_phase_histogram = False
+    for i, m in enumerate(metrics or []):
+        where = f"metric {i} ({m.get('name', '?')})"
+        check(isinstance(m.get("name"), str) and m["name"],
+              f"{where}: name required")
+        check(m.get("kind") in kinds, f"{where}: bad kind {m.get('kind')!r}")
+        if m.get("kind") == "histogram":
+            for key in ("count", "sum", "max", "p50", "p95", "p99"):
+                check(isinstance(m.get(key), (int, float)),
+                      f"{where}: histogram needs numeric '{key}'")
+            if all(isinstance(m.get(k), (int, float))
+                   for k in ("p50", "p95", "p99")):
+                check(m["p50"] <= m["p95"] <= m["p99"],
+                      f"{where}: quantiles out of order")
+            if m.get("name") == "phase_seconds" and m.get("count", 0) > 0:
+                seen_phase_histogram = True
+        else:
+            check(isinstance(m.get("value"), (int, float)),
+                  f"{where}: needs numeric 'value'")
+    check(seen_phase_histogram,
+          "metrics: expected a populated phase_seconds histogram")
+
+
+def validate_report(path):
+    with open(path) as f:
+        doc = json.load(f)
+    for section in ("run", "quality", "cost", "timing", "phases"):
+        check(section in doc, f"report: missing '{section}' section")
+    quality = doc.get("quality", {})
+    for key in ("micro_f1", "macro_f1", "hamming_loss"):
+        check(isinstance(quality.get(key), (int, float)),
+              f"report: quality.{key} must be numeric")
+    cost = doc.get("cost", {})
+    for key in ("train_messages", "predict_messages", "delivery_rate",
+                "retransmits"):
+        check(key in cost, f"report: cost.{key} missing")
+    phases = doc.get("phases", [])
+    check(isinstance(phases, list) and phases,
+          "report: non-empty phases array required")
+    for i, ph in enumerate(phases):
+        where = f"report phase {i}"
+        for key in ("classifier", "phase", "count", "p50", "p95", "p99"):
+            check(key in ph, f"{where}: missing '{key}'")
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__)
+        return 2
+    d = sys.argv[1].rstrip("/")
+    try:
+        validate_trace(f"{d}/trace.json")
+        validate_metrics(f"{d}/metrics.json")
+        validate_report(f"{d}/report.json")
+    except (OSError, json.JSONDecodeError) as e:
+        errors.append(str(e))
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}")
+        return 1
+    print("observability artifacts OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
