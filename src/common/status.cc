@@ -24,6 +24,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IO_ERROR";
     case StatusCode::kDataLoss:
       return "DATA_LOSS";
+    case StatusCode::kRejectedModel:
+      return "REJECTED_MODEL";
   }
   return "UNKNOWN";
 }

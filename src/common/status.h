@@ -27,6 +27,11 @@ enum class StatusCode : uint8_t {
   /// failed) and kNotFound (nothing stored): callers holding a kDataLoss
   /// can safely discard the artifact and rebuild from source.
   kDataLoss,
+  /// A received model failed sanitation (non-finite values, dimension or
+  /// norm bounds, truncated per-tag vectors) and was rejected at an
+  /// ingestion point instead of being merged. Distinct from kDataLoss: the
+  /// payload parsed fine, its *content* is hostile or nonsensical.
+  kRejectedModel,
 };
 
 /// Returns a stable human-readable name for a status code.
@@ -72,6 +77,9 @@ class Status {
   }
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+  static Status RejectedModel(std::string msg) {
+    return Status(StatusCode::kRejectedModel, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -31,7 +31,11 @@ std::vector<Example> MultiLabelDataset::OneAgainstAll(TagId tag) const {
 std::vector<std::size_t> MultiLabelDataset::TagCounts() const {
   std::vector<std::size_t> counts(num_tags_, 0);
   for (const auto& ex : examples_) {
-    for (TagId t : ex.tags) ++counts[t];
+    // Tags beyond the declared universe (a mis-sized or hostile dataset)
+    // must not write out of bounds.
+    for (TagId t : ex.tags) {
+      if (t < counts.size()) ++counts[t];
+    }
   }
   return counts;
 }

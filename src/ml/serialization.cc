@@ -195,6 +195,12 @@ Result<KernelSvmModel> GetKernelBody(const std::string& data,
   if (!bias.ok()) return bias.status();
   Result<uint32_t> count = GetU32(data, offset);
   if (!count.ok()) return count.status();
+  // Each support vector occupies at least 20 bytes (nnz header + y + alpha);
+  // a count beyond that bound is a hostile or corrupt length field — reject
+  // before reserving attacker-controlled memory.
+  if (static_cast<std::size_t>(count.value()) > (data.size() - offset) / 20) {
+    return Status::DataLoss("support-vector count exceeds buffer");
+  }
   std::vector<SupportVector> svs;
   svs.reserve(count.value());
   for (uint32_t i = 0; i < count.value(); ++i) {
@@ -314,6 +320,10 @@ Result<OneVsAllModel> DeserializeOneVsAll(const std::string& data) {
   P2PDT_RETURN_IF_ERROR(CheckHeader(data, offset));
   Result<uint32_t> num_tags = GetU32(data, offset);
   if (!num_tags.ok()) return num_tags.status();
+  // At least one kind byte per tag; larger counts cannot be satisfied.
+  if (static_cast<std::size_t>(num_tags.value()) > data.size() - offset) {
+    return Status::DataLoss("per-tag model count exceeds buffer");
+  }
   OneVsAllModel model;
   for (uint32_t t = 0; t < num_tags.value(); ++t) {
     Result<uint8_t> kind = GetU8(data, offset);
@@ -373,6 +383,10 @@ Result<std::vector<SparseVector>> DeserializeCentroids(
   }
   Result<uint32_t> count = GetU32(data, offset);
   if (!count.ok()) return count.status();
+  // Each centroid carries at least its 4-byte nnz header.
+  if (static_cast<std::size_t>(count.value()) > (data.size() - offset) / 4) {
+    return Status::DataLoss("centroid count exceeds buffer");
+  }
   std::vector<SparseVector> centroids;
   centroids.reserve(count.value());
   for (uint32_t i = 0; i < count.value(); ++i) {

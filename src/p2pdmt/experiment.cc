@@ -293,6 +293,11 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
   if (auto* pace = dynamic_cast<Pace*>(&algo)) {
     result.model_coverage = pace->ModelCoverage();
   }
+  const DefenseStats defense = algo.defense_stats();
+  result.models_rejected = defense.models_rejected;
+  result.votes_discarded = defense.votes_discarded;
+  result.quarantined_pairs = defense.quarantined;
+  result.trust_observations = defense.trust_observations;
   result.churn_failures = env.churn().num_failures();
   result.churn_rejoins = env.churn().num_rejoins();
   result.warm_rejoins = env.churn().num_warm_rejoins();

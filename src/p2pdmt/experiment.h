@@ -94,6 +94,13 @@ struct ExperimentResult {
   /// contributor's model after training (-1 for other algorithms).
   double model_coverage = -1.0;
 
+  /// Byzantine-defense counters from the protocol's sanitation + reputation
+  /// stack (all 0 for protocols without one, or when nothing was hostile).
+  uint64_t models_rejected = 0;
+  uint64_t votes_discarded = 0;
+  uint64_t quarantined_pairs = 0;
+  uint64_t trust_observations = 0;
+
   /// Communication, split by phase (snapshot deltas around each phase).
   uint64_t train_messages = 0;
   uint64_t train_bytes = 0;

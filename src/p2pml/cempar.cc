@@ -1,10 +1,13 @@
 #include "p2pml/cempar.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <optional>
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "ml/serialization.h"
@@ -31,6 +34,27 @@ std::size_t RequestBytes(const SparseVector& x) { return x.WireSize() + 16; }
 
 /// Wire size of a response carrying `n` per-tag scores.
 std::size_t ResponseBytes(std::size_t n) { return 16 + 12 * n; }
+
+/// What a kGarbageModel adversary uploads in place of its honest fit: a
+/// handful of support vectors whose coordinates cycle NaN / inf / 1e30 at
+/// seeded feature ids, under a NaN bias. Undefended cascades absorb the
+/// poison (SMO still terminates: NaN comparisons drop the indices from the
+/// working set); defended intakes reject it as non_finite.
+KernelSvmModel GarbageKernelModel(const Kernel& kernel, Rng& rng) {
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+  std::vector<SupportVector> svs;
+  for (int k = 0; k < 6; ++k) {
+    SupportVector sv;
+    double v = k % 3 == 0 ? kNan : k % 3 == 1 ? kInf : 1.0e30;
+    sv.x = SparseVector::FromPairs(
+        {{static_cast<uint32_t>(rng.NextU64(4096)), v}});
+    sv.y = k % 2 == 0 ? 1.0 : -1.0;
+    sv.alpha = 1.0;
+    svs.push_back(std::move(sv));
+  }
+  return KernelSvmModel(kernel, std::move(svs), kNan);
+}
 
 }  // namespace
 
@@ -64,7 +88,47 @@ Status Cempar::Setup(std::vector<MultiLabelDataset> peer_data,
   local_models_.assign(peer_data_.size(), {});
   owner_cache_.assign(peer_data_.size(), {});
   trained_ = false;
+  models_rejected_ = 0;
+  votes_discarded_ = 0;
+  reputation_.reset();
+  if (options_.reputation.enabled) {
+    reputation_ = std::make_unique<ReputationManager>(
+        options_.reputation, net_.metrics(), "cempar");
+    reputation_->Reset(peer_data_.size());
+    for (NodeId p = 0; p < peer_data_.size(); ++p) {
+      reputation_->SetHoldout(p, peer_data_[p]);
+    }
+  }
   return Status::OK();
+}
+
+void Cempar::RecordRejected(ModelRejectReason reason) {
+  ++models_rejected_;
+  if (MetricsRegistry* metrics = net_.metrics()) {
+    metrics
+        ->GetCounter("models_rejected",
+                     {{"classifier", "cempar"},
+                      {"reason", ModelRejectReasonToString(reason)}})
+        .Increment();
+  }
+}
+
+void Cempar::PurgeContributor(NodeId observer, NodeId contributor) {
+  for (Home& home : homes_) {
+    if (home.owner != observer) continue;
+    if (home.locals.erase(contributor) > 0) home.dirty = true;
+  }
+}
+
+DefenseStats Cempar::defense_stats() const {
+  DefenseStats stats;
+  stats.models_rejected = models_rejected_;
+  stats.votes_discarded = votes_discarded_;
+  if (reputation_ != nullptr) {
+    stats.quarantined = reputation_->num_quarantined();
+    stats.trust_observations = reputation_->observations();
+  }
+  return stats;
 }
 
 void Cempar::UploadModel(NodeId peer, TagId tag, std::size_t region,
@@ -95,13 +159,34 @@ void Cempar::UploadModel(NodeId peer, TagId tag, std::size_t region,
     auto install = [this, h, peer, owner = res.owner, model] {
       Home& home = homes_[h];
       if (home.owner == kInvalidNode) home.owner = owner;
-      if (home.owner == owner) {
-        home.locals.emplace(peer, model);
-        home.dirty = true;
-      }
       // A model delivered to a node that is not the home's collection
       // point (possible under churn-induced lookup disagreement) is
       // simply unused — it was still paid for on the wire.
+      if (home.owner != owner) return;
+      // Super-peer intake gate: sanitation first (structural), then
+      // reputation (behavioral). Honest models pass both untouched.
+      if (options_.sanitize.enabled) {
+        ModelRejectReason reason = SanitizeKernelModel(model, options_.sanitize);
+        if (reason != ModelRejectReason::kNone) {
+          RecordRejected(reason);
+          return;
+        }
+      }
+      if (reputation_ != nullptr && owner != peer) {
+        const TagId tag = static_cast<TagId>(h / options_.regions_per_tag);
+        double score = reputation_->ScoreBinary(owner, model, tag);
+        if (reputation_->Observe(owner, peer, score)) {
+          // Transition into quarantine: drop what this contributor already
+          // got merged before the evidence accumulated.
+          PurgeContributor(owner, peer);
+        }
+        if (reputation_->IsQuarantined(owner, peer)) {
+          RecordRejected(ModelRejectReason::kDistrusted);
+          return;
+        }
+      }
+      home.locals.emplace(peer, model);
+      home.dirty = true;
     };
     const std::size_t bytes = model.WireSize() + 16;
     if (transport_) {
@@ -155,6 +240,16 @@ void Cempar::Train(std::function<void(Status)> on_complete) {
     }
   }
   std::vector<std::optional<Result<KernelSvmModel>>> fitted(grid.size());
+  // Adversary behaviors resolved on the driver thread before the fan-out so
+  // workers never consult simulator state.
+  const AdversaryDirectory* adversaries = net_.adversaries();
+  std::vector<uint8_t> flip(grid.size(), 0);
+  if (adversaries != nullptr) {
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      flip[i] = adversaries->BehaviorAt(grid[i].peer, sim_.Now()) ==
+                AdversaryBehavior::kLabelFlip;
+    }
+  }
   // Resolved on the driver thread; workers record wall time per cell
   // lock-free (null when metrics are disabled).
   Histogram* train_hist = PhaseHistogram(net_.metrics(), "local_train");
@@ -163,9 +258,15 @@ void Cempar::Train(std::function<void(Status)> on_complete) {
                 for (std::size_t i = lo; i < hi; ++i) {
                   const GridCell& cell = grid[i];
                   Stopwatch cell_wall;
-                  fitted[i] = TrainKernelSvm(
-                      peer_data_[cell.peer].OneAgainstAll(cell.tag),
-                      options_.svm);
+                  std::vector<Example> train =
+                      peer_data_[cell.peer].OneAgainstAll(cell.tag);
+                  if (flip[i] != 0) {
+                    // Label-flip poisoning: the model is perfectly
+                    // anti-correlated with the truth, which is exactly what
+                    // cross-validation scores near zero.
+                    for (Example& ex : train) ex.y = -ex.y;
+                  }
+                  fitted[i] = TrainKernelSvm(train, options_.svm);
                   if (train_hist != nullptr) {
                     train_hist->Observe(cell_wall.ElapsedSeconds());
                   }
@@ -184,10 +285,41 @@ void Cempar::Train(std::function<void(Status)> on_complete) {
                          << model.status().ToString();
       continue;
     }
+    KernelSvmModel upload = std::move(model).value();
+    if (adversaries != nullptr) {
+      switch (adversaries->BehaviorAt(cell.peer, sim_.Now())) {
+        case AdversaryBehavior::kGarbageModel: {
+          // Seeded per (peer, tag, region) from the injector's dedicated
+          // corruption stream — serial and parallel runs corrupt
+          // identically, and armed-but-idle plans never draw from it.
+          Rng crng(DeriveSeed(adversaries->CorruptionSeed(cell.peer),
+                              cell.tag, cell.region));
+          upload = GarbageKernelModel(options_.svm.kernel, crng);
+          break;
+        }
+        case AdversaryBehavior::kDimensionMismatch: {
+          // Append a support vector at a feature id far beyond any
+          // plausible lexicon.
+          std::vector<SupportVector> svs = upload.support_vectors();
+          SupportVector sv;
+          sv.x = SparseVector::FromPairs({{1u << 30, 1.0}});
+          sv.y = 1.0;
+          sv.alpha = 1.0;
+          svs.push_back(std::move(sv));
+          upload = KernelSvmModel(upload.kernel(), std::move(svs),
+                                  upload.bias());
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    // Adversaries keep their corrupted model locally too: repair rounds
+    // re-upload the same poison (and get re-rejected at the gate).
     local_models_[cell.peer].emplace(HomeIndex(cell.tag, cell.region),
-                                     model.value());
+                                     upload);
     ++*pending;
-    UploadModel(cell.peer, cell.tag, cell.region, std::move(model).value(),
+    UploadModel(cell.peer, cell.tag, cell.region, std::move(upload),
                 barrier);
   }
   (*barrier)();  // consume the root token
@@ -200,7 +332,27 @@ void Cempar::CascadeAll() {
     home.dirty = false;
     std::vector<const KernelSvmModel*> locals;
     locals.reserve(home.locals.size());
-    for (const auto& [peer, model] : home.locals) locals.push_back(&model);
+    for (const auto& [peer, model] : home.locals) {
+      // Defense in depth at the merge: locals that slipped in before a
+      // quarantine (or before sanitation was enabled) stay out of the
+      // cascade. Both predicates are false for every honest model.
+      if (options_.sanitize.enabled &&
+          SanitizeKernelModel(model, options_.sanitize) !=
+              ModelRejectReason::kNone) {
+        continue;
+      }
+      if (reputation_ != nullptr && home.owner != kInvalidNode &&
+          reputation_->IsQuarantined(home.owner, peer)) {
+        continue;
+      }
+      locals.push_back(&model);
+    }
+    if (locals.empty()) {
+      // Every contributor was rejected: the home has no trustworthy model.
+      home.has_regional = false;
+      home.weight = 0.0;
+      continue;
+    }
     Stopwatch merge_wall;
     Result<KernelSvmModel> regional =
         CascadeTree(locals, options_.svm, options_.cascade_fan_in);
@@ -213,7 +365,8 @@ void Cempar::CascadeAll() {
     }
     home.regional = std::move(regional).value();
     home.has_regional = true;
-    home.weight = static_cast<double>(home.locals.size());
+    // Vote weight counts only the models that actually entered the merge.
+    home.weight = static_cast<double>(locals.size());
   }
 }
 
@@ -228,6 +381,17 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
   }
 
   struct PredictCtx {
+    /// One per-tag score from one super-peer response.
+    struct Vote {
+      TagId tag;
+      double score;
+      double weight;
+    };
+    /// Every vote in arrival order. Aggregation happens at finalize so the
+    /// requester can gate and trim; surviving votes are summed in exactly
+    /// this order, which keeps clean runs bit-identical to the old
+    /// accumulate-on-arrival code.
+    std::vector<Vote> votes;
     std::vector<double> weight_sum;
     std::vector<double> score_sum;
     std::size_t remaining = 0;
@@ -253,6 +417,64 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
     P2PPrediction out;
     out.scores.assign(num_tags_, 0.0);
     Stopwatch vote_wall;
+    // Requester-side robust voting. Two layers, both inert on honest
+    // traffic: (1) the sanitation gate drops non-finite or absurdly large
+    // scores (the vote-spam signature), (2) with reputation on, a per-tag
+    // median trim drops outliers that stayed under the magnitude bound.
+    std::vector<char> keep(ctx->votes.size(), 1);
+    uint64_t discarded = 0;
+    if (options_.sanitize.enabled) {
+      for (std::size_t i = 0; i < ctx->votes.size(); ++i) {
+        const PredictCtx::Vote& v = ctx->votes[i];
+        if (!std::isfinite(v.score) || !std::isfinite(v.weight) ||
+            std::fabs(v.score) > options_.sanitize.max_abs_value ||
+            v.weight < 0.0 || v.weight > options_.sanitize.max_abs_value) {
+          keep[i] = 0;
+          ++discarded;
+        }
+      }
+    }
+    if (reputation_ != nullptr && !ctx->votes.empty()) {
+      std::vector<std::vector<double>> per_tag(num_tags_);
+      for (std::size_t i = 0; i < ctx->votes.size(); ++i) {
+        if (keep[i] != 0 && ctx->votes[i].tag < num_tags_) {
+          per_tag[ctx->votes[i].tag].push_back(ctx->votes[i].score);
+        }
+      }
+      std::vector<double> median(num_tags_, 0.0);
+      std::vector<char> trimmable(num_tags_, 0);
+      for (TagId t = 0; t < num_tags_; ++t) {
+        if (per_tag[t].size() < 3) continue;  // no majority to trim against
+        std::sort(per_tag[t].begin(), per_tag[t].end());
+        median[t] = per_tag[t][per_tag[t].size() / 2];
+        trimmable[t] = 1;
+      }
+      for (std::size_t i = 0; i < ctx->votes.size(); ++i) {
+        const PredictCtx::Vote& v = ctx->votes[i];
+        if (keep[i] == 0 || v.tag >= num_tags_ || trimmable[v.tag] == 0) {
+          continue;
+        }
+        if (std::fabs(v.score - median[v.tag]) >
+            options_.vote_outlier_threshold) {
+          keep[i] = 0;
+          ++discarded;
+        }
+      }
+    }
+    if (discarded > 0) {
+      votes_discarded_ += discarded;
+      if (MetricsRegistry* metrics = net_.metrics()) {
+        metrics
+            ->GetCounter("votes_discarded", {{"classifier", "cempar"}})
+            .Increment(discarded);
+      }
+    }
+    for (std::size_t i = 0; i < ctx->votes.size(); ++i) {
+      const PredictCtx::Vote& v = ctx->votes[i];
+      if (keep[i] == 0 || v.tag >= num_tags_) continue;
+      ctx->score_sum[v.tag] += v.weight * v.score;
+      ctx->weight_sum[v.tag] += v.weight;
+    }
     for (TagId t = 0; t < num_tags_; ++t) {
       if (ctx->weight_sum[t] > 0.0) {
         out.scores[t] = ctx->score_sum[t] / ctx->weight_sum[t];
@@ -314,15 +536,25 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
     ctx->remaining = groups.size();
     for (const auto& [owner, home_list] : groups) {
       if (owner == requester) {
-        // Local super-peer: evaluate without network traffic.
+        // Local super-peer: evaluate without network traffic. (A vote-spam
+        // requester poisons its own request too — the behavior belongs to
+        // the responding super-peer, whoever that is.)
         sim_.Schedule(0.0, [this, ctx, owner, home_list, x, finalize_one] {
+          const AdversaryDirectory* adv = net_.adversaries();
+          const bool spam =
+              adv != nullptr && adv->BehaviorAt(owner, sim_.Now()) ==
+                                    AdversaryBehavior::kVoteSpam;
           for (std::size_t h : home_list) {
             const Home& home = homes_[h];
             if (home.owner != owner || !home.has_regional) continue;
             TagId tag =
                 static_cast<TagId>(h / options_.regions_per_tag);
-            ctx->score_sum[tag] += home.weight * home.regional.Decision(x);
-            ctx->weight_sum[tag] += home.weight;
+            if (spam) {
+              ctx->votes.push_back({tag, 1.0e9, 1.0e3});
+            } else {
+              ctx->votes.push_back(
+                  {tag, home.regional.Decision(x), home.weight});
+            }
           }
           ++ctx->responded;
           finalize_one();
@@ -330,18 +562,24 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
         continue;
       }
       // Super-peer evaluates all queried homes it actually hosts.
-      struct Partial {
-        TagId tag;
-        double score;
-        double weight;
-      };
       auto evaluate = [this, owner, home_list, x] {
-        auto partials = std::make_shared<std::vector<Partial>>();
+        auto partials = std::make_shared<std::vector<PredictCtx::Vote>>();
+        // A vote-spam super-peer answers every queried tag with a huge
+        // constant score under an inflated weight — the classic
+        // drown-the-honest-votes attack the requester-side gate exists for.
+        const AdversaryDirectory* adv = net_.adversaries();
+        const bool spam =
+            adv != nullptr && adv->BehaviorAt(owner, sim_.Now()) ==
+                                  AdversaryBehavior::kVoteSpam;
         for (std::size_t h : home_list) {
           const Home& home = homes_[h];
           if (home.owner != owner || !home.has_regional) continue;
           TagId tag = static_cast<TagId>(h / options_.regions_per_tag);
-          partials->push_back({tag, home.regional.Decision(x), home.weight});
+          if (spam) {
+            partials->push_back({tag, 1.0e9, 1.0e3});
+          } else {
+            partials->push_back({tag, home.regional.Decision(x), home.weight});
+          }
         }
         if (Tracer* tracer = net_.tracer()) {
           // Runs inside the request message's delivery, so the marker lands
@@ -351,13 +589,11 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
         }
         return partials;
       };
-      auto accumulate = [ctx](std::shared_ptr<std::vector<Partial>> partials) {
-        for (const auto& p : *partials) {
-          ctx->score_sum[p.tag] += p.weight * p.score;
-          ctx->weight_sum[p.tag] += p.weight;
-        }
-        ++ctx->responded;
-      };
+      auto accumulate =
+          [ctx](std::shared_ptr<std::vector<PredictCtx::Vote>> partials) {
+            for (const auto& p : *partials) ctx->votes.push_back(p);
+            ++ctx->responded;
+          };
       auto invalidate = [this, requester, home_list] {
         // Request lost: invalidate cached owners so the next prediction
         // re-resolves through the DHT.
@@ -641,6 +877,12 @@ Status Cempar::Restore(NodeId peer, const std::string& blob) {
   }
   Result<uint32_t> count = wire::GetU32(blob, offset);
   if (!count.ok()) return count.status();
+  // Every entry needs at least a home id (8) and a length prefix (4); a
+  // count that cannot fit in the remaining bytes is a corrupted or hostile
+  // length field — reject before looping, not after allocating.
+  if (count.value() > (blob.size() - offset) / 12) {
+    return Status::DataLoss("cempar snapshot model count exceeds buffer");
+  }
   std::map<std::size_t, KernelSvmModel> restored;
   for (uint32_t i = 0; i < count.value(); ++i) {
     Result<uint64_t> home = wire::GetU64(blob, offset);
@@ -655,6 +897,16 @@ Status Cempar::Restore(NodeId peer, const std::string& blob) {
     if (!bytes.ok()) return bytes.status();
     Result<KernelSvmModel> model = DeserializeKernelSvm(bytes.value());
     if (!model.ok()) return model.status();
+    if (options_.sanitize.enabled) {
+      // A checkpoint is an ingestion point like any other: a tampered blob
+      // that parses cleanly must still pass content sanitation.
+      ModelRejectReason reason =
+          SanitizeKernelModel(model.value(), options_.sanitize);
+      if (reason != ModelRejectReason::kNone) {
+        RecordRejected(reason);
+        return RejectedModelStatus(reason);
+      }
+    }
     restored.emplace(static_cast<std::size_t>(home.value()),
                      std::move(model).value());
   }

@@ -8,7 +8,9 @@
 
 #include "ml/kernel_svm.h"
 #include "ml/multilabel.h"
+#include "ml/sanitize.h"
 #include "p2pml/p2p_classifier.h"
+#include "p2pml/reputation.h"
 #include "p2psim/chord.h"
 #include "p2psim/transport.h"
 
@@ -48,6 +50,21 @@ struct CemparOptions {
   /// suspects the primary dead (consecutive give-ups), the standby is
   /// promoted and a fresh replica is pushed to the next successor.
   bool replicate_regional_models = true;
+  /// Model sanitation at every ingestion point (super-peer SV intake,
+  /// cascade merge, checkpoint restore) plus the requester-side vote gate.
+  /// On by default: honest models always pass, so baselines are
+  /// bit-identical.
+  SanitizeOptions sanitize;
+  /// Cross-validation reputation + quarantine at super-peers (opt-in
+  /// defense layer).
+  ReputationOptions reputation;
+  /// With reputation on, a response score deviating more than this from the
+  /// per-tag median (3+ votes) is discarded as an outlier — the trimmed
+  /// vote that stops under-the-radar spam the magnitude gate admits. Honest
+  /// regional models for one tag never disagree by anything close to this
+  /// (|decision| is bounded by C · #SV + |bias|), so the trim is inert in
+  /// clean runs.
+  double vote_outlier_threshold = 1.0e4;
 };
 
 /// CEMPaR (Ang et al., ECML/PKDD 2009): communication-efficient P2P
@@ -122,6 +139,12 @@ class Cempar final : public P2PClassifier {
   /// Number of homes whose regional model currently has a standby replica.
   std::size_t NumReplicatedHomes() const;
 
+  /// Byzantine-defense counters (sanitation rejections, quarantines, ...).
+  DefenseStats defense_stats() const override;
+
+  /// Non-null when options.reputation.enabled (test access).
+  ReputationManager* reputation() { return reputation_.get(); }
+
  private:
   struct Home {
     NodeId owner = kInvalidNode;
@@ -158,6 +181,13 @@ class Cempar final : public P2PClassifier {
   /// when the peer trained nothing.
   bool LocalScores(NodeId peer, const SparseVector& x,
                    std::vector<double>& scores) const;
+  /// Bumps models_rejected_ and the models_rejected{classifier,reason}
+  /// counter.
+  void RecordRejected(ModelRejectReason reason);
+  /// Drops every local model `contributor` uploaded to homes collected at
+  /// `observer` (called once, on the quarantine transition edge) and marks
+  /// those homes dirty so the next CascadeAll rebuilds without them.
+  void PurgeContributor(NodeId observer, NodeId contributor);
 
   Simulator& sim_;
   PhysicalNetwork& net_;
@@ -173,6 +203,11 @@ class Cempar final : public P2PClassifier {
   /// Per-requester cache: home index -> last known owner.
   std::vector<std::unordered_map<std::size_t, NodeId>> owner_cache_;
   bool trained_ = false;
+
+  /// Non-null when options_.reputation.enabled.
+  std::unique_ptr<ReputationManager> reputation_;
+  uint64_t models_rejected_ = 0;
+  uint64_t votes_discarded_ = 0;
 };
 
 }  // namespace p2pdt

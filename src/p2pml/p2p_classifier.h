@@ -29,6 +29,22 @@ struct P2PPrediction {
   bool degraded = false;
 };
 
+/// Aggregate counters from the Byzantine-defense stack (sanitation +
+/// reputation), surfaced uniformly so the experiment harness and the
+/// poisoning sweep can report them per run. All zero when the defenses are
+/// disabled or nothing was hostile.
+struct DefenseStats {
+  /// Ingestion-point rejections (sanitation failures + distrusted uploads).
+  uint64_t models_rejected = 0;
+  /// Votes excluded at aggregation time (quarantined contributors,
+  /// out-of-bounds or outlier partials).
+  uint64_t votes_discarded = 0;
+  /// (observer, contributor) pairs currently quarantined.
+  uint64_t quarantined = 0;
+  /// Cross-validation observations folded into trust scores.
+  uint64_t trust_observations = 0;
+};
+
 /// The pluggable P2P classification component of P2PDocTagger (paper
 /// Sec. 2: "the P2P classification algorithm in P2PDocTagger is a pluggable
 /// component"). Implementations run *as protocols inside the simulator*:
@@ -57,6 +73,10 @@ class P2PClassifier {
 
   /// Protocol name for reports ("cempar", "pace", ...).
   virtual std::string name() const = 0;
+
+  /// Byzantine-defense counters; all-zero default for protocols without a
+  /// defense stack.
+  virtual DefenseStats defense_stats() const { return {}; }
 
   // --- Durability hooks (optional) -----------------------------------------
   //

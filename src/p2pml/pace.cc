@@ -51,59 +51,152 @@ Status Pace::Setup(std::vector<MultiLabelDataset> peer_data, TagId num_tags) {
   index_ = std::make_unique<CosineLsh>(options_.lsh);
   index_items_.clear();
   trained_ = false;
+  bundle_verdict_.assign(peer_data_.size(), -1);
+  predict_count_.assign(peer_data_.size(), 0);
+  models_rejected_ = 0;
+  votes_discarded_ = 0;
+  reputation_.reset();
+  if (options_.reputation.enabled) {
+    reputation_ = std::make_unique<ReputationManager>(options_.reputation,
+                                                      net_.metrics(), "pace");
+    reputation_->Reset(peer_data_.size());
+    // Holdouts are subsamples of (not carve-outs from) the local data, so
+    // trained models are unchanged by enabling reputation.
+    for (NodeId p = 0; p < peer_data_.size(); ++p) {
+      reputation_->SetHoldout(p, peer_data_[p]);
+    }
+  }
   return Status::OK();
 }
 
 void Pace::TrainLocal(NodeId peer) {
   const MultiLabelDataset& data = peer_data_[peer];
   PeerModel& pm = models_[peer];
+  bundle_verdict_[peer] = -1;  // any cached sanitation verdict is stale now
 
-  // Per-(peer, tag) RNG streams: every binary subproblem draws its
-  // coordinate permutations from a seed derived from data identity, so the
-  // trained model is the same no matter which thread (or how many) ran it.
-  IndexedBinaryTrainer trainer =
-      [this, peer](const std::vector<Example>& examples, TagId tag)
-      -> Result<std::unique_ptr<BinaryClassifier>> {
-    LinearSvmOptions svm_opts = options_.svm;
-    svm_opts.seed = DeriveSeed(options_.svm.seed, peer, tag);
-    Result<LinearSvmModel> model = TrainLinearSvm(examples, svm_opts);
-    if (!model.ok()) return model.status();
-    return std::unique_ptr<BinaryClassifier>(
-        std::make_unique<LinearSvmModel>(std::move(model).value()));
-  };
+  // Scripted adversary check: a pure read of the installed directory (none
+  // installed = every peer honest at zero cost). Runs on pool workers while
+  // the driver blocks in ParallelFor, so reading sim_.Now() is safe.
+  const AdversaryDirectory* adversaries = net_.adversaries();
+  const AdversaryBehavior behavior =
+      adversaries == nullptr ? AdversaryBehavior::kHonest
+                             : adversaries->BehaviorAt(peer, sim_.Now());
 
-  // Pad to the global tag universe so every peer's model is addressable by
-  // any tag id.
-  MultiLabelDataset padded = data;
-  padded.set_num_tags(num_tags_);
-  OneVsAllTrainOptions ova;
-  ova.num_threads = options_.num_threads;
-  Result<OneVsAllModel> model = TrainOneVsAll(padded, trainer, ova);
-  if (!model.ok()) {
-    P2PDT_LOG(Warning) << "peer " << peer
-                       << " PACE local training failed: "
-                       << model.status().ToString();
+  if (behavior == AdversaryBehavior::kGarbageModel) {
+    // No training at all: publish NaN/inf/absurd weight vectors with a
+    // perfect self-reported accuracy, the classic poisoned-upload shape.
+    // Corruption bytes come from a local Rng (per-node derived seed), so
+    // the shared fault stream is untouched.
+    Rng crng(adversaries->CorruptionSeed(peer));
+    OneVsAllModel garbage;
+    for (TagId t = 0; t < num_tags_; ++t) {
+      std::vector<SparseVector::Entry> entries;
+      for (int i = 0; i < 8; ++i) {
+        double v = i % 3 == 0   ? std::numeric_limits<double>::quiet_NaN()
+                   : i % 3 == 1 ? std::numeric_limits<double>::infinity()
+                                : 1.0e30;
+        entries.emplace_back(static_cast<uint32_t>(crng.NextU64(4096)), v);
+      }
+      garbage.SetModel(t, std::make_unique<LinearSvmModel>(
+                              SparseVector::FromPairs(std::move(entries)),
+                              std::numeric_limits<double>::quiet_NaN()));
+    }
+    pm.model = std::move(garbage);
+    pm.tag_accuracy.assign(num_tags_, 1.0);
+    pm.tag_informed.assign(num_tags_, true);
+    // Centroids stay finite (huge, not NaN) so index insertion is
+    // well-defined; the poison is in the weights.
+    pm.centroids.clear();
+    for (int c = 0; c < 2; ++c) {
+      pm.centroids.push_back(SparseVector::FromPairs(
+          {{static_cast<uint32_t>(crng.NextU64(4096)), 1.0e30},
+           {static_cast<uint32_t>(crng.NextU64(4096)), -1.0e30}}));
+    }
+    pm.wire_size = pm.model.WireSize() + 8 * num_tags_;
+    for (const auto& c : pm.centroids) pm.wire_size += c.WireSize();
+    pm.valid = true;
     return;
   }
-  pm.model = std::move(model).value();
 
-  // Per-tag training accuracy: the vote weight the ensemble uses.
-  pm.tag_accuracy.assign(num_tags_, 0.0);
-  pm.tag_informed.assign(num_tags_, false);
-  std::vector<std::size_t> counts = padded.TagCounts();
-  for (TagId t = 0; t < num_tags_; ++t) {
-    pm.tag_informed[t] = t < counts.size() && counts[t] > 0;
-    std::size_t correct = 0;
-    for (const auto& ex : data.examples()) {
-      const BinaryClassifier* m = pm.model.model(t);
-      if (m == nullptr) continue;
-      bool predicted = m->Decision(ex.x) > 0.0;
-      if (predicted == ex.HasTag(t)) ++correct;
+  const bool flip = behavior == AdversaryBehavior::kLabelFlip;
+
+  if (behavior == AdversaryBehavior::kVoteSpam) {
+    // A "model" whose every decision is a huge positive constant: it claims
+    // every tag for every document, loudly enough to drown honest votes in
+    // the weighted mean. Magnitude-bound sanitation is the counter.
+    OneVsAllModel spam;
+    for (TagId t = 0; t < num_tags_; ++t) {
+      spam.SetModel(t, std::make_unique<LinearSvmModel>(SparseVector(), 1e9));
     }
-    pm.tag_accuracy[t] = data.empty()
-                             ? 0.0
-                             : static_cast<double>(correct) /
-                                   static_cast<double>(data.size());
+    pm.model = std::move(spam);
+    pm.tag_accuracy.assign(num_tags_, 1.0);
+    pm.tag_informed.assign(num_tags_, true);
+  } else {
+    // Per-(peer, tag) RNG streams: every binary subproblem draws its
+    // coordinate permutations from a seed derived from data identity, so the
+    // trained model is the same no matter which thread (or how many) ran it.
+    IndexedBinaryTrainer trainer =
+        [this, peer, flip](const std::vector<Example>& examples, TagId tag)
+        -> Result<std::unique_ptr<BinaryClassifier>> {
+      LinearSvmOptions svm_opts = options_.svm;
+      svm_opts.seed = DeriveSeed(options_.svm.seed, peer, tag);
+      std::vector<Example> flipped;
+      if (flip) {
+        // Label-flip adversary: the model is genuinely trained — just on
+        // negated labels, which makes it anti-correlated with the truth.
+        flipped = examples;
+        for (Example& ex : flipped) ex.y = -ex.y;
+      }
+      Result<LinearSvmModel> model =
+          TrainLinearSvm(flip ? flipped : examples, svm_opts);
+      if (!model.ok()) return model.status();
+      return std::unique_ptr<BinaryClassifier>(
+          std::make_unique<LinearSvmModel>(std::move(model).value()));
+    };
+
+    // Pad to the global tag universe so every peer's model is addressable by
+    // any tag id.
+    MultiLabelDataset padded = data;
+    padded.set_num_tags(num_tags_);
+    OneVsAllTrainOptions ova;
+    ova.num_threads = options_.num_threads;
+    Result<OneVsAllModel> model = TrainOneVsAll(padded, trainer, ova);
+    if (!model.ok()) {
+      P2PDT_LOG(Warning) << "peer " << peer
+                         << " PACE local training failed: "
+                         << model.status().ToString();
+      return;
+    }
+    pm.model = std::move(model).value();
+
+    // Per-tag training accuracy: the vote weight the ensemble uses. The
+    // flip adversary measures against its own flipped truth, so it reports
+    // a high, plausible-looking accuracy.
+    pm.tag_accuracy.assign(num_tags_, 0.0);
+    pm.tag_informed.assign(num_tags_, false);
+    std::vector<std::size_t> counts = padded.TagCounts();
+    for (TagId t = 0; t < num_tags_; ++t) {
+      pm.tag_informed[t] = t < counts.size() && counts[t] > 0;
+      std::size_t correct = 0;
+      for (const auto& ex : data.examples()) {
+        const BinaryClassifier* m = pm.model.model(t);
+        if (m == nullptr) continue;
+        bool predicted = m->Decision(ex.x) > 0.0;
+        bool truth = ex.HasTag(t);
+        if (flip) truth = !truth;
+        if (predicted == truth) ++correct;
+      }
+      pm.tag_accuracy[t] = data.empty()
+                               ? 0.0
+                               : static_cast<double>(correct) /
+                                     static_cast<double>(data.size());
+    }
+    if (behavior == AdversaryBehavior::kAccuracyInflate) {
+      // Honest model, dishonest résumé: perfect accuracy on every tag,
+      // competence claimed even on tags the peer has never seen.
+      pm.tag_accuracy.assign(num_tags_, 1.0);
+      pm.tag_informed.assign(num_tags_, true);
+    }
   }
 
   // Cluster local data; centroids describe where this model is competent.
@@ -121,9 +214,113 @@ void Pace::TrainLocal(NodeId peer) {
   }
   pm.centroids = std::move(clusters.value().centroids);
 
+  if (behavior == AdversaryBehavior::kDimensionMismatch) {
+    // Truncated upload: per-tag vectors shorter than the corpus tag count,
+    // plus a centroid with a feature id far outside the lexicon.
+    TagId half = num_tags_ > 1 ? num_tags_ / 2 : 1;
+    OneVsAllModel truncated;
+    for (TagId t = 0; t < half; ++t) {
+      const BinaryClassifier* m = pm.model.model(t);
+      truncated.SetModel(t, m != nullptr ? m->Clone() : nullptr);
+    }
+    pm.model = std::move(truncated);
+    pm.tag_accuracy.resize(half);
+    pm.tag_informed.resize(half);
+    pm.centroids.push_back(SparseVector::FromPairs({{1u << 30, 1.0}}));
+  }
+
   pm.wire_size = pm.model.WireSize() + 8 * num_tags_;
   for (const auto& c : pm.centroids) pm.wire_size += c.WireSize();
   pm.valid = true;
+}
+
+ModelRejectReason Pace::BundleVerdict(NodeId contributor) {
+  int8_t memo = bundle_verdict_[contributor];
+  if (memo >= 0) return static_cast<ModelRejectReason>(memo);
+  const PeerModel& pm = models_[contributor];
+  ModelRejectReason r = SanitizeOneVsAll(pm.model, num_tags_, options_.sanitize);
+  if (r == ModelRejectReason::kNone) {
+    r = SanitizeCentroids(pm.centroids, options_.sanitize);
+  }
+  if (r == ModelRejectReason::kNone &&
+      (pm.tag_accuracy.size() != num_tags_ ||
+       pm.tag_informed.size() != num_tags_)) {
+    r = ModelRejectReason::kTagMismatch;
+  }
+  bundle_verdict_[contributor] = static_cast<int8_t>(r);
+  return r;
+}
+
+void Pace::RecordRejected(ModelRejectReason reason) {
+  ++models_rejected_;
+  if (MetricsRegistry* metrics = net_.metrics()) {
+    metrics
+        ->GetCounter("models_rejected",
+                     {{"classifier", "pace"},
+                      {"reason", ModelRejectReasonToString(reason)}})
+        .Increment();
+  }
+}
+
+void Pace::AcceptBundle(NodeId receiver, NodeId contributor) {
+  if (receiver >= received_.size() || contributor >= models_.size()) return;
+  PeerModel& pm = models_[contributor];
+  if (!pm.valid) return;
+  // Unconditional trust-hole fix: self-reported accuracy is clamped to
+  // [0, 1] (NaN -> 0) the moment a bundle arrives, reputation or not.
+  // Identity for honest values, idempotent across repeat deliveries.
+  for (double& a : pm.tag_accuracy) a = ClampAccuracy(a);
+  if (options_.sanitize.enabled) {
+    ModelRejectReason reason = BundleVerdict(contributor);
+    if (reason != ModelRejectReason::kNone) {
+      RecordRejected(reason);
+      return;  // refused: the bundle never becomes visible to this receiver
+    }
+  }
+  if (reputation_ != nullptr && receiver != contributor) {
+    double score =
+        reputation_->ScoreOneVsAll(receiver, pm.model, &pm.tag_informed);
+    if (score >= 0.0) reputation_->Observe(receiver, contributor, score);
+    if (reputation_->IsQuarantined(receiver, contributor)) {
+      RecordRejected(ModelRejectReason::kDistrusted);
+      return;
+    }
+  }
+  received_[receiver][contributor] = true;
+}
+
+void Pace::ProbeQuarantined(NodeId requester) {
+  // Re-score only quarantined contributors: re-admits any that retrained
+  // honestly (trust climbs past readmit_threshold) and keeps decaying ones
+  // out. Honest runs have no quarantined pairs, so this is a strict no-op
+  // there — the bit-identical-baseline requirement.
+  for (NodeId p = 0; p < models_.size(); ++p) {
+    if (p == requester || !models_[p].valid) continue;
+    if (!reputation_->IsQuarantined(requester, p)) continue;
+    if (options_.sanitize.enabled &&
+        BundleVerdict(p) != ModelRejectReason::kNone) {
+      continue;  // still malformed; nothing to re-evaluate
+    }
+    double score = reputation_->ScoreOneVsAll(requester, models_[p].model,
+                                              &models_[p].tag_informed);
+    if (score < 0.0) continue;
+    reputation_->Observe(requester, p, score);
+    if (!reputation_->IsQuarantined(requester, p)) {
+      // Re-admitted: re-ingest the retained bundle copy.
+      received_[requester][p] = true;
+    }
+  }
+}
+
+DefenseStats Pace::defense_stats() const {
+  DefenseStats s;
+  s.models_rejected = models_rejected_;
+  s.votes_discarded = votes_discarded_;
+  if (reputation_ != nullptr) {
+    s.quarantined = reputation_->num_quarantined();
+    s.trust_observations = reputation_->observations();
+  }
+  return s;
 }
 
 void Pace::Train(std::function<void(Status)> on_complete) {
@@ -184,14 +381,12 @@ void Pace::Train(std::function<void(Status)> on_complete) {
   Histogram* bcast_hist = PhaseHistogram(net_.metrics(), "model_broadcast");
   for (NodeId peer = 0; peer < models_.size(); ++peer) {
     if (!models_[peer].valid) continue;
-    received_[peer][peer] = true;
+    AcceptBundle(peer, peer);  // self-ingest passes the same sanitation gate
     ++*pending;
     const SimTime bcast_started = sim_.Now();
     overlay_.Broadcast(
         peer, models_[peer].wire_size, MessageType::kModelBroadcast,
-        [this, peer](NodeId receiver) {
-          if (receiver < received_.size()) received_[receiver][peer] = true;
-        },
+        [this, peer](NodeId receiver) { AcceptBundle(receiver, peer); },
         [this, barrier, bcast_hist, bcast_started] {
           // Sim-time until this contributor's dissemination tree settled.
           if (bcast_hist != nullptr) {
@@ -236,9 +431,7 @@ void Pace::RepairRound(std::size_t round,
     transport_->SendReliable(
         p, q, models_[p].wire_size, MessageType::kModelBroadcast,
         /*on_deliver=*/
-        [this, p, q] {
-          if (q < received_.size()) received_[q][p] = true;
-        },
+        [this, p, q] { AcceptBundle(q, p); },
         /*on_acked=*/[barrier] { (*barrier)(); },
         /*on_give_up=*/[barrier] { (*barrier)(); });
   }
@@ -262,6 +455,34 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
     tracer->AddArg(span, "requester", std::to_string(requester));
   }
 
+  if (reputation_ != nullptr) {
+    // Probation cadence: every Nth prediction this requester re-examines
+    // its quarantined contributors (no-op when there are none).
+    ++predict_count_[requester];
+    if (options_.reputation.probation_interval > 0 &&
+        predict_count_[requester] % options_.reputation.probation_interval ==
+            0) {
+      ProbeQuarantined(requester);
+    }
+    // Contributors that were accepted and later quarantined lose their
+    // vote; count each exclusion per prediction served.
+    for (NodeId p = 0; p < models_.size(); ++p) {
+      if (received_[requester][p] && models_[p].valid &&
+          reputation_->IsQuarantined(requester, p)) {
+        ++votes_discarded_;
+        if (MetricsRegistry* metrics = net_.metrics()) {
+          metrics->GetCounter("votes_discarded", {{"classifier", "pace"}})
+              .Increment();
+        }
+      }
+    }
+  }
+  auto eligible = [this, requester](NodeId peer) {
+    if (!received_[requester][peer] || !models_[peer].valid) return false;
+    return reputation_ == nullptr ||
+           !reputation_->IsQuarantined(requester, peer);
+  };
+
   // Entirely local: retrieve candidate models via LSH (multi-probe until we
   // have enough), filter to models this peer actually received, rank by
   // true centroid distance, keep top-k.
@@ -278,7 +499,7 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
                                 std::numeric_limits<double>::infinity());
   for (std::size_t item : candidates) {
     const auto& [peer, cidx] = index_items_[item];
-    if (!received_[requester][peer] || !models_[peer].valid) continue;
+    if (!eligible(peer)) continue;
     // A restored bundle is expected to carry the indexed centroids, but a
     // stale index entry must degrade to "skip", never to an OOB read.
     if (cidx >= models_[peer].centroids.size()) continue;
@@ -295,7 +516,7 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
   if (nearest.size() < options_.top_k) {
     nearest.clear();
     for (NodeId peer = 0; peer < models_.size(); ++peer) {
-      if (!received_[requester][peer] || !models_[peer].valid) continue;
+      if (!eligible(peer)) continue;
       double best = std::numeric_limits<double>::infinity();
       for (const auto& c : models_[peer].centroids) {
         best = std::min(best, x.SquaredDistance(c));
@@ -336,12 +557,28 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
     const PeerModel& pm = models_[s.peer];
     double dist_w =
         1.0 / std::pow(1.0 + std::sqrt(s.dist2), options_.distance_exponent);
+    // Suspect contributors (low but not quarantine-level trust) vote with
+    // min(self-reported, observed) accuracy, scaled by trust — the
+    // reputation-weighted replacement for PACE's self-reported weighting.
+    // Never triggers for honest contributors, whose trust stays high.
+    const bool suspect =
+        reputation_ != nullptr && reputation_->IsSuspect(requester, s.peer);
     for (TagId t = 0; t < num_tags_; ++t) {
       const BinaryClassifier* m = pm.model.model(t);
-      if (m == nullptr || !pm.tag_informed[t]) continue;
-      double w = std::pow(std::max(pm.tag_accuracy[t], 1e-6),
-                          options_.accuracy_exponent) *
-                 dist_w;
+      // Explicit bounds guards: a dimension-mismatch adversary ships per-tag
+      // vectors shorter than num_tags_, which must degrade to "no vote",
+      // never to an out-of-bounds read.
+      if (m == nullptr || t >= pm.tag_informed.size() ||
+          t >= pm.tag_accuracy.size() || !pm.tag_informed[t]) {
+        continue;
+      }
+      double acc = ClampAccuracy(pm.tag_accuracy[t]);
+      if (suspect) {
+        acc = std::min(acc, reputation_->ObservedAccuracy(requester, s.peer));
+      }
+      double w =
+          std::pow(std::max(acc, 1e-6), options_.accuracy_exponent) * dist_w;
+      if (suspect) w *= reputation_->Trust(requester, s.peer);
       out.scores[t] += w * m->Decision(x);
       weight_sum[t] += w;
     }
@@ -432,14 +669,24 @@ Status Pace::Restore(NodeId peer, const std::string& blob) {
     restored.centroids = std::move(centroids).value();
     Result<uint32_t> n_acc = wire::GetU32(blob, offset);
     if (!n_acc.ok()) return n_acc.status();
+    // Bound attacker-controlled counts by the bytes that could back them
+    // before reserving (8 bytes per accuracy, 1 per informed flag).
+    if (static_cast<std::size_t>(n_acc.value()) > (blob.size() - offset) / 8) {
+      return Status::DataLoss("pace snapshot accuracy count exceeds blob");
+    }
     restored.tag_accuracy.reserve(n_acc.value());
     for (uint32_t i = 0; i < n_acc.value(); ++i) {
       Result<double> a = wire::GetDouble(blob, offset);
       if (!a.ok()) return a.status();
-      restored.tag_accuracy.push_back(a.value());
+      // Checkpoints are an ingestion point too: the accuracy clamp applies
+      // on restore exactly as it does at bundle receipt.
+      restored.tag_accuracy.push_back(ClampAccuracy(a.value()));
     }
     Result<uint32_t> n_inf = wire::GetU32(blob, offset);
     if (!n_inf.ok()) return n_inf.status();
+    if (static_cast<std::size_t>(n_inf.value()) > blob.size() - offset) {
+      return Status::DataLoss("pace snapshot informed count exceeds blob");
+    }
     restored.tag_informed.reserve(n_inf.value());
     for (uint32_t i = 0; i < n_inf.value(); ++i) {
       Result<uint8_t> b = wire::GetU8(blob, offset);
@@ -468,9 +715,24 @@ Status Pace::Restore(NodeId peer, const std::string& blob) {
   if (offset != blob.size()) {
     return Status::InvalidArgument("trailing bytes after pace snapshot");
   }
+  // A parsed-but-hostile payload (NaN weights, out-of-lexicon dimensions)
+  // is rejected like any other ingested model; the caller degrades to a
+  // cold restart, the same path as a corrupt checkpoint.
+  if (options_.sanitize.enabled && restored.valid) {
+    ModelRejectReason reason =
+        SanitizeOneVsAll(restored.model, num_tags_, options_.sanitize);
+    if (reason == ModelRejectReason::kNone) {
+      reason = SanitizeCentroids(restored.centroids, options_.sanitize);
+    }
+    if (reason != ModelRejectReason::kNone) {
+      RecordRejected(reason);
+      return RejectedModelStatus(reason);
+    }
+  }
   // Commit only after the whole blob parsed: restore is all-or-nothing.
   models_[peer] = std::move(restored);
   received_[peer] = std::move(row);
+  bundle_verdict_[peer] = -1;
   return Status::OK();
 }
 
@@ -490,7 +752,7 @@ std::size_t Pace::ColdRestart(NodeId peer) {
   if (data.empty()) return 0;
   TrainLocal(peer);
   if (!models_[peer].valid) return 0;
-  received_[peer][peer] = true;
+  AcceptBundle(peer, peer);
   std::vector<std::size_t> counts = data.TagCounts();
   std::size_t informed_tags = 0;
   for (std::size_t c : counts) {
@@ -528,9 +790,7 @@ void Pace::ResyncPeer(NodeId peer, std::function<void()> done) {
     }
     if (sender == kInvalidNode) continue;  // no live copy anywhere
     ++*pending;
-    auto deliver = [this, p, peer] {
-      if (peer < received_.size()) received_[peer][p] = true;
-    };
+    auto deliver = [this, p, peer] { AcceptBundle(peer, p); };
     if (transport_ != nullptr) {
       transport_->SendReliable(
           sender, peer, models_[p].wire_size, MessageType::kModelBroadcast,

@@ -8,7 +8,9 @@
 #include "ml/linear_svm.h"
 #include "ml/lsh.h"
 #include "ml/multilabel.h"
+#include "ml/sanitize.h"
 #include "p2pml/p2p_classifier.h"
+#include "p2pml/reputation.h"
 #include "p2psim/overlay.h"
 #include "p2psim/simulator.h"
 #include "p2psim/transport.h"
@@ -45,6 +47,12 @@ struct PaceOptions {
   bool reliable_dissemination = false;
   ReliableTransportOptions transport;
   std::size_t max_repair_rounds = 3;
+  /// Model sanitation at every bundle-ingestion point (broadcast receipt,
+  /// repair, resync, self-ingest, checkpoint restore). On by default:
+  /// honest bundles always pass, so baseline runs are bit-identical.
+  SanitizeOptions sanitize;
+  /// Cross-validation reputation + quarantine (opt-in defense layer).
+  ReputationOptions reputation;
 };
 
 /// PACE (Ang et al., DASFAA 2010): adaptive ensemble classification in P2P
@@ -86,6 +94,12 @@ class Pace final : public P2PClassifier {
   /// Repair passes actually run during Train (diagnostics).
   std::size_t repair_rounds_run() const { return repair_rounds_run_; }
 
+  /// Byzantine-defense counters (sanitation rejections, quarantines, ...).
+  DefenseStats defense_stats() const override;
+
+  /// Non-null when options.reputation.enabled (test access).
+  ReputationManager* reputation() { return reputation_.get(); }
+
   // Durability: a PACE peer's crash-volatile state is its own trained
   // bundle (one-vs-all linear models, centroids, accuracy weights) plus
   // its view of which other contributors' bundles it holds. A cold rejoin
@@ -125,6 +139,21 @@ class Pace final : public P2PClassifier {
   /// budget is spent, then completes training.
   void RepairRound(std::size_t round, std::function<void(Status)> on_complete);
 
+  /// The single bundle-ingestion gate: every delivery (broadcast, repair,
+  /// resync, self-ingest) lands here. Clamps the contributor's self-reported
+  /// accuracies (unconditional bug fix), rejects bundles failing sanitation,
+  /// scores + trust-updates via reputation, and only then marks the bundle
+  /// received. Driver thread only.
+  void AcceptBundle(NodeId receiver, NodeId contributor);
+  /// Memoized sanitation verdict for a contributor's current bundle (the
+  /// verdict depends only on the bundle, so N receivers share one scan).
+  ModelRejectReason BundleVerdict(NodeId contributor);
+  void RecordRejected(ModelRejectReason reason);
+  /// Probation pass: re-scores the requester's *quarantined* contributors
+  /// (only — honest runs have none, keeping the fast path untouched) and
+  /// re-admits any whose trust recovered.
+  void ProbeQuarantined(NodeId requester);
+
   Simulator& sim_;
   PhysicalNetwork& net_;
   Overlay& overlay_;
@@ -144,6 +173,16 @@ class Pace final : public P2PClassifier {
   /// LSH item id -> (peer, centroid index).
   std::vector<std::pair<NodeId, std::size_t>> index_items_;
   bool trained_ = false;
+
+  /// Non-null when options_.reputation.enabled.
+  std::unique_ptr<ReputationManager> reputation_;
+  /// Cached sanitation verdict per contributor (-1 = not yet scanned;
+  /// invalidated by retraining/restore). Workers only touch their own slot.
+  std::vector<int8_t> bundle_verdict_;
+  /// Predictions served per requester, the probation clock.
+  std::vector<uint32_t> predict_count_;
+  uint64_t models_rejected_ = 0;
+  uint64_t votes_discarded_ = 0;
 };
 
 }  // namespace p2pdt

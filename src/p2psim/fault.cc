@@ -6,7 +6,7 @@ namespace p2pdt {
 
 FaultInjector::FaultInjector(Simulator& sim, PhysicalNetwork& net,
                              uint64_t seed)
-    : sim_(sim), net_(net), rng_(seed) {}
+    : sim_(sim), net_(net), rng_(seed), seed_(seed) {}
 
 void FaultInjector::AddBurstLoss(double start, double end, double drop_prob) {
   burst_loss_.push_back({start, end, drop_prob});
@@ -45,6 +45,11 @@ void FaultInjector::AddRecover(double time, NodeId node) {
   recoveries_.push_back({time, node});
 }
 
+void FaultInjector::AddAdversary(NodeId node, AdversaryBehavior behavior,
+                                 double start, double end) {
+  adversaries_.push_back({node, behavior, start, end});
+}
+
 void FaultInjector::AddPlan(const FaultPlanSpec& spec) {
   for (const auto& r : spec.burst_loss) {
     AddBurstLoss(r.start, r.end, r.drop_prob);
@@ -60,6 +65,9 @@ void FaultInjector::AddPlan(const FaultPlanSpec& spec) {
   }
   for (const auto& t : spec.crashes) AddCrash(t.time, t.node);
   for (const auto& t : spec.recoveries) AddRecover(t.time, t.node);
+  for (const auto& a : spec.adversaries) {
+    AddAdversary(a.node, a.behavior, a.start, a.end);
+  }
 }
 
 void FaultInjector::AddTransitionListener(
@@ -75,6 +83,10 @@ std::size_t FaultInjector::num_message_rules() const {
 void FaultInjector::Arm() {
   if (armed_) return;
   armed_ = true;
+  // Install the directory only when the plan scripts adversaries, so a
+  // message-fault-only plan leaves the classifiers' honest fast path (one
+  // null-pointer test) untouched.
+  if (!adversaries_.empty()) net_.SetAdversaries(this);
   if (num_message_rules() > 0) {
     net_.SetFaultHook([this](NodeId from, NodeId to, MessageType type,
                              SimTime now) {
@@ -117,6 +129,21 @@ FaultDecision FaultInjector::Evaluate(NodeId from, NodeId to,
   }
   if (out.drop) ++injected_drops_;
   return out;
+}
+
+AdversaryBehavior FaultInjector::BehaviorAt(NodeId node, SimTime now) const {
+  if (!armed_) return AdversaryBehavior::kHonest;
+  for (const auto& a : adversaries_) {
+    if (a.node == node && InWindow(a.start, a.end, now)) return a.behavior;
+  }
+  return AdversaryBehavior::kHonest;
+}
+
+uint64_t FaultInjector::CorruptionSeed(NodeId node) const {
+  // DeriveSeed over the plan seed, not rng_: corruption-byte generation
+  // must never advance the message-fault stream (armed-but-idle plans stay
+  // bit-identical to baseline).
+  return DeriveSeed(seed_, static_cast<uint64_t>(node), 0xADBADull);
 }
 
 }  // namespace p2pdt

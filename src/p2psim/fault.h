@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -45,6 +46,16 @@ struct FaultPlanSpec {
     double time = 0.0;
     NodeId node = kInvalidNode;
   };
+  /// Scripted adversarial peer: `node` exhibits `behavior` while the
+  /// simulated clock is in [start, end). A start in the future makes a
+  /// sleeper that turns malicious mid-run; overlapping windows resolve to
+  /// the first matching entry.
+  struct Adversary {
+    NodeId node = kInvalidNode;
+    AdversaryBehavior behavior = AdversaryBehavior::kHonest;
+    double start = 0.0;
+    double end = std::numeric_limits<double>::infinity();
+  };
 
   std::vector<BurstLoss> burst_loss;
   std::vector<TypeDrop> type_drops;
@@ -52,11 +63,13 @@ struct FaultPlanSpec {
   std::vector<LatencySpike> latency_spikes;
   std::vector<Transition> crashes;
   std::vector<Transition> recoveries;
+  std::vector<Adversary> adversaries;
   uint64_t seed = 0xFA017;
 
   bool empty() const {
     return burst_loss.empty() && type_drops.empty() && partitions.empty() &&
-           latency_spikes.empty() && crashes.empty() && recoveries.empty();
+           latency_spikes.empty() && crashes.empty() && recoveries.empty() &&
+           adversaries.empty();
   }
 };
 
@@ -69,7 +82,15 @@ struct FaultPlanSpec {
 /// Probabilistic rules draw from a dedicated deterministic Rng, so an armed
 /// plan perturbs neither the underlay's baseline loss stream nor any other
 /// component's randomness.
-class FaultInjector {
+///
+/// Adversarial peers: the injector doubles as the AdversaryDirectory that
+/// classifiers consult through PhysicalNetwork::adversaries(). Arm()
+/// installs the directory only when the plan scripts at least one
+/// adversary; directory queries are pure (per-node corruption seeds come
+/// from DeriveSeed over the plan seed, never from the live rng_), so an
+/// armed plan with no adversaries — or with sleeper windows that never
+/// open — leaves baseline runs bit-identical.
+class FaultInjector : public AdversaryDirectory {
  public:
   FaultInjector(Simulator& sim, PhysicalNetwork& net, uint64_t seed = 0xFA017);
 
@@ -82,6 +103,8 @@ class FaultInjector {
   void AddLatencySpike(double start, double end, double extra_latency_sec);
   void AddCrash(double time, NodeId node);
   void AddRecover(double time, NodeId node);
+  void AddAdversary(NodeId node, AdversaryBehavior behavior, double start = 0.0,
+                    double end = std::numeric_limits<double>::infinity());
 
   /// Appends every rule of `spec` (spec.seed is ignored; the injector keeps
   /// its own stream).
@@ -104,6 +127,13 @@ class FaultInjector {
   /// kInjectedFault, which additionally counts other installed hooks).
   uint64_t injected_drops() const { return injected_drops_; }
 
+  std::size_t num_adversaries() const { return adversaries_.size(); }
+
+  /// AdversaryDirectory. kHonest before Arm() and outside every scripted
+  /// window; both queries are pure and may run from worker threads.
+  AdversaryBehavior BehaviorAt(NodeId node, SimTime now) const override;
+  uint64_t CorruptionSeed(NodeId node) const override;
+
  private:
   FaultDecision Evaluate(NodeId from, NodeId to, MessageType type,
                          SimTime now);
@@ -114,6 +144,7 @@ class FaultInjector {
   Simulator& sim_;
   PhysicalNetwork& net_;
   Rng rng_;
+  uint64_t seed_;
   bool armed_ = false;
   uint64_t injected_drops_ = 0;
 
@@ -128,6 +159,7 @@ class FaultInjector {
   std::vector<PartitionRule> partitions_;
   std::vector<FaultPlanSpec::Transition> crashes_;
   std::vector<FaultPlanSpec::Transition> recoveries_;
+  std::vector<FaultPlanSpec::Adversary> adversaries_;
   std::vector<std::function<void(NodeId, bool)>> listeners_;
 };
 

@@ -7,6 +7,24 @@
 
 namespace p2pdt {
 
+const char* AdversaryBehaviorToString(AdversaryBehavior behavior) {
+  switch (behavior) {
+    case AdversaryBehavior::kHonest:
+      return "honest";
+    case AdversaryBehavior::kLabelFlip:
+      return "label_flip";
+    case AdversaryBehavior::kGarbageModel:
+      return "garbage_model";
+    case AdversaryBehavior::kDimensionMismatch:
+      return "dimension_mismatch";
+    case AdversaryBehavior::kAccuracyInflate:
+      return "accuracy_inflate";
+    case AdversaryBehavior::kVoteSpam:
+      return "vote_spam";
+  }
+  return "unknown";
+}
+
 PhysicalNetwork::PhysicalNetwork(Simulator& sim,
                                  PhysicalNetworkOptions options)
     : sim_(sim), options_(options), rng_(options.seed) {}

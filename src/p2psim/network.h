@@ -42,6 +42,50 @@ struct FaultDecision {
   double extra_latency = 0.0;
 };
 
+/// What a scripted adversarial peer does with its *content* (as opposed to
+/// message-level faults, which only drop or delay). Classifiers consult the
+/// installed AdversaryDirectory at model-production and vote-production
+/// sites; kHonest means behave normally.
+enum class AdversaryBehavior : uint8_t {
+  kHonest = 0,
+  /// Trains on negated labels and reports accuracy measured against the
+  /// flipped truth — a plausible-looking but anti-correlated model.
+  kLabelFlip,
+  /// Publishes NaN/inf/absurd-magnitude weight vectors instead of training.
+  kGarbageModel,
+  /// Publishes models/accuracy vectors truncated to fewer tags than the
+  /// corpus has, plus feature ids far outside the lexicon.
+  kDimensionMismatch,
+  /// Trains honestly but reports tag_accuracy = 1.0 and claims competence
+  /// on every tag.
+  kAccuracyInflate,
+  /// Floods aggregation with absurd-magnitude votes: PACE peers publish a
+  /// huge-bias always-positive model; CEMPaR super-peers answer queries
+  /// with huge score/weight partials.
+  kVoteSpam,
+};
+
+/// Stable lower_snake_case name (used as a CSV/metric label).
+const char* AdversaryBehaviorToString(AdversaryBehavior behavior);
+
+/// Read-only oracle for scripted adversarial peers. Implemented by
+/// FaultInjector; installed on the network with SetAdversaries so that
+/// classifiers (which already hold the network) can consult it without a
+/// dependency on the fault module. Queries must be pure — in particular
+/// they must not advance any shared RNG stream, so that armed-but-idle
+/// plans leave baseline runs bit-identical.
+class AdversaryDirectory {
+ public:
+  virtual ~AdversaryDirectory() = default;
+  /// Behavior of `node` at simulated time `now` (kHonest outside any
+  /// scripted window, and always before Arm()).
+  virtual AdversaryBehavior BehaviorAt(NodeId node, SimTime now) const = 0;
+  /// Deterministic per-node seed for generating corrupted payloads.
+  /// Derived from the plan seed, never from the injector's live RNG —
+  /// drawing corruption bytes must not perturb the message-fault stream.
+  virtual uint64_t CorruptionSeed(NodeId node) const = 0;
+};
+
 /// Simulated physical (underlay) network: latency from synthetic
 /// coordinates, per-message transmission delay, probabilistic loss, and
 /// full message/byte accounting.
@@ -108,6 +152,15 @@ class PhysicalNetwork {
   void SetMetrics(MetricsRegistry* metrics) { metrics_ = metrics; }
   MetricsRegistry* metrics() const { return metrics_; }
 
+  /// Adversary attachment, same null-means-disabled contract as the
+  /// observability pointers: classifiers do one pointer test and treat
+  /// every peer as honest when no directory is installed. Installed by
+  /// FaultInjector::Arm() when the plan scripts adversarial peers.
+  void SetAdversaries(const AdversaryDirectory* adversaries) {
+    adversaries_ = adversaries;
+  }
+  const AdversaryDirectory* adversaries() const { return adversaries_; }
+
  private:
   Simulator& sim_;
   PhysicalNetworkOptions options_;
@@ -115,6 +168,7 @@ class PhysicalNetwork {
   FaultHook fault_hook_;
   Tracer* tracer_ = nullptr;
   MetricsRegistry* metrics_ = nullptr;
+  const AdversaryDirectory* adversaries_ = nullptr;
   std::vector<std::pair<double, double>> coords_;
   std::vector<bool> online_;
   std::size_t num_online_ = 0;

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Validates the poisoning-sweep CSV emitted by bench_byzantine.
+
+Usage: check_byzantine_csv.py <byzantine.csv> [--strict]
+
+Pure stdlib. Checks the column schema exactly, value ranges, and the
+structural invariants every sweep must satisfy: a clean baseline row per
+(algorithm, arm), both defended and undefended arms present, and clean
+defended rows bit-identical to clean undefended rows (the defenses are
+gates that never fire for honest peers). With --strict it additionally
+enforces the 30 % label-flip acceptance bar: defended macro-F1 within 5
+points of clean while undefended degrades strictly more. Exits non-zero
+with one message per violation.
+"""
+
+import csv
+import sys
+
+EXPECTED_COLUMNS = [
+    "algorithm", "adversary", "malicious_fraction", "malicious_peers",
+    "defended", "micro_f1", "macro_f1", "prediction_success_rate",
+    "attempted", "models_rejected", "votes_discarded", "quarantined_pairs",
+    "trust_observations", "train_bytes", "train_sim_seconds",
+]
+
+KNOWN_ADVERSARIES = {
+    "none", "label_flip", "garbage_model", "dimension_mismatch",
+    "accuracy_inflate", "vote_spam",
+}
+
+errors = []
+
+
+def check(cond, msg):
+    if not cond:
+        errors.append(msg)
+
+
+def validate(path, strict):
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        check(reader.fieldnames == EXPECTED_COLUMNS,
+              f"header mismatch: got {reader.fieldnames}")
+        rows = list(reader)
+    check(rows, "no data rows")
+    if errors:
+        return
+
+    for i, row in enumerate(rows):
+        where = f"row {i + 2}"
+        check(row["algorithm"] in ("cempar", "pace"),
+              f"{where}: unknown algorithm {row['algorithm']!r}")
+        check(row["adversary"] in KNOWN_ADVERSARIES,
+              f"{where}: unknown adversary {row['adversary']!r}")
+        check(row["defended"] in ("0", "1"),
+              f"{where}: defended must be 0/1, got {row['defended']!r}")
+        frac = float(row["malicious_fraction"])
+        check(0.0 <= frac <= 1.0, f"{where}: malicious_fraction {frac}")
+        for col in ("micro_f1", "macro_f1", "prediction_success_rate"):
+            v = float(row[col])
+            check(0.0 <= v <= 1.0, f"{where}: {col}={v} outside [0, 1]")
+        for col in ("malicious_peers", "attempted", "models_rejected",
+                    "votes_discarded", "quarantined_pairs",
+                    "trust_observations", "train_bytes"):
+            check(int(row[col]) >= 0, f"{where}: negative {col}")
+        if row["adversary"] == "none":
+            check(frac == 0.0 and int(row["malicious_peers"]) == 0,
+                  f"{where}: clean row must have zero malicious peers")
+
+    def find(algorithm, adversary, defended, fraction=None):
+        for row in rows:
+            if (row["algorithm"] == algorithm
+                    and row["adversary"] == adversary
+                    and row["defended"] == defended
+                    and (fraction is None
+                         or float(row["malicious_fraction"]) == fraction)):
+                return row
+        return None
+
+    algorithms = sorted({row["algorithm"] for row in rows})
+    for algorithm in algorithms:
+        clean_def = find(algorithm, "none", "1")
+        clean_undef = find(algorithm, "none", "0")
+        check(clean_def is not None,
+              f"{algorithm}: missing clean defended baseline")
+        check(clean_undef is not None,
+              f"{algorithm}: missing clean undefended baseline")
+        check(any(row["algorithm"] == algorithm and row["adversary"] != "none"
+                  for row in rows),
+              f"{algorithm}: no adversarial rows")
+        if clean_def and clean_undef:
+            # The bit-identity contract: with zero adversaries the full
+            # defense stack must change nothing observable.
+            for col in ("micro_f1", "macro_f1", "train_bytes",
+                        "train_sim_seconds"):
+                check(clean_def[col] == clean_undef[col],
+                      f"{algorithm}: clean defended {col}={clean_def[col]} != "
+                      f"clean undefended {col}={clean_undef[col]} "
+                      "(bit-identity violated)")
+            check(int(clean_def["models_rejected"]) == 0,
+                  f"{algorithm}: clean defended run rejected models")
+            check(int(clean_def["quarantined_pairs"]) == 0,
+                  f"{algorithm}: clean defended run quarantined peers")
+
+        if not strict or clean_def is None:
+            continue
+        # Acceptance bar at 30 % label flip: defended within 5 points of
+        # clean macro-F1, undefended strictly worse than defended.
+        flip_def = find(algorithm, "label_flip", "1", 0.3)
+        flip_undef = find(algorithm, "label_flip", "0", 0.3)
+        check(flip_def is not None,
+              f"{algorithm}: missing defended 30% label-flip row")
+        check(flip_undef is not None,
+              f"{algorithm}: missing undefended 30% label-flip row")
+        if flip_def and flip_undef:
+            clean_f1 = float(clean_def["macro_f1"])
+            def_f1 = float(flip_def["macro_f1"])
+            undef_f1 = float(flip_undef["macro_f1"])
+            check(def_f1 >= clean_f1 - 0.05,
+                  f"{algorithm}: defended 30% flip macro-F1 {def_f1:.4f} "
+                  f"drops more than 5 points from clean {clean_f1:.4f}")
+            check(clean_f1 - undef_f1 > clean_f1 - def_f1,
+                  f"{algorithm}: undefended 30% flip macro-F1 {undef_f1:.4f} "
+                  f"does not degrade strictly more than defended "
+                  f"{def_f1:.4f}")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--strict"]
+    strict = "--strict" in sys.argv[1:]
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+    validate(args[0], strict)
+    if errors:
+        for msg in errors:
+            print(f"FAIL: {msg}")
+        return 1
+    print(f"OK: {args[0]} passes schema and defense invariants"
+          + (" (strict)" if strict else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
