@@ -74,6 +74,67 @@ std::size_t MultiLabelDataset::WireSize() const {
   return bytes;
 }
 
+DatasetShard::DatasetShard(std::shared_ptr<const MultiLabelDataset> corpus,
+                           std::vector<uint32_t> indices)
+    : corpus_(std::move(corpus)), indices_(std::move(indices)) {
+  assert(corpus_ != nullptr);
+#ifndef NDEBUG
+  for (uint32_t i : indices_) assert(i < corpus_->size());
+#endif
+}
+
+DatasetShard DatasetShard::Own(MultiLabelDataset data) {
+  std::vector<uint32_t> all(data.size());
+  for (uint32_t i = 0; i < all.size(); ++i) all[i] = i;
+  return DatasetShard(
+      std::make_shared<const MultiLabelDataset>(std::move(data)),
+      std::move(all));
+}
+
+TagId DatasetShard::num_tags() const {
+  TagId base = corpus_ == nullptr ? 0 : corpus_->num_tags();
+  return std::max(base, num_tags_override_);
+}
+
+void DatasetShard::set_num_tags(TagId n) {
+  num_tags_override_ = std::max(num_tags_override_, n);
+}
+
+std::vector<Example> DatasetShard::OneAgainstAll(TagId tag) const {
+  std::vector<Example> out;
+  out.reserve(indices_.size());
+  for (uint32_t i : indices_) {
+    const MultiLabelExample& ex = (*corpus_)[i];
+    out.push_back({ex.x, ex.HasTag(tag) ? 1.0 : -1.0});
+  }
+  return out;
+}
+
+std::vector<std::size_t> DatasetShard::TagCounts() const {
+  std::vector<std::size_t> counts(num_tags(), 0);
+  for (uint32_t i : indices_) {
+    for (TagId t : (*corpus_)[i].tags) {
+      if (t < counts.size()) ++counts[t];
+    }
+  }
+  return counts;
+}
+
+MultiLabelDataset DatasetShard::Materialize() const {
+  MultiLabelDataset out(num_tags());
+  for (uint32_t i : indices_) out.Add((*corpus_)[i]);
+  return out;
+}
+
+std::size_t DatasetShard::WireSize() const {
+  std::size_t bytes = 0;
+  for (uint32_t i : indices_) {
+    const MultiLabelExample& ex = (*corpus_)[i];
+    bytes += ex.x.WireSize() + 4 + 4 * ex.tags.size();
+  }
+  return bytes;
+}
+
 void FeatureRemapper::Observe(const SparseVector& v) {
   for (const auto& [id, _] : v.entries()) {
     auto [it, inserted] = global_to_compact_.try_emplace(

@@ -2,6 +2,7 @@
 #define P2PDT_ML_DATASET_H_
 
 #include <cstdint>
+#include <memory>
 #include <unordered_map>
 #include <vector>
 
@@ -76,6 +77,75 @@ class MultiLabelDataset {
  private:
   std::vector<MultiLabelExample> examples_;
   TagId num_tags_ = 0;
+};
+
+/// Flyweight view of a peer's local data: a shared immutable corpus plus
+/// the indices of the examples this peer holds.
+///
+/// At 100k+ peers, giving every peer a materialized `MultiLabelDataset`
+/// copy multiplies the corpus by the replication factor of the data
+/// distribution; the shard keeps exactly one copy of every document (the
+/// shared corpus, `shared_ptr<const>` so it is immutable and thread-safe to
+/// read) and charges each peer only a `uint32_t` per held document.
+///
+/// The accessor surface mirrors the subset of MultiLabelDataset the
+/// classifiers use — size/empty/operator[]/OneAgainstAll/TagCounts — and
+/// every accessor returns bit-identical results to the materialized
+/// equivalent (`Materialize()`), which is what keeps the flyweight engine's
+/// trained models byte-for-byte equal to the legacy copy-out engine's.
+class DatasetShard {
+ public:
+  DatasetShard() = default;
+  /// View of `indices` (in order) into `corpus`. The corpus must outlive
+  /// nothing — the shard shares ownership.
+  DatasetShard(std::shared_ptr<const MultiLabelDataset> corpus,
+               std::vector<uint32_t> indices);
+
+  /// Wraps an already-materialized per-peer dataset (the legacy Setup path):
+  /// the shard owns the data as its own single-peer corpus.
+  static DatasetShard Own(MultiLabelDataset data);
+
+  std::size_t size() const { return indices_.size(); }
+  bool empty() const { return indices_.empty(); }
+  TagId num_tags() const;
+  /// Grows the visible tag universe (mirrors
+  /// MultiLabelDataset::set_num_tags; never shrinks below the corpus').
+  void set_num_tags(TagId n);
+
+  const MultiLabelExample& operator[](std::size_t i) const {
+    return (*corpus_)[indices_[i]];
+  }
+
+  /// Same reduction as MultiLabelDataset::OneAgainstAll, over the shard.
+  std::vector<Example> OneAgainstAll(TagId tag) const;
+
+  /// Same per-tag counts as MultiLabelDataset::TagCounts, over the shard.
+  std::vector<std::size_t> TagCounts() const;
+
+  /// Copies the shard out into a standalone dataset — exact same examples
+  /// in the exact same order.
+  MultiLabelDataset Materialize() const;
+
+  /// Wire size of the held documents (what shipping them would cost).
+  std::size_t WireSize() const;
+
+  /// Bytes this peer's flyweight state costs *beyond* the shared corpus:
+  /// the index list. This is the per-peer footprint the 100k-peer memory
+  /// budget is about.
+  std::size_t FootprintBytes() const {
+    return sizeof(DatasetShard) + indices_.capacity() * sizeof(uint32_t);
+  }
+
+  const std::shared_ptr<const MultiLabelDataset>& corpus() const {
+    return corpus_;
+  }
+  const std::vector<uint32_t>& indices() const { return indices_; }
+
+ private:
+  std::shared_ptr<const MultiLabelDataset> corpus_;
+  std::vector<uint32_t> indices_;
+  /// Visible tag universe; >= corpus num_tags (0 = follow the corpus).
+  TagId num_tags_override_ = 0;
 };
 
 /// Builds a compact feature space over a set of sparse vectors so trainers

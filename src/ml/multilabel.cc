@@ -68,21 +68,15 @@ std::vector<TagId> DecideTags(const std::vector<double>& scores,
   return tags;
 }
 
-Result<OneVsAllModel> TrainOneVsAll(const MultiLabelDataset& data,
-                                    const BinaryTrainer& trainer,
-                                    const OneVsAllTrainOptions& options) {
-  return TrainOneVsAll(
-      data,
-      [&trainer](const std::vector<Example>& examples, TagId)
-          -> Result<std::unique_ptr<BinaryClassifier>> {
-        return trainer(examples);
-      },
-      options);
-}
+namespace {
 
-Result<OneVsAllModel> TrainOneVsAll(const MultiLabelDataset& data,
-                                    const IndexedBinaryTrainer& trainer,
-                                    const OneVsAllTrainOptions& options) {
+/// Shared body over any dataset-like view (materialized or flyweight):
+/// only size/num_tags/TagCounts/OneAgainstAll are touched, and both views
+/// return bit-identical results for those.
+template <typename Data>
+Result<OneVsAllModel> TrainOneVsAllImpl(const Data& data,
+                                        const IndexedBinaryTrainer& trainer,
+                                        const OneVsAllTrainOptions& options) {
   if (data.empty()) {
     return Status::InvalidArgument("cannot train one-vs-all on empty data");
   }
@@ -123,6 +117,40 @@ Result<OneVsAllModel> TrainOneVsAll(const MultiLabelDataset& data,
     if (!s.ok()) return s;
   }
   return OneVsAllModel(std::move(models));
+}
+
+/// Adapts a tag-oblivious trainer to the indexed interface.
+IndexedBinaryTrainer IgnoreTag(const BinaryTrainer& trainer) {
+  return [&trainer](const std::vector<Example>& examples, TagId)
+             -> Result<std::unique_ptr<BinaryClassifier>> {
+    return trainer(examples);
+  };
+}
+
+}  // namespace
+
+Result<OneVsAllModel> TrainOneVsAll(const MultiLabelDataset& data,
+                                    const BinaryTrainer& trainer,
+                                    const OneVsAllTrainOptions& options) {
+  return TrainOneVsAllImpl(data, IgnoreTag(trainer), options);
+}
+
+Result<OneVsAllModel> TrainOneVsAll(const MultiLabelDataset& data,
+                                    const IndexedBinaryTrainer& trainer,
+                                    const OneVsAllTrainOptions& options) {
+  return TrainOneVsAllImpl(data, trainer, options);
+}
+
+Result<OneVsAllModel> TrainOneVsAll(const DatasetShard& data,
+                                    const BinaryTrainer& trainer,
+                                    const OneVsAllTrainOptions& options) {
+  return TrainOneVsAllImpl(data, IgnoreTag(trainer), options);
+}
+
+Result<OneVsAllModel> TrainOneVsAll(const DatasetShard& data,
+                                    const IndexedBinaryTrainer& trainer,
+                                    const OneVsAllTrainOptions& options) {
+  return TrainOneVsAllImpl(data, trainer, options);
 }
 
 }  // namespace p2pdt

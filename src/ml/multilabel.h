@@ -129,6 +129,17 @@ Result<OneVsAllModel> TrainOneVsAll(const MultiLabelDataset& data,
                                     const IndexedBinaryTrainer& trainer,
                                     const OneVsAllTrainOptions& options = {});
 
+/// Flyweight overloads: train directly from a DatasetShard view without
+/// materializing the peer's data. Bit-identical to training on
+/// `data.Materialize()`.
+Result<OneVsAllModel> TrainOneVsAll(const DatasetShard& data,
+                                    const BinaryTrainer& trainer,
+                                    const OneVsAllTrainOptions& options = {});
+
+Result<OneVsAllModel> TrainOneVsAll(const DatasetShard& data,
+                                    const IndexedBinaryTrainer& trainer,
+                                    const OneVsAllTrainOptions& options = {});
+
 }  // namespace p2pdt
 
 #endif  // P2PDT_ML_MULTILABEL_H_

@@ -28,15 +28,14 @@ const char* ClassDistributionToString(ClassDistribution d) {
   return "unknown";
 }
 
-Result<std::vector<MultiLabelDataset>> DistributeData(
+Result<std::vector<std::vector<uint32_t>>> DistributeIndices(
     const MultiLabelDataset& data, std::size_t num_peers,
     const DataDistributionOptions& options,
     const std::vector<std::size_t>* doc_user) {
   if (num_peers == 0) {
     return Status::InvalidArgument("need at least one peer");
   }
-  std::vector<MultiLabelDataset> peers(num_peers,
-                                       MultiLabelDataset(data.num_tags()));
+  std::vector<std::vector<uint32_t>> peers(num_peers);
   const std::size_t n = data.size();
   if (n == 0) return peers;
 
@@ -48,7 +47,7 @@ Result<std::vector<MultiLabelDataset>> DistributeData(
           "by-user distribution requires doc_user parallel to the dataset");
     }
     for (std::size_t i = 0; i < n; ++i) {
-      peers[(*doc_user)[i] % num_peers].Add(data[i]);
+      peers[(*doc_user)[i] % num_peers].push_back(static_cast<uint32_t>(i));
     }
     return peers;
   }
@@ -87,7 +86,7 @@ Result<std::vector<MultiLabelDataset>> DistributeData(
     std::size_t cursor = 0;
     for (std::size_t p = 0; p < num_peers; ++p) {
       for (std::size_t j = 0; j < quota[p] && cursor < n; ++j) {
-        peers[p].Add(data[order[cursor++]]);
+        peers[p].push_back(static_cast<uint32_t>(order[cursor++]));
       }
     }
     return peers;
@@ -116,7 +115,7 @@ Result<std::vector<MultiLabelDataset>> DistributeData(
       for (TagId probe = 0; probe < num_tags; ++probe) {
         TagId tag = static_cast<TagId>((t + probe) % num_tags);
         if (!tag_pool[tag].empty()) {
-          peers[p].Add(data[tag_pool[tag].back()]);
+          peers[p].push_back(static_cast<uint32_t>(tag_pool[tag].back()));
           tag_pool[tag].pop_back();
           placed = true;
           break;
@@ -131,13 +130,52 @@ Result<std::vector<MultiLabelDataset>> DistributeData(
     for (std::size_t idx : pool) leftovers.push_back(idx);
   }
   for (std::size_t idx : leftovers) {
-    peers[rng.NextU64(num_peers)].Add(data[idx]);
+    peers[rng.NextU64(num_peers)].push_back(static_cast<uint32_t>(idx));
   }
   return peers;
 }
 
-DistributionSummary SummarizeDistribution(
-    const std::vector<MultiLabelDataset>& peers, TagId num_tags) {
+Result<std::vector<MultiLabelDataset>> DistributeData(
+    const MultiLabelDataset& data, std::size_t num_peers,
+    const DataDistributionOptions& options,
+    const std::vector<std::size_t>* doc_user) {
+  Result<std::vector<std::vector<uint32_t>>> indices =
+      DistributeIndices(data, num_peers, options, doc_user);
+  if (!indices.ok()) return indices.status();
+  std::vector<MultiLabelDataset> peers(num_peers,
+                                       MultiLabelDataset(data.num_tags()));
+  for (std::size_t p = 0; p < num_peers; ++p) {
+    for (uint32_t idx : indices.value()[p]) peers[p].Add(data[idx]);
+  }
+  return peers;
+}
+
+Result<std::vector<DatasetShard>> DistributeDataShared(
+    std::shared_ptr<const MultiLabelDataset> data, std::size_t num_peers,
+    const DataDistributionOptions& options,
+    const std::vector<std::size_t>* doc_user) {
+  if (data == nullptr) {
+    return Status::InvalidArgument("DistributeDataShared needs a corpus");
+  }
+  Result<std::vector<std::vector<uint32_t>>> indices =
+      DistributeIndices(*data, num_peers, options, doc_user);
+  if (!indices.ok()) return indices.status();
+  std::vector<DatasetShard> shards;
+  shards.reserve(num_peers);
+  for (std::vector<uint32_t>& idx : indices.value()) {
+    idx.shrink_to_fit();  // the footprint bound counts capacity
+    shards.emplace_back(data, std::move(idx));
+  }
+  return shards;
+}
+
+namespace {
+
+/// Shared implementation over anything with size()/TagCounts() — the
+/// materialized and flyweight views summarize identically.
+template <typename PeerData>
+DistributionSummary SummarizeImpl(const std::vector<PeerData>& peers,
+                                  TagId num_tags) {
   DistributionSummary s;
   s.num_peers = peers.size();
   if (peers.empty()) return s;
@@ -177,6 +215,18 @@ DistributionSummary SummarizeDistribution(
     s.size_gini = weighted / (nn * total) - (nn + 1.0) / nn;
   }
   return s;
+}
+
+}  // namespace
+
+DistributionSummary SummarizeDistribution(
+    const std::vector<MultiLabelDataset>& peers, TagId num_tags) {
+  return SummarizeImpl(peers, num_tags);
+}
+
+DistributionSummary SummarizeDistribution(
+    const std::vector<DatasetShard>& peers, TagId num_tags) {
+  return SummarizeImpl(peers, num_tags);
 }
 
 std::string DistributionSummary::ToString() const {

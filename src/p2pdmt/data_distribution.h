@@ -54,6 +54,23 @@ Result<std::vector<MultiLabelDataset>> DistributeData(
     const DataDistributionOptions& options,
     const std::vector<std::size_t>* doc_user = nullptr);
 
+/// Index-based core of DistributeData: assigns every example index to
+/// exactly one peer, in the same order DistributeData adds the examples —
+/// materializing `out[p]` reproduces DistributeData's result bit-for-bit.
+/// This is what the flyweight (100k-peer) path uses: no document is copied.
+Result<std::vector<std::vector<uint32_t>>> DistributeIndices(
+    const MultiLabelDataset& data, std::size_t num_peers,
+    const DataDistributionOptions& options,
+    const std::vector<std::size_t>* doc_user = nullptr);
+
+/// Flyweight distribution: every peer gets a DatasetShard view into the
+/// shared corpus instead of a materialized copy. Per-peer cost is one
+/// uint32_t per held document; the corpus is stored once, total.
+Result<std::vector<DatasetShard>> DistributeDataShared(
+    std::shared_ptr<const MultiLabelDataset> data, std::size_t num_peers,
+    const DataDistributionOptions& options,
+    const std::vector<std::size_t>* doc_user = nullptr);
+
 /// Diagnostics for a distribution: per-peer sizes and tag-skew summary.
 struct DistributionSummary {
   std::size_t num_peers = 0;
@@ -70,6 +87,10 @@ struct DistributionSummary {
 
 DistributionSummary SummarizeDistribution(
     const std::vector<MultiLabelDataset>& peers, TagId num_tags);
+
+/// Shard overload: same summary (identical numbers) without materializing.
+DistributionSummary SummarizeDistribution(
+    const std::vector<DatasetShard>& peers, TagId num_tags);
 
 }  // namespace p2pdt
 

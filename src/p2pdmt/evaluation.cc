@@ -1,10 +1,27 @@
 #include "p2pdmt/evaluation.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <memory>
+#include <numeric>
+
+#include "common/rng.h"
 
 namespace p2pdt {
+
+std::vector<std::size_t> DeterministicSample(std::size_t n, std::size_t k,
+                                             uint64_t seed) {
+  if (k >= n) {
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), 0);
+    return all;
+  }
+  Rng rng(seed);
+  std::vector<std::size_t> picks = rng.SampleWithoutReplacement(n, k);
+  std::sort(picks.begin(), picks.end());
+  return picks;
+}
 
 EvaluationSchedule::EvaluationSchedule(Simulator& sim,
                                        std::vector<std::string> metric_names)

@@ -1,6 +1,8 @@
 #ifndef P2PDT_P2PDMT_EVALUATION_H_
 #define P2PDT_P2PDMT_EVALUATION_H_
 
+#include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <vector>
@@ -10,6 +12,17 @@
 #include "p2psim/simulator.h"
 
 namespace p2pdt {
+
+/// Deterministic k-of-n sample without replacement, sorted ascending.
+///
+/// The draw uses a local Rng seeded from `seed` alone, so the same
+/// (n, k, seed) triple yields the same sample on every run, at every thread
+/// and shard count, regardless of what any other RNG in the process has
+/// consumed. This is what lets sampled evaluation at 100k peers (a
+/// requester pool instead of the full network) stay a pure function of the
+/// experiment seed. k >= n returns the full range [0, n).
+std::vector<std::size_t> DeterministicSample(std::size_t n, std::size_t k,
+                                             uint64_t seed);
 
 /// Periodic evaluation scheduling — P2PDMT's "frequency and timings of
 /// evaluations" knob (paper Sec. 2). Registers measurement callbacks that

@@ -6,8 +6,11 @@
 #include <filesystem>
 #include <numeric>
 
+#include <memory>
+
 #include "common/logging.h"
 #include "common/stopwatch.h"
+#include "p2pdmt/evaluation.h"
 #include "p2pdmt/run_report.h"
 
 #ifdef _WIN32
@@ -66,12 +69,17 @@ Result<std::unique_ptr<P2PClassifier>> MakeClassifier(
         return Status::FailedPrecondition(
             "CEMPaR requires a DHT (Chord) overlay");
       }
+      CemparOptions cempar = options.cempar;
+      if (options.sim_shards != 0) cempar.sim_shards = options.sim_shards;
       return std::unique_ptr<P2PClassifier>(std::make_unique<Cempar>(
-          env.sim(), env.net(), *env.chord(), options.cempar));
+          env.sim(), env.net(), *env.chord(), cempar));
     }
-    case AlgorithmType::kPace:
+    case AlgorithmType::kPace: {
+      PaceOptions pace = options.pace;
+      if (options.sim_shards != 0) pace.sim_shards = options.sim_shards;
       return std::unique_ptr<P2PClassifier>(std::make_unique<Pace>(
-          env.sim(), env.net(), env.overlay(), options.pace));
+          env.sim(), env.net(), env.overlay(), pace));
+    }
     case AlgorithmType::kCentralized:
       return std::unique_ptr<P2PClassifier>(
           std::make_unique<CentralizedClassifier>(env.sim(), env.net(),
@@ -149,8 +157,13 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
   CorpusSplit split =
       SplitCorpus(corpus, options.train_fraction, options.seed);
   result.train_documents = split.train.size();
-  Result<std::vector<MultiLabelDataset>> peers = DistributeData(
-      split.train, options.env.num_peers, options.distribution,
+  // The training corpus becomes one shared immutable block; every peer gets
+  // a flyweight index view into it (same RNG draws, hence the same
+  // assignment, as the old copy-out DistributeData).
+  auto train_corpus =
+      std::make_shared<const MultiLabelDataset>(std::move(split.train));
+  Result<std::vector<DatasetShard>> peers = DistributeDataShared(
+      train_corpus, options.env.num_peers, options.distribution,
       &split.train_user);
   if (!peers.ok()) return peers.status();
   result.distribution =
@@ -166,7 +179,7 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
   if (!algo_result.ok()) return algo_result.status();
   P2PClassifier& algo = *algo_result.value();
   P2PDT_RETURN_IF_ERROR(
-      algo.Setup(std::move(peers).value(), corpus.dataset.num_tags()));
+      algo.SetupShards(std::move(peers).value(), corpus.dataset.num_tags()));
 
   env.StartDynamics();
   if (options.warmup_sim_seconds > 0.0) {
@@ -246,8 +259,28 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
   std::size_t failed = 0;
   std::size_t degraded = 0;
 
+  // Sampled evaluation: with max_eval_peers set, requesters are drawn from
+  // a deterministic subsample of the network instead of all of it (same
+  // pool for every run/thread/shard count). Empty = legacy full-network
+  // draw, with the RNG call sequence untouched.
+  std::vector<std::size_t> eval_peers;
+  if (options.max_eval_peers > 0 &&
+      options.max_eval_peers < env.net().num_nodes()) {
+    eval_peers = DeterministicSample(env.net().num_nodes(),
+                                     options.max_eval_peers,
+                                     options.seed ^ 0x5A3F);
+  }
   auto pick_requester = [&]() -> NodeId {
     // Prefer an online peer; bounded retries keep this deterministic.
+    if (!eval_peers.empty()) {
+      for (int attempt = 0; attempt < 64; ++attempt) {
+        NodeId n = static_cast<NodeId>(
+            eval_peers[eval_rng.NextU64(eval_peers.size())]);
+        if (env.net().IsOnline(n)) return n;
+      }
+      return static_cast<NodeId>(
+          eval_peers[eval_rng.NextU64(eval_peers.size())]);
+    }
     for (int attempt = 0; attempt < 64; ++attempt) {
       NodeId n = eval_rng.NextU64(env.net().num_nodes());
       if (env.net().IsOnline(n)) return n;

@@ -47,6 +47,16 @@ struct ExperimentOptions {
   double train_fraction = 0.2;
   /// Cap on evaluated test documents (sampled) to bound run time; 0 = all.
   std::size_t max_test_documents = 400;
+  /// Cap on distinct requester peers used during evaluation; 0 = the legacy
+  /// behavior (any online peer may be drawn per document). At 100k peers
+  /// restricting requesters to a deterministic sample bounds per-requester
+  /// state (caches, probation clocks) without changing what is measured —
+  /// see DeterministicSample in p2pdmt/evaluation.h.
+  std::size_t max_eval_peers = 0;
+  /// Forwarded into the chosen classifier's sim_shards knob when non-zero
+  /// (0 leaves each protocol's own default). Bit-identical results for
+  /// every value; see CemparOptions::sim_shards.
+  std::size_t sim_shards = 0;
   /// Simulated-time budgets for protocol quiescence.
   double max_train_sim_seconds = 3600.0;
   double max_predict_sim_seconds = 3600.0;

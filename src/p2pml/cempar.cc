@@ -11,6 +11,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "ml/serialization.h"
+#include "p2psim/sharding.h"
 
 namespace p2pdt {
 
@@ -76,6 +77,16 @@ uint64_t Cempar::HomeKey(TagId tag, std::size_t region) const {
 
 Status Cempar::Setup(std::vector<MultiLabelDataset> peer_data,
                      TagId num_tags) {
+  std::vector<DatasetShard> shards;
+  shards.reserve(peer_data.size());
+  for (MultiLabelDataset& data : peer_data) {
+    shards.push_back(DatasetShard::Own(std::move(data)));
+  }
+  return SetupShards(std::move(shards), num_tags);
+}
+
+Status Cempar::SetupShards(std::vector<DatasetShard> peer_data,
+                           TagId num_tags) {
   if (peer_data.size() != net_.num_nodes()) {
     return Status::InvalidArgument(
         "peer_data size must equal the number of underlay nodes");
@@ -239,7 +250,6 @@ void Cempar::Train(std::function<void(Status)> on_complete) {
       grid.push_back({peer, tag, region});
     }
   }
-  std::vector<std::optional<Result<KernelSvmModel>>> fitted(grid.size());
   // Adversary behaviors resolved on the driver thread before the fan-out so
   // workers never consult simulator state.
   const AdversaryDirectory* adversaries = net_.adversaries();
@@ -253,75 +263,79 @@ void Cempar::Train(std::function<void(Status)> on_complete) {
   // Resolved on the driver thread; workers record wall time per cell
   // lock-free (null when metrics are disabled).
   Histogram* train_hist = PhaseHistogram(net_.metrics(), "local_train");
-  ParallelFor(0, grid.size(), 1, options_.num_threads,
-              [&](std::size_t lo, std::size_t hi) {
-                for (std::size_t i = lo; i < hi; ++i) {
-                  const GridCell& cell = grid[i];
-                  Stopwatch cell_wall;
-                  std::vector<Example> train =
-                      peer_data_[cell.peer].OneAgainstAll(cell.tag);
-                  if (flip[i] != 0) {
-                    // Label-flip poisoning: the model is perfectly
-                    // anti-correlated with the truth, which is exactly what
-                    // cross-validation scores near zero.
-                    for (Example& ex : train) ex.y = -ex.y;
-                  }
-                  fitted[i] = TrainKernelSvm(train, options_.svm);
-                  if (train_hist != nullptr) {
-                    train_hist->Observe(cell_wall.ElapsedSeconds());
-                  }
-                }
-              });
 
-  // Phase 2 — protocol: uploads are issued on the driver thread in grid
-  // order, which is exactly the order the old serial loop used, so the
-  // simulated message schedule is unchanged.
-  for (std::size_t i = 0; i < grid.size(); ++i) {
-    const GridCell& cell = grid[i];
-    Result<KernelSvmModel>& model = *fitted[i];
-    if (!model.ok()) {
-      P2PDT_LOG(Warning) << "peer " << cell.peer << " tag " << cell.tag
-                         << " local SVM failed: "
-                         << model.status().ToString();
-      continue;
+  // Sharded compute/commit phase. Each grid cell fits its SVM on a pool
+  // worker and stages the protocol side as a commit; ShardedPhase then runs
+  // the commits on the driver thread in grid order — exactly the order the
+  // old serial loop used — so the simulated message schedule is unchanged
+  // for every shard and thread count. The fitted model is *moved* through
+  // the commit closure, never copied.
+  ShardPlanOptions plan;
+  plan.shards = options_.sim_shards;
+  plan.num_threads = options_.num_threads;
+  // SMO draws no randomness, so the per-shard streams are unused by the
+  // work itself; any fixed seed keeps the plan deterministic.
+  plan.seed = 0;
+  ShardedPhase(grid.size(), plan, [&](std::size_t i, Rng&) -> UniqueFunction {
+    const GridCell cell = grid[i];
+    Stopwatch cell_wall;
+    std::vector<Example> train =
+        peer_data_[cell.peer].OneAgainstAll(cell.tag);
+    if (flip[i] != 0) {
+      // Label-flip poisoning: the model is perfectly anti-correlated with
+      // the truth, which is exactly what cross-validation scores near zero.
+      for (Example& ex : train) ex.y = -ex.y;
     }
-    KernelSvmModel upload = std::move(model).value();
-    if (adversaries != nullptr) {
-      switch (adversaries->BehaviorAt(cell.peer, sim_.Now())) {
-        case AdversaryBehavior::kGarbageModel: {
-          // Seeded per (peer, tag, region) from the injector's dedicated
-          // corruption stream — serial and parallel runs corrupt
-          // identically, and armed-but-idle plans never draw from it.
-          Rng crng(DeriveSeed(adversaries->CorruptionSeed(cell.peer),
-                              cell.tag, cell.region));
-          upload = GarbageKernelModel(options_.svm.kernel, crng);
-          break;
-        }
-        case AdversaryBehavior::kDimensionMismatch: {
-          // Append a support vector at a feature id far beyond any
-          // plausible lexicon.
-          std::vector<SupportVector> svs = upload.support_vectors();
-          SupportVector sv;
-          sv.x = SparseVector::FromPairs({{1u << 30, 1.0}});
-          sv.y = 1.0;
-          sv.alpha = 1.0;
-          svs.push_back(std::move(sv));
-          upload = KernelSvmModel(upload.kernel(), std::move(svs),
-                                  upload.bias());
-          break;
-        }
-        default:
-          break;
+    Result<KernelSvmModel> model = TrainKernelSvm(train, options_.svm);
+    if (train_hist != nullptr) {
+      train_hist->Observe(cell_wall.ElapsedSeconds());
+    }
+    return [this, cell, adversaries, pending, barrier,
+            model = std::move(model)]() mutable {
+      if (!model.ok()) {
+        P2PDT_LOG(Warning) << "peer " << cell.peer << " tag " << cell.tag
+                           << " local SVM failed: "
+                           << model.status().ToString();
+        return;
       }
-    }
-    // Adversaries keep their corrupted model locally too: repair rounds
-    // re-upload the same poison (and get re-rejected at the gate).
-    local_models_[cell.peer].emplace(HomeIndex(cell.tag, cell.region),
-                                     upload);
-    ++*pending;
-    UploadModel(cell.peer, cell.tag, cell.region, std::move(upload),
-                barrier);
-  }
+      KernelSvmModel upload = std::move(model).value();
+      if (adversaries != nullptr) {
+        switch (adversaries->BehaviorAt(cell.peer, sim_.Now())) {
+          case AdversaryBehavior::kGarbageModel: {
+            // Seeded per (peer, tag, region) from the injector's dedicated
+            // corruption stream — serial and parallel runs corrupt
+            // identically, and armed-but-idle plans never draw from it.
+            Rng crng(DeriveSeed(adversaries->CorruptionSeed(cell.peer),
+                                cell.tag, cell.region));
+            upload = GarbageKernelModel(options_.svm.kernel, crng);
+            break;
+          }
+          case AdversaryBehavior::kDimensionMismatch: {
+            // Append a support vector at a feature id far beyond any
+            // plausible lexicon.
+            std::vector<SupportVector> svs = upload.support_vectors();
+            SupportVector sv;
+            sv.x = SparseVector::FromPairs({{1u << 30, 1.0}});
+            sv.y = 1.0;
+            sv.alpha = 1.0;
+            svs.push_back(std::move(sv));
+            upload = KernelSvmModel(upload.kernel(), std::move(svs),
+                                    upload.bias());
+            break;
+          }
+          default:
+            break;
+        }
+      }
+      // Adversaries keep their corrupted model locally too: repair rounds
+      // re-upload the same poison (and get re-rejected at the gate).
+      local_models_[cell.peer].emplace(HomeIndex(cell.tag, cell.region),
+                                       upload);
+      ++*pending;
+      UploadModel(cell.peer, cell.tag, cell.region, std::move(upload),
+                  barrier);
+    };
+  });
   (*barrier)();  // consume the root token
 }
 
@@ -928,7 +942,7 @@ std::size_t Cempar::ColdRestart(NodeId peer) {
   if (peer >= peer_data_.size()) return 0;
   local_models_[peer].clear();
   owner_cache_[peer].clear();
-  const MultiLabelDataset& data = peer_data_[peer];
+  const DatasetShard& data = peer_data_[peer];
   if (data.empty()) return 0;
   std::vector<std::size_t> counts = data.TagCounts();
   const std::size_t region = peer % options_.regions_per_tag;

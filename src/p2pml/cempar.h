@@ -39,6 +39,12 @@ struct CemparOptions {
   /// protocol — and the trained models (SMO is deterministic) — are
   /// bit-identical for every value.
   std::size_t num_threads = 0;
+  /// Contiguous shards the training grid is split into for the sharded
+  /// compute/commit phase (0 = one shard per available thread). Purely a
+  /// scheduling knob: compute is keyed by data identity and all simulator
+  /// traffic is committed in grid order on the driver thread, so results
+  /// are bit-identical for every value.
+  std::size_t sim_shards = 0;
   /// Reliable delivery (ACK / RTT-derived timeout / backoff / bounded
   /// retries) for upload, replication and prediction traffic. Off by
   /// default: fire-and-forget is the baseline the original experiments
@@ -92,6 +98,12 @@ class Cempar final : public P2PClassifier {
 
   Status Setup(std::vector<MultiLabelDataset> peer_data,
                TagId num_tags) override;
+  /// Native flyweight path: stores the shard views directly — per-peer
+  /// training data is never copied, only indexed. Training is lazy: the
+  /// one-against-all reductions materialize per (peer, tag) cell at fit
+  /// time and are dropped right after.
+  Status SetupShards(std::vector<DatasetShard> peer_data,
+                     TagId num_tags) override;
   void Train(std::function<void(Status)> on_complete) override;
   void Predict(NodeId requester, const SparseVector& x,
                std::function<void(P2PPrediction)> done) override;
@@ -195,7 +207,9 @@ class Cempar final : public P2PClassifier {
   CemparOptions options_;
   std::unique_ptr<ReliableTransport> transport_;
 
-  std::vector<MultiLabelDataset> peer_data_;
+  /// Per-peer flyweight views into the shared training corpus (legacy
+  /// Setup wraps its materialized datasets into single-peer shards).
+  std::vector<DatasetShard> peer_data_;
   TagId num_tags_ = 0;
   std::vector<Home> homes_;  // indexed by HomeIndex
   /// Per-peer locally trained models (kept for repair rounds).

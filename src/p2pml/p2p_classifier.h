@@ -62,6 +62,22 @@ class P2PClassifier {
   virtual Status Setup(std::vector<MultiLabelDataset> peer_data,
                        TagId num_tags) = 0;
 
+  /// Flyweight setup: per-peer DatasetShard views into a shared immutable
+  /// corpus (see DistributeDataShared). The default materializes each shard
+  /// and delegates to Setup, so every protocol accepts shards; protocols
+  /// built for scale (CEMPaR, PACE) override this to store the views
+  /// directly and never copy a document. Results are bit-identical either
+  /// way.
+  virtual Status SetupShards(std::vector<DatasetShard> peer_data,
+                             TagId num_tags) {
+    std::vector<MultiLabelDataset> materialized;
+    materialized.reserve(peer_data.size());
+    for (const DatasetShard& shard : peer_data) {
+      materialized.push_back(shard.Materialize());
+    }
+    return Setup(std::move(materialized), num_tags);
+  }
+
   /// Starts the distributed training protocol. `on_complete` fires (in
   /// simulated time) when the protocol quiesces.
   virtual void Train(std::function<void(Status)> on_complete) = 0;

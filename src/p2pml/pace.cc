@@ -10,6 +10,7 @@
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
 #include "ml/serialization.h"
+#include "p2psim/sharding.h"
 
 namespace p2pdt {
 
@@ -39,6 +40,15 @@ Pace::Pace(Simulator& sim, PhysicalNetwork& net, Overlay& overlay,
 }
 
 Status Pace::Setup(std::vector<MultiLabelDataset> peer_data, TagId num_tags) {
+  std::vector<DatasetShard> shards;
+  shards.reserve(peer_data.size());
+  for (MultiLabelDataset& data : peer_data) {
+    shards.push_back(DatasetShard::Own(std::move(data)));
+  }
+  return SetupShards(std::move(shards), num_tags);
+}
+
+Status Pace::SetupShards(std::vector<DatasetShard> peer_data, TagId num_tags) {
   if (peer_data.size() != net_.num_nodes()) {
     return Status::InvalidArgument(
         "peer_data size must equal the number of underlay nodes");
@@ -46,8 +56,15 @@ Status Pace::Setup(std::vector<MultiLabelDataset> peer_data, TagId num_tags) {
   peer_data_ = std::move(peer_data);
   num_tags_ = num_tags;
   models_.assign(peer_data_.size(), {});
+  contributors_.clear();
+  contributor_rank_.assign(peer_data_.size(), kNoRank);
+  for (NodeId p = 0; p < peer_data_.size(); ++p) {
+    if (peer_data_[p].empty()) continue;
+    contributor_rank_[p] = static_cast<uint32_t>(contributors_.size());
+    contributors_.push_back(p);
+  }
   received_.assign(peer_data_.size(),
-                   std::vector<bool>(peer_data_.size(), false));
+                   std::vector<bool>(contributors_.size(), false));
   index_ = std::make_unique<CosineLsh>(options_.lsh);
   index_items_.clear();
   trained_ = false;
@@ -70,7 +87,7 @@ Status Pace::Setup(std::vector<MultiLabelDataset> peer_data, TagId num_tags) {
 }
 
 void Pace::TrainLocal(NodeId peer) {
-  const MultiLabelDataset& data = peer_data_[peer];
+  const DatasetShard& data = peer_data_[peer];
   PeerModel& pm = models_[peer];
   bundle_verdict_[peer] = -1;  // any cached sanitation verdict is stale now
 
@@ -155,8 +172,9 @@ void Pace::TrainLocal(NodeId peer) {
     };
 
     // Pad to the global tag universe so every peer's model is addressable by
-    // any tag id.
-    MultiLabelDataset padded = data;
+    // any tag id. Copying the shard copies only its index vector, never the
+    // documents.
+    DatasetShard padded = data;
     padded.set_num_tags(num_tags_);
     OneVsAllTrainOptions ova;
     ova.num_threads = options_.num_threads;
@@ -178,7 +196,8 @@ void Pace::TrainLocal(NodeId peer) {
     for (TagId t = 0; t < num_tags_; ++t) {
       pm.tag_informed[t] = t < counts.size() && counts[t] > 0;
       std::size_t correct = 0;
-      for (const auto& ex : data.examples()) {
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        const MultiLabelExample& ex = data[i];
         const BinaryClassifier* m = pm.model.model(t);
         if (m == nullptr) continue;
         bool predicted = m->Decision(ex.x) > 0.0;
@@ -202,7 +221,7 @@ void Pace::TrainLocal(NodeId peer) {
   // Cluster local data; centroids describe where this model is competent.
   std::vector<SparseVector> points;
   points.reserve(data.size());
-  for (const auto& ex : data.examples()) points.push_back(ex.x);
+  for (std::size_t i = 0; i < data.size(); ++i) points.push_back(data[i].x);
   KMeansOptions km = options_.clustering;
   km.seed = DeriveSeed(options_.clustering.seed, peer);
   km.num_threads = options_.num_threads;
@@ -264,6 +283,8 @@ void Pace::RecordRejected(ModelRejectReason reason) {
 
 void Pace::AcceptBundle(NodeId receiver, NodeId contributor) {
   if (receiver >= received_.size() || contributor >= models_.size()) return;
+  const uint32_t rank = contributor_rank_[contributor];
+  if (rank == kNoRank) return;  // no data at setup => nothing to publish
   PeerModel& pm = models_[contributor];
   if (!pm.valid) return;
   // Unconditional trust-hole fix: self-reported accuracy is clamped to
@@ -286,7 +307,7 @@ void Pace::AcceptBundle(NodeId receiver, NodeId contributor) {
       return;
     }
   }
-  received_[receiver][contributor] = true;
+  received_[receiver][rank] = true;
 }
 
 void Pace::ProbeQuarantined(NodeId requester) {
@@ -294,7 +315,7 @@ void Pace::ProbeQuarantined(NodeId requester) {
   // honestly (trust climbs past readmit_threshold) and keeps decaying ones
   // out. Honest runs have no quarantined pairs, so this is a strict no-op
   // there — the bit-identical-baseline requirement.
-  for (NodeId p = 0; p < models_.size(); ++p) {
+  for (NodeId p : contributors_) {
     if (p == requester || !models_[p].valid) continue;
     if (!reputation_->IsQuarantined(requester, p)) continue;
     if (options_.sanitize.enabled &&
@@ -307,7 +328,7 @@ void Pace::ProbeQuarantined(NodeId requester) {
     reputation_->Observe(requester, p, score);
     if (!reputation_->IsQuarantined(requester, p)) {
       // Re-admitted: re-ingest the retained bundle copy.
-      received_[requester][p] = true;
+      received_[requester][contributor_rank_[p]] = true;
     }
   }
 }
@@ -337,16 +358,19 @@ void Pace::Train(std::function<void(Status)> on_complete) {
   // Resolved on the driver thread; workers record wall time per peer
   // lock-free (null when metrics are disabled).
   Histogram* train_hist = PhaseHistogram(net_.metrics(), "local_train");
-  ParallelFor(0, training_peers.size(), 1, options_.num_threads,
-              [&](std::size_t lo, std::size_t hi) {
-                for (std::size_t i = lo; i < hi; ++i) {
-                  Stopwatch peer_wall;
-                  TrainLocal(training_peers[i]);
-                  if (train_hist != nullptr) {
-                    train_hist->Observe(peer_wall.ElapsedSeconds());
-                  }
-                }
-              });
+  ShardPlanOptions plan;
+  plan.shards = options_.sim_shards;
+  plan.num_threads = options_.num_threads;
+  plan.seed = options_.svm.seed;
+  ShardedPhase(training_peers.size(), plan,
+               [&](std::size_t i, Rng&) -> UniqueFunction {
+                 Stopwatch peer_wall;
+                 TrainLocal(training_peers[i]);
+                 if (train_hist != nullptr) {
+                   train_hist->Observe(peer_wall.ElapsedSeconds());
+                 }
+                 return {};  // all protocol traffic is issued below
+               });
 
   // Build the shared LSH index over all contributed centroids.
   Stopwatch index_wall;
@@ -378,22 +402,50 @@ void Pace::Train(std::function<void(Status)> on_complete) {
     on_complete(Status::OK());
   };
 
+  // Broadcasts launch in contributor order through a sliding window: each
+  // completion launches the next contributor. With the window unlimited
+  // (the default) every broadcast is issued back-to-back before any event
+  // runs — byte-for-byte the legacy schedule; a finite window only bounds
+  // how many dissemination trees the event queue materializes at once,
+  // which is what keeps the 100k-peer run inside memory.
   Histogram* bcast_hist = PhaseHistogram(net_.metrics(), "model_broadcast");
-  for (NodeId peer = 0; peer < models_.size(); ++peer) {
+  struct BroadcastWindow {
+    std::vector<NodeId> order;
+    std::size_t next = 0;
+  };
+  auto window = std::make_shared<BroadcastWindow>();
+  for (NodeId peer : contributors_) {
     if (!models_[peer].valid) continue;
-    AcceptBundle(peer, peer);  // self-ingest passes the same sanitation gate
+    window->order.push_back(peer);
     ++*pending;
+  }
+  auto launch = std::make_shared<std::function<void()>>();
+  // The launcher holds only a weak self-reference (no shared_ptr cycle);
+  // each in-flight completion callback keeps it alive via `self`.
+  std::weak_ptr<std::function<void()>> weak_launch = launch;
+  *launch = [this, window, weak_launch, barrier, bcast_hist] {
+    if (window->next >= window->order.size()) return;
+    const NodeId peer = window->order[window->next++];
+    AcceptBundle(peer, peer);  // self-ingest passes the same sanitation gate
     const SimTime bcast_started = sim_.Now();
+    std::shared_ptr<std::function<void()>> self = weak_launch.lock();
     overlay_.Broadcast(
         peer, models_[peer].wire_size, MessageType::kModelBroadcast,
         [this, peer](NodeId receiver) { AcceptBundle(receiver, peer); },
-        [this, barrier, bcast_hist, bcast_started] {
+        [this, self, barrier, bcast_hist, bcast_started] {
           // Sim-time until this contributor's dissemination tree settled.
           if (bcast_hist != nullptr) {
             bcast_hist->Observe(sim_.Now() - bcast_started);
           }
+          if (self != nullptr) (*self)();
           (*barrier)();
         });
+  };
+  const std::size_t in_flight = options_.max_concurrent_broadcasts == 0
+                                    ? window->order.size()
+                                    : options_.max_concurrent_broadcasts;
+  for (std::size_t i = 0; i < in_flight && i < window->order.size(); ++i) {
+    (*launch)();
   }
   (*barrier)();
 }
@@ -404,10 +456,11 @@ void Pace::RepairRound(std::size_t round,
   // Realistically receivers piggyback have-lists on gossip; the simulation
   // reads received_ directly and charges the full repair traffic.
   std::vector<std::pair<NodeId, NodeId>> missing;  // (contributor, receiver)
-  for (NodeId p = 0; p < models_.size(); ++p) {
+  for (NodeId p : contributors_) {
     if (!models_[p].valid) continue;
+    const uint32_t rank = contributor_rank_[p];
     for (NodeId q = 0; q < received_.size(); ++q) {
-      if (q == p || received_[q][p] || !net_.IsOnline(q)) continue;
+      if (q == p || received_[q][rank] || !net_.IsOnline(q)) continue;
       missing.emplace_back(p, q);
     }
   }
@@ -466,8 +519,8 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
     }
     // Contributors that were accepted and later quarantined lose their
     // vote; count each exclusion per prediction served.
-    for (NodeId p = 0; p < models_.size(); ++p) {
-      if (received_[requester][p] && models_[p].valid &&
+    for (NodeId p : contributors_) {
+      if (received_[requester][contributor_rank_[p]] && models_[p].valid &&
           reputation_->IsQuarantined(requester, p)) {
         ++votes_discarded_;
         if (MetricsRegistry* metrics = net_.metrics()) {
@@ -478,7 +531,7 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
     }
   }
   auto eligible = [this, requester](NodeId peer) {
-    if (!received_[requester][peer] || !models_[peer].valid) return false;
+    if (!Holds(requester, peer) || !models_[peer].valid) return false;
     return reputation_ == nullptr ||
            !reputation_->IsQuarantined(requester, peer);
   };
@@ -515,7 +568,7 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
   // ML benchmarks, not assumed).
   if (nearest.size() < options_.top_k) {
     nearest.clear();
-    for (NodeId peer = 0; peer < models_.size(); ++peer) {
+    for (NodeId peer : contributors_) {
       if (!eligible(peer)) continue;
       double best = std::numeric_limits<double>::infinity();
       for (const auto& c : models_[peer].centroids) {
@@ -626,8 +679,12 @@ Result<std::string> Pace::Snapshot(NodeId peer) const {
     wire::PutU64(pm.wire_size, out);
   }
   // The receiver-side view: which contributors' bundles this peer holds.
-  wire::PutU32(static_cast<uint32_t>(received_[peer].size()), out);
-  for (bool held : received_[peer]) wire::PutU8(held ? 1 : 0, out);
+  // Serialized as a full N-sized row (expanded from the rank-compressed
+  // matrix) so the wire format is unchanged from the N×N layout.
+  wire::PutU32(static_cast<uint32_t>(models_.size()), out);
+  for (NodeId p = 0; p < models_.size(); ++p) {
+    wire::PutU8(Holds(peer, p) ? 1 : 0, out);
+  }
   return out;
 }
 
@@ -701,7 +758,7 @@ Status Pace::Restore(NodeId peer, const std::string& blob) {
 
   Result<uint32_t> n_recv = wire::GetU32(blob, offset);
   if (!n_recv.ok()) return n_recv.status();
-  if (n_recv.value() != received_[peer].size()) {
+  if (n_recv.value() != models_.size()) {
     return Status::InvalidArgument("pace snapshot received-row size " +
                                    std::to_string(n_recv.value()) +
                                    " does not match network size");
@@ -730,8 +787,15 @@ Status Pace::Restore(NodeId peer, const std::string& blob) {
     }
   }
   // Commit only after the whole blob parsed: restore is all-or-nothing.
+  // The row compresses back to contributor ranks; bits claimed for peers
+  // that never contributed have nothing behind them and are dropped.
   models_[peer] = std::move(restored);
-  received_[peer] = std::move(row);
+  received_[peer].assign(contributors_.size(), false);
+  for (NodeId p = 0; p < row.size(); ++p) {
+    if (row[p] && contributor_rank_[p] != kNoRank) {
+      received_[peer][contributor_rank_[p]] = true;
+    }
+  }
   bundle_verdict_[peer] = -1;
   return Status::OK();
 }
@@ -741,14 +805,14 @@ void Pace::EvictPeer(NodeId peer) {
   // The peer's RAM is gone: it no longer holds anyone's bundle, its own
   // included. models_[peer] itself is left in place — it doubles as the
   // copy other receivers hold, which a crash of the contributor does not
-  // destroy; visibility is entirely received_[q][peer].
-  received_[peer].assign(received_[peer].size(), false);
+  // destroy; visibility is entirely received_[q][rank(peer)].
+  received_[peer].assign(contributors_.size(), false);
 }
 
 std::size_t Pace::ColdRestart(NodeId peer) {
   if (peer >= peer_data_.size()) return 0;
-  received_[peer].assign(received_[peer].size(), false);
-  const MultiLabelDataset& data = peer_data_[peer];
+  received_[peer].assign(contributors_.size(), false);
+  const DatasetShard& data = peer_data_[peer];
   if (data.empty()) return 0;
   TrainLocal(peer);
   if (!models_[peer].valid) return 0;
@@ -772,8 +836,8 @@ void Pace::ResyncPeer(NodeId peer, std::function<void()> done) {
     if (--*pending > 0) return;
     done();
   };
-  for (NodeId p = 0; p < models_.size(); ++p) {
-    if (p == peer || !models_[p].valid || received_[peer][p]) continue;
+  for (NodeId p : contributors_) {
+    if (p == peer || !models_[p].valid || Holds(peer, p)) continue;
     // SRM-style repair: *any* online peer holding p's bundle can serve it,
     // not only the contributor — so a bundle stays recoverable as long as
     // one live copy exists, even while its contributor is offline.
@@ -782,7 +846,7 @@ void Pace::ResyncPeer(NodeId peer, std::function<void()> done) {
       sender = p;
     } else {
       for (NodeId q = 0; q < received_.size(); ++q) {
-        if (q != peer && received_[q][p] && net_.IsOnline(q)) {
+        if (q != peer && Holds(q, p) && net_.IsOnline(q)) {
           sender = q;
           break;
         }
@@ -818,10 +882,10 @@ double Pace::ModelCoverage() const {
   std::size_t have = 0, want = 0;
   for (NodeId q = 0; q < received_.size(); ++q) {
     if (!net_.IsOnline(q)) continue;
-    for (NodeId p = 0; p < models_.size(); ++p) {
+    for (NodeId p : contributors_) {
       if (!models_[p].valid) continue;
       ++want;
-      if (received_[q][p]) ++have;
+      if (received_[q][contributor_rank_[p]]) ++have;
     }
   }
   return want == 0 ? 0.0

@@ -1,6 +1,7 @@
 #ifndef P2PDT_P2PML_PACE_H_
 #define P2PDT_P2PML_PACE_H_
 
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -38,6 +39,20 @@ struct PaceOptions {
   /// bit-identical for every value: per-task RNG streams are keyed by
   /// (peer, tag), never by thread.
   std::size_t num_threads = 0;
+  /// Contiguous shards the per-peer local-training phase is split into for
+  /// the sharded compute/commit fan-out (0 = one shard per available
+  /// thread). Purely a scheduling knob: per-task RNG streams stay keyed by
+  /// (peer, tag) and all overlay traffic is issued on the driver thread in
+  /// peer order, so results are bit-identical for every value.
+  std::size_t sim_shards = 0;
+  /// Cap on contributor broadcasts in flight at once during dissemination
+  /// (0 = unlimited, the legacy behavior). Every contributor still
+  /// broadcasts — completions launch the next in peer order — but at 100k
+  /// peers the cap bounds the simulator's event-queue footprint instead of
+  /// materializing every dissemination tree at once. With the cap at or
+  /// above the contributor count the issue order is byte-for-byte the
+  /// legacy one.
+  std::size_t max_concurrent_broadcasts = 0;
   /// Reliable dissemination: after the best-effort overlay broadcast, each
   /// contributor reliably unicasts its bundle to every online peer the
   /// broadcast missed (ACK / timeout / backoff / bounded retries), in up to
@@ -79,6 +94,11 @@ class Pace final : public P2PClassifier {
 
   Status Setup(std::vector<MultiLabelDataset> peer_data,
                TagId num_tags) override;
+  /// Native flyweight path: stores the shard views directly — per-peer
+  /// training data is never copied. Training materializes each binary
+  /// reduction lazily, per (peer, tag), and drops it right after the fit.
+  Status SetupShards(std::vector<DatasetShard> peer_data,
+                     TagId num_tags) override;
   void Train(std::function<void(Status)> on_complete) override;
   void Predict(NodeId requester, const SparseVector& x,
                std::function<void(P2PPrediction)> done) override;
@@ -161,10 +181,35 @@ class Pace final : public P2PClassifier {
   std::unique_ptr<ReliableTransport> transport_;
   std::size_t repair_rounds_run_ = 0;
 
-  std::vector<MultiLabelDataset> peer_data_;
+  /// Rank value for peers that contributed no data (and so can never have a
+  /// bundle to hold).
+  static constexpr uint32_t kNoRank = 0xFFFFFFFFu;
+
+  /// True when `receiver` holds `contributor`'s bundle.
+  bool Holds(NodeId receiver, NodeId contributor) const {
+    const uint32_t rank = contributor < contributor_rank_.size()
+                              ? contributor_rank_[contributor]
+                              : kNoRank;
+    return rank != kNoRank && received_[receiver][rank];
+  }
+
+  /// Per-peer flyweight views into the shared training corpus (legacy
+  /// Setup wraps its materialized datasets into single-peer shards).
+  std::vector<DatasetShard> peer_data_;
   TagId num_tags_ = 0;
-  std::vector<PeerModel> models_;  // one per contributing peer
-  /// received_[q][p]: peer q holds peer p's model.
+  std::vector<PeerModel> models_;  // one per underlay node
+  /// Peers that held data at setup, ascending. Only they can ever publish a
+  /// bundle, so the receipt matrix below is indexed by contributor *rank*:
+  /// N×C instead of N×N. That is the flyweight that keeps 100k-peer runs
+  /// affordable — with 100k nodes and 512 contributors the N×N matrix
+  /// would be 10^10 cells.
+  std::vector<NodeId> contributors_;
+  /// NodeId -> rank in contributors_ (kNoRank for non-contributors).
+  std::vector<uint32_t> contributor_rank_;
+  /// received_[q][rank(p)]: peer q holds contributor p's model. The
+  /// Snapshot wire format still serializes a full N-sized row (expanded on
+  /// write, re-compressed on read), so checkpoints predating this layout
+  /// restore unchanged.
   std::vector<std::vector<bool>> received_;
   /// Shared LSH index over (peer, centroid) entries; identical hash
   /// functions on every peer (common seed), per-receiver visibility is

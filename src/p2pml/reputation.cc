@@ -21,8 +21,8 @@ void ReputationManager::Reset(std::size_t num_peers) {
   observations_ = 0;
 }
 
-void ReputationManager::SetHoldout(NodeId observer,
-                                   const MultiLabelDataset& local) {
+template <typename Data>
+void ReputationManager::SetHoldoutImpl(NodeId observer, const Data& local) {
   if (observer >= holdouts_.size()) return;
   Holdout& h = holdouts_[observer];
   h.examples.clear();
@@ -43,6 +43,16 @@ void ReputationManager::SetHoldout(NodeId observer,
     }
     h.examples.push_back(ex);
   }
+}
+
+void ReputationManager::SetHoldout(NodeId observer,
+                                   const MultiLabelDataset& local) {
+  SetHoldoutImpl(observer, local);
+}
+
+void ReputationManager::SetHoldout(NodeId observer,
+                                   const DatasetShard& local) {
+  SetHoldoutImpl(observer, local);
 }
 
 bool ReputationManager::HasHoldout(NodeId observer) const {

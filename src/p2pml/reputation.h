@@ -74,6 +74,9 @@ class ReputationManager {
   /// Installs `observer`'s held-out slice: a deterministic subsample of its
   /// local data (seeded from options.seed and the peer id only).
   void SetHoldout(NodeId observer, const MultiLabelDataset& local);
+  /// Flyweight overload: same deterministic draws, same holdout, no
+  /// materialization of the peer's data.
+  void SetHoldout(NodeId observer, const DatasetShard& local);
   bool HasHoldout(NodeId observer) const;
 
   /// Scores a multi-tag model on the observer's holdout. Only tags with
@@ -130,6 +133,9 @@ class ReputationManager {
 
   double BalancedAccuracy(const Holdout& holdout, const BinaryClassifier& model,
                           TagId tag) const;
+
+  template <typename Data>
+  void SetHoldoutImpl(NodeId observer, const Data& local);
 
   ReputationOptions options_;
   MetricsRegistry* metrics_;

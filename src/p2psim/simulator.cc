@@ -9,25 +9,39 @@ void Simulator::Schedule(SimTime delay, Callback fn) {
 }
 
 void Simulator::ScheduleAt(SimTime when, Callback fn) {
-  queue_.push(Event{std::max(when, now_), next_seq_++, std::move(fn)});
+  queue_.Push(std::max(when, now_), std::move(fn));
+}
+
+Simulator::EventId Simulator::ScheduleCancelable(SimTime delay, Callback fn) {
+  const EventId id =
+      queue_.Push(now_ + std::max(delay, 0.0), std::move(fn));
+  cancelable_.insert(id);
+  return id;
+}
+
+bool Simulator::Cancel(EventId id) {
+  // Only ids still tracked are pending: ran events are erased in Step and
+  // cancelled ones here, so CalendarQueue's cancel-once contract holds.
+  if (cancelable_.erase(id) == 0) return false;
+  queue_.Cancel(id);
+  return true;
 }
 
 bool Simulator::Step() {
   if (queue_.empty()) return false;
-  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
-  // so copy the callback handle instead (std::function copy is cheap
-  // relative to event work here).
-  Event ev = queue_.top();
-  queue_.pop();
+  // The calendar queue hands the event out by value — the callback moves
+  // out cleanly (no const_cast, no copy), so move-only payloads work.
+  SimEvent ev = queue_.PopMin();
   now_ = ev.time;
   ++executed_;
+  if (!cancelable_.empty()) cancelable_.erase(ev.seq);
   ev.fn();
   return true;
 }
 
 std::size_t Simulator::RunUntil(SimTime until) {
   std::size_t count = 0;
-  while (!queue_.empty() && queue_.top().time <= until) {
+  while (!queue_.empty() && queue_.MinTime() <= until) {
     Step();
     ++count;
   }

@@ -2,9 +2,10 @@
 #define P2PDT_P2PSIM_SIMULATOR_H_
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <vector>
+#include <unordered_set>
+
+#include "common/function.h"
+#include "p2psim/event_queue.h"
 
 namespace p2pdt {
 
@@ -18,9 +19,22 @@ using SimTime = double;
 /// evaluation is an event. Events at equal timestamps run in scheduling
 /// order (a monotone sequence number breaks ties), which keeps runs
 /// fully deterministic.
+///
+/// The scheduler is an indexed calendar queue (see CalendarQueue): O(1)
+/// amortized enqueue/dequeue instead of the O(log n) binary heap the first
+/// versions used, which is what makes 100k–1M-peer populations tractable.
+/// The pop order is bit-identical to the old stable heap — the equivalence
+/// property tests in event_queue_test pin that down.
+///
+/// Callbacks are move-only (UniqueFunction), so events may carry move-only
+/// payloads; `std::function` and any other copyable callable convert
+/// implicitly.
 class Simulator {
  public:
-  using Callback = std::function<void()>;
+  using Callback = UniqueFunction;
+  /// Handle for Cancel(); returned by ScheduleCancelable.
+  using EventId = uint64_t;
+  static constexpr EventId kInvalidEvent = static_cast<EventId>(-1);
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -35,6 +49,16 @@ class Simulator {
 
   /// Schedules `fn` at an absolute simulated time (clamped to >= Now()).
   void ScheduleAt(SimTime when, Callback fn);
+
+  /// Like Schedule, but returns a handle the caller may later Cancel —
+  /// e.g. a retransmission timer disarmed by an early ACK. A cancelled
+  /// event never runs and costs only a tombstone in the queue.
+  EventId ScheduleCancelable(SimTime delay, Callback fn);
+
+  /// Cancels a pending cancelable event. Returns true when the event was
+  /// still pending (it will not run); false when it already ran, was
+  /// already cancelled, or the id was never issued by ScheduleCancelable.
+  bool Cancel(EventId id);
 
   /// Runs events until the queue empties or simulated time would exceed
   /// `until`. Events at exactly `until` are executed. Returns the number of
@@ -51,23 +75,17 @@ class Simulator {
   std::size_t pending_events() const { return queue_.size(); }
   std::size_t executed_events() const { return executed_; }
 
- private:
-  struct Event {
-    SimTime time;
-    uint64_t seq;
-    Callback fn;
-  };
-  struct Later {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.time != b.time) return a.time > b.time;
-      return a.seq > b.seq;
-    }
-  };
+  /// Scheduler introspection (benchmarks and tests).
+  const CalendarQueue& queue() const { return queue_; }
 
+ private:
   SimTime now_ = 0.0;
-  uint64_t next_seq_ = 0;
   std::size_t executed_ = 0;
-  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  CalendarQueue queue_;
+  /// Ids issued by ScheduleCancelable that have not yet run or been
+  /// cancelled; keeps Cancel() exact without charging plain Schedule()
+  /// traffic (the overwhelming majority) any bookkeeping.
+  std::unordered_set<EventId> cancelable_;
 };
 
 }  // namespace p2pdt

@@ -1,6 +1,8 @@
 #include "ml/dataset.h"
 
+#include <memory>
 #include <set>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -99,6 +101,77 @@ TEST(MultiLabelDatasetTest, WireSizeAccounts) {
   d.Add(Ex({{0, 1.0}, {1, 2.0}}, {0, 1}));
   // vector (4 + 2*12) + tag header 4 + 2 tags * 4.
   EXPECT_EQ(d.WireSize(), 28u + 4u + 8u);
+}
+
+MultiLabelDataset ShardCorpus() {
+  MultiLabelDataset d(6);
+  for (uint32_t i = 0; i < 64; ++i) {
+    d.Add(Ex({{i, 1.0}, {i + 100, 0.5 * (i % 7)}},
+             {static_cast<TagId>(i % 6), static_cast<TagId>((i * 3) % 6)}));
+  }
+  return d;
+}
+
+TEST(DatasetShardTest, AccessorsMatchMaterializedCopy) {
+  auto corpus = std::make_shared<const MultiLabelDataset>(ShardCorpus());
+  DatasetShard shard(corpus, {3, 7, 7, 11, 42, 63});
+  MultiLabelDataset copy = shard.Materialize();
+  ASSERT_EQ(shard.size(), copy.size());
+  EXPECT_EQ(shard.num_tags(), copy.num_tags());
+  EXPECT_EQ(shard.TagCounts(), copy.TagCounts());
+  EXPECT_EQ(shard.WireSize(), copy.WireSize());
+  for (std::size_t i = 0; i < shard.size(); ++i) {
+    EXPECT_EQ(shard[i].x, copy[i].x);
+    EXPECT_EQ(shard[i].tags, copy[i].tags);
+  }
+  for (TagId t = 0; t < shard.num_tags(); ++t) {
+    std::vector<Example> a = shard.OneAgainstAll(t);
+    std::vector<Example> b = copy.OneAgainstAll(t);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].x, b[i].x);
+      EXPECT_EQ(a[i].y, b[i].y);
+    }
+  }
+}
+
+TEST(DatasetShardTest, OwnWrapsDataAsSinglePeerCorpus) {
+  DatasetShard shard = DatasetShard::Own(ShardCorpus());
+  EXPECT_EQ(shard.size(), 64u);
+  EXPECT_EQ(shard.num_tags(), 6u);
+  EXPECT_EQ(shard[5].tags, ShardCorpus()[5].tags);
+}
+
+TEST(DatasetShardTest, SetNumTagsGrowsButNeverShrinks) {
+  auto corpus = std::make_shared<const MultiLabelDataset>(ShardCorpus());
+  DatasetShard shard(corpus, {0, 1});
+  shard.set_num_tags(9);
+  EXPECT_EQ(shard.num_tags(), 9u);
+  shard.set_num_tags(2);
+  EXPECT_EQ(shard.num_tags(), 9u);
+}
+
+TEST(DatasetShardTest, PerPeerFootprintIsIndicesNotDocuments) {
+  auto corpus = std::make_shared<const MultiLabelDataset>(ShardCorpus());
+  // 1000 flyweight peers, 16 docs each, over the one shared corpus.
+  std::vector<DatasetShard> peers;
+  std::size_t total_footprint = 0;
+  std::size_t total_materialized = 0;
+  for (uint32_t p = 0; p < 1000; ++p) {
+    std::vector<uint32_t> idx;
+    for (uint32_t k = 0; k < 16; ++k) idx.push_back((p * 17 + k * 5) % 64);
+    peers.emplace_back(corpus, std::move(idx));
+    total_footprint += peers.back().FootprintBytes();
+    total_materialized += peers.back().WireSize();
+  }
+  // Each peer is charged the shard header plus one uint32_t per held doc —
+  // documents themselves live once, in the shared corpus.
+  const std::size_t per_peer = peers[0].FootprintBytes();
+  EXPECT_GE(per_peer, 16u * sizeof(uint32_t));
+  EXPECT_LE(per_peer, sizeof(DatasetShard) + 2 * 16 * sizeof(uint32_t));
+  // The fleet's flyweight state is far below what materialized per-peer
+  // copies would cost (the pre-refactor engine's memory model).
+  EXPECT_LT(total_footprint, total_materialized / 3);
 }
 
 TEST(FeatureRemapperTest, CompactRoundTrip) {

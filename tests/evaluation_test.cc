@@ -1,8 +1,13 @@
 #include "p2pdmt/evaluation.h"
 
 #include <cmath>
+#include <cstdlib>
+#include <set>
 
 #include <gtest/gtest.h>
+
+#include "corpus/vectorize.h"
+#include "p2pdmt/experiment.h"
 
 namespace p2pdt {
 namespace {
@@ -77,6 +82,69 @@ TEST(EvaluationScheduleTest, InterleavesWithOtherEvents) {
   sim.RunAll();
   ASSERT_EQ(schedule.rows().size(), 1u);
   EXPECT_DOUBLE_EQ(schedule.rows()[0][1], 5.0);  // events at t=1..5 ran
+}
+
+TEST(DeterministicSampleTest, SortedUniqueAndSeedStable) {
+  std::vector<std::size_t> s = DeterministicSample(1000, 50, 11);
+  ASSERT_EQ(s.size(), 50u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  EXPECT_EQ(std::set<std::size_t>(s.begin(), s.end()).size(), s.size());
+  EXPECT_LT(s.back(), 1000u);
+  EXPECT_EQ(s, DeterministicSample(1000, 50, 11));
+  EXPECT_NE(s, DeterministicSample(1000, 50, 12));
+}
+
+TEST(DeterministicSampleTest, DegeneratesToFullRange) {
+  EXPECT_EQ(DeterministicSample(4, 4, 1),
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_EQ(DeterministicSample(4, 99, 1),
+            (std::vector<std::size_t>{0, 1, 2, 3}));
+  EXPECT_TRUE(DeterministicSample(0, 5, 1).empty());
+  EXPECT_TRUE(DeterministicSample(10, 0, 1).empty());
+}
+
+// Statistical guarantee behind max_eval_peers: restricting evaluation
+// requests to a deterministic requester sample measures the same system.
+// Which peer *asks* only affects routing, not which models answer, so the
+// measured quality must stay within a small tolerance of the full run —
+// and the sampled run itself must be exactly reproducible.
+TEST(SampledEvaluationTest, SampledMacroF1TracksFullEvaluation) {
+  CorpusOptions copt;
+  copt.num_users = 24;
+  copt.min_docs_per_user = 10;
+  copt.max_docs_per_user = 18;
+  copt.num_tags = 5;
+  copt.vocabulary_size = 400;
+  copt.seed = 6021;
+  Result<VectorizedCorpus> corpus = MakeVectorizedCorpus(copt);
+  ASSERT_TRUE(corpus.ok()) << corpus.status().ToString();
+
+  ExperimentOptions opt;
+  opt.algorithm = AlgorithmType::kPace;
+  opt.env.num_peers = 256;
+  opt.env.overlay = OverlayType::kUnstructured;
+  opt.distribution.cls = ClassDistribution::kByUser;
+  opt.max_test_documents = 120;
+  opt.seed = 31337;
+
+  Result<ExperimentResult> full = RunExperiment(corpus.value(), opt);
+  ASSERT_TRUE(full.ok()) << full.status().ToString();
+
+  opt.max_eval_peers = 32;
+  Result<ExperimentResult> sampled = RunExperiment(corpus.value(), opt);
+  ASSERT_TRUE(sampled.ok()) << sampled.status().ToString();
+  Result<ExperimentResult> sampled_again = RunExperiment(corpus.value(), opt);
+  ASSERT_TRUE(sampled_again.ok()) << sampled_again.status().ToString();
+
+  // Reproducibility is exact; quality agreement is statistical.
+  EXPECT_EQ(sampled.value().metrics.macro_f1,
+            sampled_again.value().metrics.macro_f1);
+  EXPECT_EQ(sampled.value().predict_messages,
+            sampled_again.value().predict_messages);
+  EXPECT_LE(std::abs(sampled.value().metrics.macro_f1 -
+                     full.value().metrics.macro_f1),
+            0.1);
+  EXPECT_EQ(sampled.value().test_documents, full.value().test_documents);
 }
 
 }  // namespace
