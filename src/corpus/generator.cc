@@ -195,4 +195,264 @@ Result<GeneratedCorpus> GenerateCorpus(const CorpusOptions& options) {
   return corpus;
 }
 
+// ---------------------------------------------------------------------------
+// Streaming corpus with scripted drift
+// ---------------------------------------------------------------------------
+
+const char* DriftKindToString(DriftKind kind) {
+  switch (kind) {
+    case DriftKind::kTopicRotation:
+      return "topic_rotation";
+    case DriftKind::kVocabularyShift:
+      return "vocabulary_shift";
+    case DriftKind::kPopularitySpike:
+      return "popularity_spike";
+    case DriftKind::kNewTag:
+      return "new_tag";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Key offsets separating the stream's independent RNG families. Epoch
+/// document streams use DeriveSeed(seed, kEpochStreamKey + epoch); event
+/// mutations use DeriveSeed(seed, kEventStreamKey + event index, epoch).
+constexpr uint64_t kEpochStreamKey = 0x0D0C5ull;
+constexpr uint64_t kEventStreamKey = 0xD21F7ull;
+
+Status ValidateStream(const StreamOptions& options) {
+  const CorpusOptions& base = options.base;
+  if (base.num_users == 0 || base.num_tags == 0 ||
+      base.vocabulary_size == 0) {
+    return Status::InvalidArgument(
+        "stream requires users, tags and vocabulary");
+  }
+  if (options.num_epochs == 0) {
+    return Status::InvalidArgument("stream requires at least one epoch");
+  }
+  if (options.min_docs_per_user_per_epoch >
+          options.max_docs_per_user_per_epoch ||
+      base.min_doc_words > base.max_doc_words) {
+    return Status::InvalidArgument("stream min/max ranges inverted");
+  }
+  if (base.topic_words_per_tag > base.vocabulary_size) {
+    return Status::InvalidArgument(
+        "topic_words_per_tag exceeds vocabulary_size");
+  }
+  const std::size_t total_tags = base.num_tags + options.reserve_tags;
+  for (const DriftEvent& ev : options.events) {
+    if (ev.epoch >= options.num_epochs) {
+      return Status::InvalidArgument("drift event epoch beyond stream end");
+    }
+    if (ev.duration_epochs == 0) {
+      return Status::InvalidArgument("drift event duration must be >= 1");
+    }
+    switch (ev.kind) {
+      case DriftKind::kVocabularyShift:
+        if (ev.tag != DriftEvent::kAllTags && ev.tag >= total_tags) {
+          return Status::InvalidArgument("vocabulary-shift tag out of range");
+        }
+        break;
+      case DriftKind::kTopicRotation:
+      case DriftKind::kPopularitySpike:
+        if (ev.tag >= total_tags) {
+          return Status::InvalidArgument("drift event needs a concrete tag");
+        }
+        break;
+      case DriftKind::kNewTag:
+        if (ev.tag < base.num_tags || ev.tag >= total_tags) {
+          return Status::InvalidArgument(
+              "new-tag event must name a reserved tag");
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<StreamedCorpus> GenerateStream(const StreamOptions& options) {
+  Status valid = ValidateStream(options);
+  if (!valid.ok()) return valid;
+
+  const CorpusOptions& base = options.base;
+  const std::size_t total_tags = base.num_tags + options.reserve_tags;
+
+  // Setup stream: fixed vocabulary, tag universe, initial topic word sets,
+  // base popularity and per-user interests. Mirrors GenerateCorpus, widened
+  // to the full tag universe so the feature/tag spaces never change
+  // mid-stream (reserved tags simply have zero weight until activated).
+  Rng rng(base.seed);
+  StreamedCorpus stream;
+  stream.num_epochs = options.num_epochs;
+
+  std::vector<std::string> vocab =
+      corpus_internal::MakeWordList(base.vocabulary_size, rng);
+  stream.tag_names = corpus_internal::MakeWordList(total_tags, rng, "xq");
+
+  stream.topic_words.resize(total_tags);
+  std::vector<std::vector<std::size_t>> topic_word_ids(total_tags);
+  for (std::size_t t = 0; t < total_tags; ++t) {
+    topic_word_ids[t] = rng.SampleWithoutReplacement(
+        base.vocabulary_size, base.topic_words_per_tag);
+    for (std::size_t id : topic_word_ids[t]) {
+      stream.topic_words[t].push_back(vocab[id]);
+    }
+  }
+  ZipfSampler topic_sampler(base.topic_words_per_tag, base.topic_word_zipf);
+  ZipfSampler background_sampler(base.vocabulary_size,
+                                 base.background_word_zipf);
+
+  ZipfSampler tag_popularity(base.num_tags, base.tag_popularity_zipf);
+  std::vector<double> tag_weight(base.num_tags);
+  for (std::size_t t = 0; t < base.num_tags; ++t) {
+    tag_weight[t] = tag_popularity.Pmf(t);
+  }
+  rng.Shuffle(tag_weight);
+  tag_weight.resize(total_tags, 0.0);  // reserved tags start inactive
+
+  std::vector<std::vector<double>> base_interest(base.num_users);
+  for (std::size_t user = 0; user < base.num_users; ++user) {
+    base_interest[user] = rng.Dirichlet(total_tags, base.user_interest_alpha);
+  }
+
+  stream.first_drift_epoch = options.num_epochs;
+  for (const DriftEvent& ev : options.events) {
+    stream.first_drift_epoch = std::min(stream.first_drift_epoch, ev.epoch);
+  }
+
+  stream.user_documents.resize(base.num_users);
+  for (std::size_t epoch = 0; epoch < options.num_epochs; ++epoch) {
+    // Persistent distribution mutations scheduled at (or spanning) this
+    // epoch. Each (event, epoch) pair draws from its own derived stream, so
+    // event randomness never leaks into the per-epoch document streams.
+    for (std::size_t ei = 0; ei < options.events.size(); ++ei) {
+      const DriftEvent& ev = options.events[ei];
+      const bool starts_here = epoch == ev.epoch;
+      const bool spans_here =
+          epoch >= ev.epoch && epoch < ev.epoch + ev.duration_epochs;
+      switch (ev.kind) {
+        case DriftKind::kVocabularyShift: {
+          if (!starts_here) break;
+          Rng evrng(DeriveSeed(base.seed, kEventStreamKey + ei, epoch));
+          if (ev.tag == DriftEvent::kAllTags) {
+            for (std::size_t t = 0; t < total_tags; ++t) {
+              if (tag_weight[t] <= 0.0) continue;  // inactive tags keep words
+              topic_word_ids[t] = evrng.SampleWithoutReplacement(
+                  base.vocabulary_size, base.topic_words_per_tag);
+            }
+          } else {
+            topic_word_ids[ev.tag] = evrng.SampleWithoutReplacement(
+                base.vocabulary_size, base.topic_words_per_tag);
+          }
+          break;
+        }
+        case DriftKind::kTopicRotation: {
+          if (!spans_here) break;
+          Rng evrng(DeriveSeed(base.seed, kEventStreamKey + ei, epoch));
+          // Replace this step's share of the rotation: magnitude fraction
+          // of the topic words, spread evenly over the duration.
+          const double per_step =
+              ev.magnitude * static_cast<double>(base.topic_words_per_tag) /
+              static_cast<double>(ev.duration_epochs);
+          std::size_t replace = static_cast<std::size_t>(per_step + 0.999999);
+          replace = std::min(replace, base.topic_words_per_tag);
+          if (replace == 0) break;
+          std::vector<std::size_t> slots = evrng.SampleWithoutReplacement(
+              base.topic_words_per_tag, replace);
+          for (std::size_t slot : slots) {
+            topic_word_ids[ev.tag][slot] =
+                evrng.NextU64(base.vocabulary_size);
+          }
+          break;
+        }
+        case DriftKind::kNewTag: {
+          if (!starts_here) break;
+          // Activate at magnitude × median active weight (no RNG needed).
+          std::vector<double> active;
+          for (double w : tag_weight) {
+            if (w > 0.0) active.push_back(w);
+          }
+          std::sort(active.begin(), active.end());
+          const double median =
+              active.empty() ? 1.0 : active[active.size() / 2];
+          tag_weight[ev.tag] = ev.magnitude * median;
+          break;
+        }
+        case DriftKind::kPopularitySpike:
+          break;  // transient; applied to the effective weights below
+      }
+    }
+
+    // Effective popularity this epoch: persistent weights × active spikes.
+    std::vector<double> effective = tag_weight;
+    for (const DriftEvent& ev : options.events) {
+      if (ev.kind != DriftKind::kPopularitySpike) continue;
+      if (epoch >= ev.epoch && epoch < ev.epoch + ev.duration_epochs) {
+        effective[ev.tag] *= ev.magnitude;
+      }
+    }
+
+    // This epoch's documents come from an epoch-keyed stream, independent
+    // of every other epoch and of all event streams.
+    Rng erng(DeriveSeed(base.seed, kEpochStreamKey, epoch));
+    for (std::size_t user = 0; user < base.num_users; ++user) {
+      std::vector<double> interest = base_interest[user];
+      for (std::size_t t = 0; t < total_tags; ++t) {
+        interest[t] *= effective[t];
+      }
+
+      std::size_t num_docs = options.min_docs_per_user_per_epoch +
+                             erng.NextU64(options.max_docs_per_user_per_epoch -
+                                          options.min_docs_per_user_per_epoch +
+                                          1);
+      for (std::size_t d = 0; d < num_docs; ++d) {
+        RawDocument doc;
+        doc.user = user;
+
+        std::vector<std::size_t> tags;
+        std::size_t first = erng.Categorical(interest);
+        if (first >= total_tags) first = erng.NextU64(base.num_tags);
+        tags.push_back(first);
+        while (tags.size() < base.max_tags_per_doc &&
+               erng.Bernoulli(base.extra_tag_probability)) {
+          std::size_t extra = erng.Categorical(interest);
+          if (extra >= total_tags) break;
+          if (std::find(tags.begin(), tags.end(), extra) == tags.end()) {
+            tags.push_back(extra);
+          }
+        }
+        std::sort(tags.begin(), tags.end());
+        for (std::size_t t : tags) doc.tags.push_back(stream.tag_names[t]);
+
+        std::size_t length =
+            base.min_doc_words +
+            erng.NextU64(base.max_doc_words - base.min_doc_words + 1);
+        std::vector<std::string> content;
+        content.reserve(length);
+        for (std::size_t w = 0; w < length; ++w) {
+          if (erng.Bernoulli(base.background_word_fraction)) {
+            content.push_back(vocab[background_sampler.Sample(erng)]);
+          } else {
+            std::size_t topic = tags[erng.NextU64(tags.size())];
+            std::size_t rank = topic_sampler.Sample(erng);
+            content.push_back(vocab[topic_word_ids[topic][rank]]);
+          }
+        }
+
+        doc.title = "doc_e" + std::to_string(epoch) + "_u" +
+                    std::to_string(user) + "_" + std::to_string(d);
+        doc.text = RenderText(content, base, erng);
+
+        stream.user_documents[user].push_back(stream.documents.size());
+        stream.doc_epoch.push_back(epoch);
+        stream.documents.push_back(std::move(doc));
+      }
+    }
+  }
+  return stream;
+}
+
 }  // namespace p2pdt

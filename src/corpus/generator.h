@@ -95,6 +95,95 @@ struct GeneratedCorpus {
 /// Generates a corpus; deterministic in `options.seed`.
 Result<GeneratedCorpus> GenerateCorpus(const CorpusOptions& options);
 
+// ---------------------------------------------------------------------------
+// Streaming corpus with scripted drift
+// ---------------------------------------------------------------------------
+//
+// Real tagging systems are not stationary: vocabularies grow, tag
+// popularity drifts and user attention is bursty (Golder & Huberman;
+// Santos-Neto et al.). The stream generator emits the same Delicious-like
+// corpus as GenerateCorpus, but as a timed sequence of per-epoch document
+// batches whose generating distribution is perturbed by scripted events.
+
+/// The ways a scripted event can perturb the generating distribution.
+enum class DriftKind : uint8_t {
+  /// Gradual concept drift: the tag's topical word set rotates toward
+  /// fresh vocabulary, `magnitude` fraction replaced over the event's
+  /// duration (a little each epoch).
+  kTopicRotation = 0,
+  /// Sudden concept shift: the affected tag's (or every tag's) topical
+  /// word set is resampled wholesale at the event epoch. Models trained
+  /// before the event become near-useless for the affected tags.
+  kVocabularyShift,
+  /// Bursty attention: the tag's global popularity weight is multiplied
+  /// by `magnitude` for the event's duration, then reverts.
+  kPopularitySpike,
+  /// Vocabulary growth: a reserved tag (weight zero until now) becomes
+  /// active with `magnitude` × the median active-tag weight.
+  kNewTag,
+};
+
+const char* DriftKindToString(DriftKind kind);
+
+/// One scripted perturbation of the stream's generating distribution.
+/// All randomness an event consumes is drawn from a stream keyed by
+/// DeriveSeed(seed, event index, epoch), so adding, removing or reordering
+/// events never shifts the document-generation RNG streams of untouched
+/// epochs — the property the sharded drift harness's determinism rests on.
+struct DriftEvent {
+  DriftKind kind = DriftKind::kVocabularyShift;
+  /// First epoch whose documents are drawn from the perturbed distribution.
+  std::size_t epoch = 0;
+  /// Epochs a gradual rotation spreads over / a popularity spike lasts.
+  std::size_t duration_epochs = 1;
+  /// Rotation fraction, spike multiplier, or new-tag weight multiplier.
+  double magnitude = 1.0;
+  /// Affected tag id, or kAllTags (vocabulary shift only) for every
+  /// currently active tag.
+  static constexpr std::size_t kAllTags = static_cast<std::size_t>(-1);
+  std::size_t tag = kAllTags;
+};
+
+/// Parameters of a drifting document stream.
+struct StreamOptions {
+  /// Shape of the underlying corpus. min/max_docs_per_user are ignored —
+  /// per-epoch volume is controlled below.
+  CorpusOptions base;
+  std::size_t num_epochs = 8;
+  /// Documents each user produces per epoch (uniform in [min, max]).
+  std::size_t min_docs_per_user_per_epoch = 4;
+  std::size_t max_docs_per_user_per_epoch = 8;
+  /// Extra inactive tags in the universe available to kNewTag events.
+  /// They have topic words and names from the start (so the feature/tag
+  /// spaces are fixed) but zero popularity until an event activates them.
+  std::size_t reserve_tags = 0;
+  /// Scripted drift events; empty = a stationary stream.
+  std::vector<DriftEvent> events;
+};
+
+/// A generated document stream plus its generation metadata. Documents are
+/// ordered epoch-major (all of epoch 0, then epoch 1, ...).
+struct StreamedCorpus {
+  std::vector<RawDocument> documents;
+  /// Epoch of documents[i] (parallel to documents).
+  std::vector<std::size_t> doc_epoch;
+  /// Full tag universe including reserved (not-yet-active) tags.
+  std::vector<std::string> tag_names;
+  std::vector<std::vector<std::size_t>> user_documents;
+  /// Initial (pre-drift) topical words per tag (diagnostics / tests).
+  std::vector<std::vector<std::string>> topic_words;
+  std::size_t num_epochs = 0;
+  /// Earliest epoch any event perturbs (num_epochs when events is empty).
+  std::size_t first_drift_epoch = 0;
+
+  std::size_t num_users() const { return user_documents.size(); }
+};
+
+/// Generates a drifting stream; deterministic in (options.base.seed,
+/// options.events). Epoch e's documents are drawn from an RNG stream keyed
+/// by DeriveSeed(seed, e), independent of every other epoch's stream.
+Result<StreamedCorpus> GenerateStream(const StreamOptions& options);
+
 namespace corpus_internal {
 /// Generates `count` distinct pronounceable pseudo-words (syllable
 /// concatenations); exposed for tests.

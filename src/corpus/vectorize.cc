@@ -35,4 +35,43 @@ Result<VectorizedCorpus> MakeVectorizedCorpus(const CorpusOptions& options) {
   return VectorizeCorpus(corpus.value(), preprocessor);
 }
 
+Result<VectorizedStream> VectorizeStream(const StreamedCorpus& stream,
+                                         Preprocessor& preprocessor) {
+  VectorizedStream out;
+  out.num_epochs = stream.num_epochs;
+  out.first_drift_epoch = stream.first_drift_epoch;
+  out.doc_epoch = stream.doc_epoch;
+
+  VectorizedCorpus& vc = out.corpus;
+  vc.tag_names = stream.tag_names;
+  vc.num_users = stream.num_users();
+  for (std::size_t t = 0; t < stream.tag_names.size(); ++t) {
+    vc.tag_ids.emplace(stream.tag_names[t], static_cast<TagId>(t));
+  }
+  vc.dataset.set_num_tags(static_cast<TagId>(stream.tag_names.size()));
+
+  for (const RawDocument& doc : stream.documents) {
+    MultiLabelExample ex;
+    ex.x = preprocessor.Process(doc.text);
+    for (const std::string& tag : doc.tags) {
+      auto it = vc.tag_ids.find(tag);
+      if (it == vc.tag_ids.end()) {
+        return Status::Internal("stream document references unknown tag: " +
+                                tag);
+      }
+      ex.tags.push_back(it->second);
+    }
+    vc.doc_user.push_back(doc.user);
+    vc.dataset.Add(std::move(ex));
+  }
+  return out;
+}
+
+Result<VectorizedStream> MakeVectorizedStream(const StreamOptions& options) {
+  Result<StreamedCorpus> stream = GenerateStream(options);
+  if (!stream.ok()) return stream.status();
+  Preprocessor preprocessor;
+  return VectorizeStream(stream.value(), preprocessor);
+}
+
 }  // namespace p2pdt

@@ -1,0 +1,135 @@
+#include "ml/staleness.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2pdt {
+
+namespace {
+
+double Clamp01(double v) {
+  if (!(v > 0.0)) return 0.0;  // also catches NaN
+  return v < 1.0 ? v : 1.0;
+}
+
+/// One EWMA step with seeding: the first observation anchors both averages
+/// so the gap starts at zero instead of decaying from an arbitrary prior.
+void Ewma(double& fast, double& slow, bool& seeded, double fast_alpha,
+          double slow_alpha, double value) {
+  if (!seeded) {
+    fast = value;
+    slow = value;
+    seeded = true;
+    return;
+  }
+  fast += fast_alpha * (value - fast);
+  slow += slow_alpha * (value - slow);
+}
+
+}  // namespace
+
+ModelStalenessTracker::ModelStalenessTracker(StalenessOptions options)
+    : options_(options) {
+  if (options_.window == 0) options_.window = 1;
+  options_.fast_alpha = Clamp01(options_.fast_alpha);
+  options_.slow_alpha = Clamp01(options_.slow_alpha);
+  if (options_.stale_after_docs == 0) options_.stale_after_docs = 1;
+  window_.reserve(options_.window);
+}
+
+void ModelStalenessTracker::RecordTrained() {
+  docs_since_train_ = 0;
+  observations_since_train_ = 0;
+  window_.clear();
+  window_sum_ = 0.0;
+  // The refreshed model defines a new regime: the accuracy reference
+  // re-anchors on the first post-retrain window (a pre-retrain collapse
+  // must not keep the drift latch armed against the new model), and the
+  // fast confidence EWMA re-joins the slow one.
+  accuracy_seeded_ = false;
+  fast_confidence_ = slow_confidence_;
+}
+
+void ModelStalenessTracker::RecordDocument(std::size_t count) {
+  docs_since_train_ += count;
+}
+
+void ModelStalenessTracker::RecordHoldout(double correctness,
+                                          double confidence) {
+  ++observations_since_train_;
+  correctness = Clamp01(correctness);  // also maps NaN to 0
+
+  if (window_.size() == options_.window) {
+    window_sum_ -= window_.front();
+    window_.erase(window_.begin());
+  }
+  window_.push_back(correctness);
+  window_sum_ += correctness;
+
+  if (!accuracy_seeded_) {
+    // Anchor phase: the first min_observations grades form the reference
+    // level. Seeding from one near-binary grade would hand the slow EWMA a
+    // reference that is itself pure noise.
+    if (observations_since_train_ >= options_.min_observations) {
+      fast_accuracy_ = window_accuracy();
+      slow_accuracy_ = fast_accuracy_;
+      accuracy_seeded_ = true;
+    }
+  } else {
+    fast_accuracy_ += options_.fast_alpha * (correctness - fast_accuracy_);
+    slow_accuracy_ += options_.slow_alpha * (correctness - slow_accuracy_);
+    fast_accuracy_ = Clamp01(fast_accuracy_);
+    slow_accuracy_ = Clamp01(slow_accuracy_);
+  }
+
+  if (std::isfinite(confidence)) {
+    Ewma(fast_confidence_, slow_confidence_, confidence_seeded_,
+         options_.fast_alpha, options_.slow_alpha, Clamp01(confidence));
+    fast_confidence_ = Clamp01(fast_confidence_);
+    slow_confidence_ = Clamp01(slow_confidence_);
+  }
+}
+
+double ModelStalenessTracker::window_accuracy() const {
+  if (window_.empty()) return 1.0;
+  return window_sum_ / static_cast<double>(window_.size());
+}
+
+double ModelStalenessTracker::drift_score() const {
+  // Accuracy arm: long-run EWMA vs the holdout *window* mean. The window
+  // mean's variance shrinks with window size, so the signal does not
+  // flicker over thresholds on stationary data the way a fast
+  // per-observation EWMA would; until the reference is anchored there is
+  // no gap to speak of.
+  const double accuracy_gap =
+      (!accuracy_seeded_ || window_.empty())
+          ? 0.0
+          : slow_accuracy_ - window_accuracy();
+  // Confidence arm: the classifier's raw scores are continuous (low per-
+  // observation variance), so here the fast EWMA is both quick and quiet.
+  const double confidence_gap =
+      options_.confidence_weight * (slow_confidence_ - fast_confidence_);
+  return std::max(0.0, std::max(accuracy_gap, confidence_gap));
+}
+
+bool ModelStalenessTracker::DriftDetected() const {
+  return observations_since_train_ >= options_.min_observations &&
+         drift_score() > options_.drift_threshold;
+}
+
+double ModelStalenessTracker::staleness() const {
+  const double age =
+      std::min(1.0, static_cast<double>(docs_since_train_) /
+                        static_cast<double>(options_.stale_after_docs));
+  // Deadband below the drift threshold: any gap that would not trip the
+  // drift detector contributes exactly nothing here, so stationary peers
+  // cannot creep past retrain triggers on age + sampling noise. Above the
+  // threshold the gate ramps linearly, saturating at twice the threshold.
+  const double t = options_.drift_threshold;
+  const double score = drift_score();
+  const double gap =
+      t > 0.0 ? Clamp01((score - t) / t) : (score > 0.0 ? 1.0 : 0.0);
+  return Clamp01(age * (0.25 + 0.75 * gap));
+}
+
+}  // namespace p2pdt

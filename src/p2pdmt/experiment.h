@@ -100,6 +100,10 @@ struct ExperimentResult {
   uint64_t retransmits = 0;
   uint64_t acks_received = 0;
   uint64_t give_ups = 0;
+  /// Peers the reliable transport currently suspects dead (consecutive
+  /// give-ups without a later ACK) at the end of the run; 0 when the
+  /// algorithm ran fire-and-forget.
+  uint64_t suspected_peers = 0;
   /// PACE only: fraction of (receiver, contributor) pairs holding the
   /// contributor's model after training (-1 for other algorithms).
   double model_coverage = -1.0;

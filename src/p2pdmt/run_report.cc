@@ -92,6 +92,15 @@ std::string RunReport::ToJson(const ExperimentResult& result,
   out += ", \"give_ups\": " + std::to_string(result.give_ups);
   out += "},\n";
 
+  // Reliable-transport health: how often delivery needed the backstop and
+  // which peers the failure detector ended the run suspecting dead.
+  out += "  \"transport\": {";
+  out += "\"retransmits\": " + std::to_string(result.retransmits);
+  out += ", \"acks_received\": " + std::to_string(result.acks_received);
+  out += ", \"give_ups\": " + std::to_string(result.give_ups);
+  out += ", \"suspected_peers\": " + std::to_string(result.suspected_peers);
+  out += "},\n";
+
   out += "  \"timing\": {";
   out += "\"train_sim_seconds\": " + Num(result.train_sim_seconds);
   out += ", \"predict_sim_seconds\": " + Num(result.predict_sim_seconds);

@@ -97,6 +97,7 @@ Status Cempar::SetupShards(std::vector<DatasetShard> peer_data,
                     options_.regions_per_tag,
                 Home{});
   local_models_.assign(peer_data_.size(), {});
+  model_version_.assign(peer_data_.size(), 0);
   owner_cache_.assign(peer_data_.size(), {});
   trained_ = false;
   models_rejected_ = 0;
@@ -128,6 +129,7 @@ void Cempar::PurgeContributor(NodeId observer, NodeId contributor) {
   for (Home& home : homes_) {
     if (home.owner != observer) continue;
     if (home.locals.erase(contributor) > 0) home.dirty = true;
+    home.local_versions.erase(contributor);
   }
 }
 
@@ -143,7 +145,7 @@ DefenseStats Cempar::defense_stats() const {
 }
 
 void Cempar::UploadModel(NodeId peer, TagId tag, std::size_t region,
-                         KernelSvmModel model,
+                         KernelSvmModel model, uint32_t version,
                          std::shared_ptr<std::function<void()>> barrier) {
   const std::size_t h = HomeIndex(tag, region);
   if (Histogram* hist = PhaseHistogram(net_.metrics(), "sv_upload")) {
@@ -158,7 +160,7 @@ void Cempar::UploadModel(NodeId peer, TagId tag, std::size_t region,
         });
   }
   chord_.Lookup(peer, HomeKey(tag, region),
-                [this, peer, h, model = std::move(model),
+                [this, peer, h, version, model = std::move(model),
                  barrier](ChordOverlay::LookupResult res) {
     if (!res.success) {
       (*barrier)();
@@ -167,7 +169,7 @@ void Cempar::UploadModel(NodeId peer, TagId tag, std::size_t region,
     if (options_.cache_super_peer_lookups) {
       owner_cache_[peer][h] = res.owner;
     }
-    auto install = [this, h, peer, owner = res.owner, model] {
+    auto install = [this, h, peer, version, owner = res.owner, model] {
       Home& home = homes_[h];
       if (home.owner == kInvalidNode) home.owner = owner;
       // A model delivered to a node that is not the home's collection
@@ -196,7 +198,26 @@ void Cempar::UploadModel(NodeId peer, TagId tag, std::size_t region,
           return;
         }
       }
-      home.locals.emplace(peer, model);
+      // Version-guarded intake: a stamped upload replaces the peer's
+      // stored local iff it is strictly newer than the held one. Duplicate
+      // deliveries (same version) and out-of-order stragglers (older
+      // version landing after a refresh) leave the stored model untouched
+      // — an old version can never clobber a fresh one. All initial
+      // publishes carry version 0, reproducing the legacy first-write-wins
+      // emplace exactly.
+      auto existing = home.locals.find(peer);
+      if (existing != home.locals.end()) {
+        uint32_t held = 0;
+        auto vit = home.local_versions.find(peer);
+        if (vit != home.local_versions.end()) held = vit->second;
+        if (version > held) {
+          existing->second = model;  // old-version eviction at the home
+          home.local_versions[peer] = version;
+        }
+      } else {
+        home.locals.emplace(peer, model);
+        if (version > 0) home.local_versions[peer] = version;
+      }
       home.dirty = true;
     };
     const std::size_t bytes = model.WireSize() + 16;
@@ -333,7 +354,7 @@ void Cempar::Train(std::function<void(Status)> on_complete) {
                                        upload);
       ++*pending;
       UploadModel(cell.peer, cell.tag, cell.region, std::move(upload),
-                  barrier);
+                  model_version_[cell.peer], barrier);
     };
   });
   (*barrier)();  // consume the root token
@@ -726,6 +747,7 @@ void Cempar::RepairRound(std::function<void()> on_complete) {
       stale[h] = true;
       // Models held at the dead node are gone.
       home.locals.clear();
+      home.local_versions.clear();
       home.has_regional = false;
       home.weight = 0.0;
       home.owner = kInvalidNode;
@@ -751,7 +773,7 @@ void Cempar::RepairRound(std::function<void()> on_complete) {
       std::size_t region = h % options_.regions_per_tag;
       owner_cache_[peer].erase(h);
       ++*pending;
-      UploadModel(peer, tag, region, model, barrier);
+      UploadModel(peer, tag, region, model, model_version_[peer], barrier);
     }
   }
   (*barrier)();
@@ -970,6 +992,77 @@ std::size_t Cempar::ColdRestart(NodeId peer) {
 void Cempar::ResyncPeer(NodeId peer, std::function<void()> done) {
   (void)peer;  // RepairRound already sweeps every stale home network-wide.
   RepairRound(std::move(done));
+}
+
+Status Cempar::ReplacePeerData(NodeId peer, DatasetShard window) {
+  if (peer >= peer_data_.size()) {
+    return Status::InvalidArgument("replace data of unknown peer " +
+                                   std::to_string(peer));
+  }
+  window.set_num_tags(num_tags_);
+  peer_data_[peer] = std::move(window);
+  if (reputation_ != nullptr) {
+    // Trust scoring cross-validates against the peer's current window, so
+    // refreshed contributors are judged on the data regime they now model.
+    reputation_->SetHoldout(peer, peer_data_[peer]);
+  }
+  return Status::OK();
+}
+
+void Cempar::RefreshPeer(NodeId peer, std::function<void()> done) {
+  if (peer >= peer_data_.size() || !net_.IsOnline(peer) ||
+      peer_data_[peer].empty()) {
+    sim_.Schedule(0.0, std::move(done));
+    return;
+  }
+  // One publish version for the whole refreshed grid: every per-tag local
+  // re-uploaded below carries it, so a home can tell this refresh from the
+  // superseded fit no matter which copies (or retransmissions) arrive when.
+  const uint32_t version = ++model_version_[peer];
+  Stopwatch refresh_wall;
+  local_models_[peer].clear();
+  const DatasetShard& data = peer_data_[peer];
+  std::vector<std::size_t> counts = data.TagCounts();
+  const std::size_t region = peer % options_.regions_per_tag;
+  for (TagId tag = 0; tag < num_tags_; ++tag) {
+    if (tag >= counts.size() || counts[tag] == 0) continue;
+    Result<KernelSvmModel> model =
+        TrainKernelSvm(data.OneAgainstAll(tag), options_.svm);
+    if (!model.ok()) {
+      P2PDT_LOG(Warning) << "peer " << peer << " tag " << tag
+                         << " refresh SVM failed: "
+                         << model.status().ToString();
+      continue;
+    }
+    local_models_[peer].emplace(HomeIndex(tag, region),
+                                std::move(model).value());
+  }
+  if (Histogram* hist = PhaseHistogram(net_.metrics(), "model_refresh")) {
+    hist->Observe(refresh_wall.ElapsedSeconds());
+  }
+
+  // Re-upload through the normal (possibly reliable) upload path; each
+  // home's version-guarded intake evicts the stored old-version local and
+  // re-cascades once the traffic quiesces — same barrier shape as Train.
+  auto pending = std::make_shared<std::size_t>(1);
+  auto barrier = std::make_shared<std::function<void()>>();
+  *barrier = [this, pending, done = std::move(done)] {
+    if (--*pending > 0) return;
+    CascadeAll();
+    ReplicateRegionals();
+    done();
+  };
+  for (const auto& [h, model] : local_models_[peer]) {
+    TagId tag = static_cast<TagId>(h / options_.regions_per_tag);
+    std::size_t home_region = h % options_.regions_per_tag;
+    ++*pending;
+    UploadModel(peer, tag, home_region, model, version, barrier);
+  }
+  sim_.Schedule(0.0, [barrier] { (*barrier)(); });  // consume root token
+}
+
+uint64_t Cempar::ModelVersion(NodeId peer) const {
+  return peer < model_version_.size() ? model_version_[peer] : 0;
 }
 
 bool Cempar::LocalScores(NodeId peer, const SparseVector& x,

@@ -132,6 +132,19 @@ class Cempar final : public P2PClassifier {
   /// was away and re-cascades.
   void ResyncPeer(NodeId peer, std::function<void()> done) override;
 
+  // Online refresh (drift adaptation): the peer refits its local per-tag
+  // SVMs on its current sliding window and re-uploads them with a bumped
+  // version stamp through the normal reliable-upload path. At each home
+  // the stamped upload *replaces* the peer's previous local model iff it
+  // is strictly newer — duplicate and out-of-order deliveries are no-ops —
+  // then the home re-cascades. That is the stale-vs-fresh reconciliation:
+  // an old version can never clobber a refreshed one, and a refreshed one
+  // evicts the old the moment it lands.
+  bool SupportsOnlineRefresh() const override { return true; }
+  Status ReplacePeerData(NodeId peer, DatasetShard window) override;
+  void RefreshPeer(NodeId peer, std::function<void()> done) override;
+  uint64_t ModelVersion(NodeId peer) const override;
+
   /// Number of (tag, region) homes whose regional model is currently
   /// hosted on an *online* node.
   std::size_t NumLiveHomes() const;
@@ -162,6 +175,9 @@ class Cempar final : public P2PClassifier {
     NodeId owner = kInvalidNode;
     /// Local models uploaded by peers, keyed by contributor.
     std::map<NodeId, KernelSvmModel> locals;
+    /// Version stamp of each stored local (absent = 0, the initial
+    /// publish). Guards the replace-iff-strictly-newer intake rule.
+    std::map<NodeId, uint32_t> local_versions;
     KernelSvmModel regional;
     bool has_regional = false;
     /// Locals changed since the last cascade.
@@ -178,8 +194,11 @@ class Cempar final : public P2PClassifier {
     return static_cast<std::size_t>(tag) * options_.regions_per_tag + region;
   }
   uint64_t HomeKey(TagId tag, std::size_t region) const;
+  /// Uploads `model` (publish version `version`) to the (tag, region)
+  /// home. The install intake replaces the peer's stored local iff the
+  /// incoming version is strictly newer than the held one.
   void UploadModel(NodeId peer, TagId tag, std::size_t region,
-                   KernelSvmModel model,
+                   KernelSvmModel model, uint32_t version,
                    std::shared_ptr<std::function<void()>> barrier);
   void CascadeAll();
   /// Pushes a replica of home `h`'s regional model from its owner to the
@@ -214,6 +233,9 @@ class Cempar final : public P2PClassifier {
   std::vector<Home> homes_;  // indexed by HomeIndex
   /// Per-peer locally trained models (kept for repair rounds).
   std::vector<std::map<std::size_t, KernelSvmModel>> local_models_;
+  /// Per-peer publish version counter (0 until the first online refresh;
+  /// store-side metadata, not checkpointed).
+  std::vector<uint32_t> model_version_;
   /// Per-requester cache: home index -> last known owner.
   std::vector<std::unordered_map<std::size_t, NodeId>> owner_cache_;
   bool trained_ = false;

@@ -143,6 +143,45 @@ class P2PClassifier {
     (void)peer;
     done();
   }
+
+  // --- Online-refresh hooks (optional) -------------------------------------
+  //
+  // Non-stationary workloads (tag drift, vocabulary growth) make a
+  // trained-once model rot. Protocols that override these hooks let the
+  // drift harness swap a peer's training window and republish a refreshed,
+  // version-stamped model through the protocol's own dissemination path —
+  // reusing its reliable-transport / sanitation / reputation gates, so a
+  // refreshed model is vetted exactly like an initial one. The defaults
+  // make every protocol safely refresh-less.
+
+  /// True when ReplacePeerData / RefreshPeer are meaningful.
+  virtual bool SupportsOnlineRefresh() const { return false; }
+
+  /// Replaces the peer's training data with a new sliding window (old
+  /// documents aged out, fresh ones in). Does not retrain — pair with
+  /// RefreshPeer.
+  virtual Status ReplacePeerData(NodeId peer, DatasetShard window) {
+    (void)peer;
+    (void)window;
+    return Status::Unavailable(name() + " does not support online refresh");
+  }
+
+  /// Retrains the peer's local model(s) on its current window and
+  /// republishes them with a bumped version stamp: PACE re-broadcasts the
+  /// bundle, CEMPaR re-uploads to the responsible super-peers (which
+  /// replace the peer's old-version model — stale-vs-fresh reconciliation).
+  /// `done` fires in simulated time once the republication traffic settles.
+  virtual void RefreshPeer(NodeId peer, std::function<void()> done) {
+    (void)peer;
+    done();
+  }
+
+  /// Version stamp of the peer's currently published model (0 until the
+  /// first refresh; bumped by each RefreshPeer).
+  virtual uint64_t ModelVersion(NodeId peer) const {
+    (void)peer;
+    return 0;
+  }
 };
 
 }  // namespace p2pdt

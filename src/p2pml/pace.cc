@@ -65,6 +65,7 @@ Status Pace::SetupShards(std::vector<DatasetShard> peer_data, TagId num_tags) {
   }
   received_.assign(peer_data_.size(),
                    std::vector<bool>(contributors_.size(), false));
+  received_version_.assign(peer_data_.size(), {});
   index_ = std::make_unique<CosineLsh>(options_.lsh);
   index_items_.clear();
   trained_ = false;
@@ -308,6 +309,11 @@ void Pace::AcceptBundle(NodeId receiver, NodeId contributor) {
     }
   }
   received_[receiver][rank] = true;
+  // Monotonic version stamp: a late delivery of a superseded bundle can
+  // never downgrade a receiver that already ingested the fresh one.
+  if (pm.version > HeldVersion(receiver, rank)) {
+    SetHeldVersion(receiver, rank, pm.version);
+  }
 }
 
 void Pace::ProbeQuarantined(NodeId requester) {
@@ -327,8 +333,12 @@ void Pace::ProbeQuarantined(NodeId requester) {
     if (score < 0.0) continue;
     reputation_->Observe(requester, p, score);
     if (!reputation_->IsQuarantined(requester, p)) {
-      // Re-admitted: re-ingest the retained bundle copy.
-      received_[requester][contributor_rank_[p]] = true;
+      // Re-admitted: re-ingest the retained bundle copy (current version).
+      const uint32_t rank = contributor_rank_[p];
+      received_[requester][rank] = true;
+      if (models_[p].version > HeldVersion(requester, rank)) {
+        SetHeldVersion(requester, rank, models_[p].version);
+      }
     }
   }
 }
@@ -378,7 +388,7 @@ void Pace::Train(std::function<void(Status)> on_complete) {
     if (!models_[peer].valid) continue;
     for (std::size_t c = 0; c < models_[peer].centroids.size(); ++c) {
       index_->Insert(index_items_.size(), models_[peer].centroids[c]);
-      index_items_.emplace_back(peer, c);
+      index_items_.push_back({peer, c, models_[peer].version});
     }
   }
   if (Histogram* hist = PhaseHistogram(net_.metrics(), "lsh_index")) {
@@ -458,9 +468,10 @@ void Pace::RepairRound(std::size_t round,
   std::vector<std::pair<NodeId, NodeId>> missing;  // (contributor, receiver)
   for (NodeId p : contributors_) {
     if (!models_[p].valid) continue;
-    const uint32_t rank = contributor_rank_[p];
     for (NodeId q = 0; q < received_.size(); ++q) {
-      if (q == p || received_[q][rank] || !net_.IsOnline(q)) continue;
+      // Holds is version-aware: a receiver stuck on a superseded bundle
+      // counts as missing and gets the fresh one.
+      if (q == p || Holds(q, p) || !net_.IsOnline(q)) continue;
       missing.emplace_back(p, q);
     }
   }
@@ -551,12 +562,16 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
   std::vector<double> best_dist(models_.size(),
                                 std::numeric_limits<double>::infinity());
   for (std::size_t item : candidates) {
-    const auto& [peer, cidx] = index_items_[item];
+    const IndexItem& entry = index_items_[item];
+    const NodeId peer = entry.peer;
     if (!eligible(peer)) continue;
+    // Entries of superseded bundle versions are dead — old-version
+    // eviction at the index. Only the current version's centroids answer.
+    if (entry.version != models_[peer].version) continue;
     // A restored bundle is expected to carry the indexed centroids, but a
     // stale index entry must degrade to "skip", never to an OOB read.
-    if (cidx >= models_[peer].centroids.size()) continue;
-    double d = x.SquaredDistance(models_[peer].centroids[cidx]);
+    if (entry.cidx >= models_[peer].centroids.size()) continue;
+    double d = x.SquaredDistance(models_[peer].centroids[entry.cidx]);
     best_dist[peer] = std::min(best_dist[peer], d);
   }
   for (NodeId peer = 0; peer < models_.size(); ++peer) {
@@ -787,10 +802,17 @@ Status Pace::Restore(NodeId peer, const std::string& blob) {
     }
   }
   // Commit only after the whole blob parsed: restore is all-or-nothing.
+  // The version counter is store-side publish metadata, not checkpoint
+  // content: it survives the restore so receivers holding the peer's
+  // latest publish stay consistent and future refreshes keep ascending.
+  restored.version = models_[peer].version;
   // The row compresses back to contributor ranks; bits claimed for peers
-  // that never contributed have nothing behind them and are dropped.
+  // that never contributed have nothing behind them and are dropped. Held
+  // versions reset to 0 (the snapshot predates versioning): any contributor
+  // that refreshed since is honestly treated as missing until resync.
   models_[peer] = std::move(restored);
   received_[peer].assign(contributors_.size(), false);
+  received_version_[peer].clear();
   for (NodeId p = 0; p < row.size(); ++p) {
     if (row[p] && contributor_rank_[p] != kNoRank) {
       received_[peer][contributor_rank_[p]] = true;
@@ -807,11 +829,13 @@ void Pace::EvictPeer(NodeId peer) {
   // copy other receivers hold, which a crash of the contributor does not
   // destroy; visibility is entirely received_[q][rank(peer)].
   received_[peer].assign(contributors_.size(), false);
+  received_version_[peer].clear();
 }
 
 std::size_t Pace::ColdRestart(NodeId peer) {
   if (peer >= peer_data_.size()) return 0;
   received_[peer].assign(contributors_.size(), false);
+  received_version_[peer].clear();
   const DatasetShard& data = peer_data_[peer];
   if (data.empty()) return 0;
   TrainLocal(peer);
@@ -885,11 +909,108 @@ double Pace::ModelCoverage() const {
     for (NodeId p : contributors_) {
       if (!models_[p].valid) continue;
       ++want;
-      if (received_[q][contributor_rank_[p]]) ++have;
+      if (Holds(q, p)) ++have;
     }
   }
   return want == 0 ? 0.0
                    : static_cast<double>(have) / static_cast<double>(want);
+}
+
+Status Pace::ReplacePeerData(NodeId peer, DatasetShard window) {
+  if (peer >= peer_data_.size()) {
+    return Status::InvalidArgument("replace data of unknown peer " +
+                                   std::to_string(peer));
+  }
+  if (contributor_rank_[peer] == kNoRank && !window.empty()) {
+    // The receipt matrix is rank-compressed over setup-time contributors;
+    // a peer that contributed nothing then cannot start publishing mid-run.
+    return Status::FailedPrecondition(
+        "peer " + std::to_string(peer) +
+        " contributed no data at setup and cannot become a contributor");
+  }
+  window.set_num_tags(num_tags_);
+  peer_data_[peer] = std::move(window);
+  bundle_verdict_[peer] = -1;  // next publish is a different bundle
+  if (reputation_ != nullptr) {
+    // The cross-validation holdout tracks the peer's current window, so
+    // trust scoring reflects the data regime models are judged against.
+    reputation_->SetHoldout(peer, peer_data_[peer]);
+  }
+  return Status::OK();
+}
+
+void Pace::RefreshPeer(NodeId peer, std::function<void()> done) {
+  const uint32_t rank =
+      peer < contributor_rank_.size() ? contributor_rank_[peer] : kNoRank;
+  if (rank == kNoRank || !net_.IsOnline(peer) || peer_data_[peer].empty()) {
+    sim_.Schedule(0.0, std::move(done));
+    return;
+  }
+  const uint32_t next_version = models_[peer].version + 1;
+  Stopwatch refresh_wall;
+  TrainLocal(peer);  // deterministic per-(peer,tag) seeds, like Train
+  if (!models_[peer].valid) {
+    sim_.Schedule(0.0, std::move(done));
+    return;
+  }
+  models_[peer].version = next_version;
+  // Index the refreshed centroids under the new stamp; the superseded
+  // version's entries are now dead at query time (version mismatch).
+  for (std::size_t c = 0; c < models_[peer].centroids.size(); ++c) {
+    index_->Insert(index_items_.size(), models_[peer].centroids[c]);
+    index_items_.push_back({peer, c, next_version});
+  }
+  if (Histogram* hist = PhaseHistogram(net_.metrics(), "model_refresh")) {
+    hist->Observe(refresh_wall.ElapsedSeconds());
+  }
+
+  // Re-broadcast through the normal dissemination path; every delivery
+  // passes the same AcceptBundle gate (clamp, sanitize, reputation) as an
+  // initial publish, then reliable fill-in for receivers the broadcast
+  // missed, exactly like Train's repair rounds.
+  AcceptBundle(peer, peer);
+  overlay_.Broadcast(
+      peer, models_[peer].wire_size, MessageType::kModelBroadcast,
+      [this, peer](NodeId receiver) { AcceptBundle(receiver, peer); },
+      [this, peer, done = std::move(done)]() mutable {
+        if (transport_ != nullptr) {
+          RefreshRepair(peer, 0, std::move(done));
+        } else {
+          done();
+        }
+      });
+}
+
+void Pace::RefreshRepair(NodeId peer, std::size_t round,
+                         std::function<void()> done) {
+  std::vector<NodeId> missing;
+  for (NodeId q = 0; q < received_.size(); ++q) {
+    if (q == peer || Holds(q, peer) || !net_.IsOnline(q)) continue;
+    missing.push_back(q);
+  }
+  if (missing.empty() || round >= options_.max_repair_rounds) {
+    sim_.Schedule(0.0, std::move(done));
+    return;
+  }
+  auto pending = std::make_shared<std::size_t>(1);
+  auto barrier = std::make_shared<std::function<void()>>();
+  *barrier = [this, peer, round, pending, done = std::move(done)]() mutable {
+    if (--*pending > 0) return;
+    RefreshRepair(peer, round + 1, std::move(done));
+  };
+  for (NodeId q : missing) {
+    ++*pending;
+    transport_->SendReliable(
+        peer, q, models_[peer].wire_size, MessageType::kModelBroadcast,
+        /*on_deliver=*/[this, peer, q] { AcceptBundle(q, peer); },
+        /*on_acked=*/[barrier] { (*barrier)(); },
+        /*on_give_up=*/[barrier] { (*barrier)(); });
+  }
+  (*barrier)();
+}
+
+uint64_t Pace::ModelVersion(NodeId peer) const {
+  return peer < models_.size() ? models_[peer].version : 0;
 }
 
 }  // namespace p2pdt

@@ -139,6 +139,17 @@ class Pace final : public P2PClassifier {
   /// (reliably when the transport is on, best-effort otherwise).
   void ResyncPeer(NodeId peer, std::function<void()> done) override;
 
+  // Online refresh (drift adaptation): a contributor retrains on its
+  // current sliding window and re-broadcasts a version-stamped bundle
+  // through the same dissemination + sanitation + reputation gates as the
+  // initial one. Receivers holding an older version are stale: their copy
+  // is evicted (version mismatch fails the Holds check) until the fresh
+  // bundle reaches them, so no one ever votes with a superseded model.
+  bool SupportsOnlineRefresh() const override { return true; }
+  Status ReplacePeerData(NodeId peer, DatasetShard window) override;
+  void RefreshPeer(NodeId peer, std::function<void()> done) override;
+  uint64_t ModelVersion(NodeId peer) const override;
+
  private:
   struct PeerModel {
     bool valid = false;
@@ -151,6 +162,8 @@ class Pace final : public P2PClassifier {
     /// never seen a tag has no opinion about it.
     std::vector<bool> tag_informed;
     std::size_t wire_size = 0;
+    /// Bundle version stamp; 0 until the first online refresh.
+    uint32_t version = 0;
   };
 
   void TrainLocal(NodeId peer);
@@ -185,13 +198,42 @@ class Pace final : public P2PClassifier {
   /// bundle to hold).
   static constexpr uint32_t kNoRank = 0xFFFFFFFFu;
 
-  /// True when `receiver` holds `contributor`'s bundle.
+  /// Version of `contributor`'s bundle that `receiver` holds. Rows of
+  /// received_version_ are lazily allocated on the first refresh, so
+  /// stationary runs never touch it (empty row = everything at version 0).
+  uint32_t HeldVersion(NodeId receiver, uint32_t rank) const {
+    if (receiver >= received_version_.size() ||
+        received_version_[receiver].empty()) {
+      return 0;
+    }
+    return received_version_[receiver][rank];
+  }
+  void SetHeldVersion(NodeId receiver, uint32_t rank, uint32_t version) {
+    if (version == 0 && (receiver >= received_version_.size() ||
+                         received_version_[receiver].empty())) {
+      return;  // stationary fast path: nothing ever allocated
+    }
+    if (received_version_[receiver].empty()) {
+      received_version_[receiver].assign(contributors_.size(), 0);
+    }
+    received_version_[receiver][rank] = version;
+  }
+
+  /// True when `receiver` holds `contributor`'s *current* bundle. A copy of
+  /// a superseded version does not count — old versions are evicted, not
+  /// voted with.
   bool Holds(NodeId receiver, NodeId contributor) const {
     const uint32_t rank = contributor < contributor_rank_.size()
                               ? contributor_rank_[contributor]
                               : kNoRank;
-    return rank != kNoRank && received_[receiver][rank];
+    return rank != kNoRank && received_[receiver][rank] &&
+           HeldVersion(receiver, rank) == models_[contributor].version;
   }
+
+  /// One reliable fill-in pass delivering `peer`'s refreshed bundle to the
+  /// receivers the re-broadcast missed; recurses up to max_repair_rounds.
+  void RefreshRepair(NodeId peer, std::size_t round,
+                     std::function<void()> done);
 
   /// Per-peer flyweight views into the shared training corpus (legacy
   /// Setup wraps its materialized datasets into single-peer shards).
@@ -211,12 +253,25 @@ class Pace final : public P2PClassifier {
   /// write, re-compressed on read), so checkpoints predating this layout
   /// restore unchanged.
   std::vector<std::vector<bool>> received_;
+  /// received_version_[q][rank(p)]: version of p's bundle that q holds.
+  /// Rows stay empty (= all zeros) until an online refresh touches them, so
+  /// the stationary footprint is N empty vectors.
+  std::vector<std::vector<uint32_t>> received_version_;
   /// Shared LSH index over (peer, centroid) entries; identical hash
   /// functions on every peer (common seed), per-receiver visibility is
   /// enforced via received_.
   std::unique_ptr<CosineLsh> index_;
-  /// LSH item id -> (peer, centroid index).
-  std::vector<std::pair<NodeId, std::size_t>> index_items_;
+  /// One LSH index entry: which peer's bundle, which of its centroids, and
+  /// the bundle version the centroid belongs to. Entries of superseded
+  /// versions are dead (version check fails at query time) — the index-side
+  /// half of old-version eviction.
+  struct IndexItem {
+    NodeId peer;
+    std::size_t cidx;
+    uint32_t version;
+  };
+  /// LSH item id -> index entry.
+  std::vector<IndexItem> index_items_;
   bool trained_ = false;
 
   /// Non-null when options_.reputation.enabled.

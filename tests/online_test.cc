@@ -102,5 +102,95 @@ TEST(RefineTagsTest, NonLinearModelsLeftAlone) {
   EXPECT_EQ(RefineTags(model, X({{0, 1.0}}), {0}, {0}), 0u);
 }
 
+TEST(RefineTagsTest, UnsortedAndDuplicatedCorrectionsNormalize) {
+  // Regression: the negative-correction membership test binary-searches the
+  // corrected set, which silently misbehaves on unsorted input, and a
+  // duplicated corrected tag must not be nudged twice.
+  OneVsAllModel a = TwoTagModel();
+  OneVsAllModel b = TwoTagModel();
+  SparseVector x = X({{0, 1.0}, {1, 1.0}});
+  std::size_t ua = RefineTags(a, x, {0, 1}, {1, 0, 1, 0});
+  std::size_t ub = RefineTags(b, x, {0, 1}, {0, 1});
+  EXPECT_EQ(ua, ub);
+  EXPECT_DOUBLE_EQ(a.model(0)->Decision(x), b.model(0)->Decision(x));
+  EXPECT_DOUBLE_EQ(a.model(1)->Decision(x), b.model(1)->Decision(x));
+}
+
+RefinementUpdate Update(uint64_t doc, uint32_t revision,
+                        std::vector<TagId> predicted,
+                        std::vector<TagId> corrected) {
+  RefinementUpdate u;
+  u.doc_id = doc;
+  u.revision = revision;
+  u.x = X({{0, 1.0}, {1, 1.0}});
+  u.predicted_tags = std::move(predicted);
+  u.corrected_tags = std::move(corrected);
+  return u;
+}
+
+TEST(RefinementLogTest, DuplicateDeliveryIsANoOp) {
+  OneVsAllModel model = TwoTagModel();
+  RefinementLog log;
+  RefinementUpdate u = Update(42, 1, {0, 1}, {1});
+  EXPECT_TRUE(log.ShouldApply(u));
+  EXPECT_GT(log.Apply(model, u), 0u);
+  const double d0 = model.model(0)->Decision(u.x);
+  const double d1 = model.model(1)->Decision(u.x);
+  // A retransmit of the exact same revision must not move the model.
+  EXPECT_FALSE(log.ShouldApply(u));
+  EXPECT_EQ(log.Apply(model, u), 0u);
+  EXPECT_DOUBLE_EQ(model.model(0)->Decision(u.x), d0);
+  EXPECT_DOUBLE_EQ(model.model(1)->Decision(u.x), d1);
+  EXPECT_EQ(log.applied(), 1u);
+  EXPECT_EQ(log.skipped_duplicate(), 1u);
+  EXPECT_EQ(log.skipped_stale(), 0u);
+}
+
+TEST(RefinementLogTest, StaleRevisionIsDropped) {
+  OneVsAllModel model = TwoTagModel();
+  RefinementLog log;
+  // Revision 2 arrives first (the user re-corrected before the original
+  // correction propagated); the late revision 1 must not roll it back.
+  EXPECT_GT(log.Apply(model, Update(7, 2, {0, 1}, {})), 0u);
+  const double d0 = model.model(0)->Decision(X({{0, 1.0}, {1, 1.0}}));
+  EXPECT_EQ(log.Apply(model, Update(7, 1, {0, 1}, {0, 1})), 0u);
+  EXPECT_DOUBLE_EQ(model.model(0)->Decision(X({{0, 1.0}, {1, 1.0}})), d0);
+  EXPECT_EQ(log.applied(), 1u);
+  EXPECT_EQ(log.skipped_stale(), 1u);
+}
+
+TEST(RefinementLogTest, ReplicasConvergeDespiteRedelivery) {
+  // Two replicas see the same revisions, one with duplicates sprinkled in —
+  // exactly-once application keeps their models bit-identical.
+  OneVsAllModel clean = TwoTagModel();
+  OneVsAllModel noisy = TwoTagModel();
+  RefinementLog clean_log, noisy_log;
+  RefinementUpdate r1 = Update(9, 1, {0}, {1});
+  RefinementUpdate r2 = Update(9, 2, {1}, {0});
+  clean_log.Apply(clean, r1);
+  clean_log.Apply(clean, r2);
+  noisy_log.Apply(noisy, r1);
+  noisy_log.Apply(noisy, r1);  // retransmit
+  noisy_log.Apply(noisy, r2);
+  noisy_log.Apply(noisy, r1);  // straggler
+  noisy_log.Apply(noisy, r2);  // retransmit
+  SparseVector x = X({{0, 1.0}, {1, 1.0}});
+  EXPECT_DOUBLE_EQ(clean.model(0)->Decision(x), noisy.model(0)->Decision(x));
+  EXPECT_DOUBLE_EQ(clean.model(1)->Decision(x), noisy.model(1)->Decision(x));
+  EXPECT_EQ(noisy_log.applied(), 2u);
+  EXPECT_EQ(noisy_log.skipped_duplicate(), 2u);
+  EXPECT_EQ(noisy_log.skipped_stale(), 1u);
+}
+
+TEST(RefinementLogTest, DocumentsAreIndependent) {
+  OneVsAllModel model = TwoTagModel();
+  RefinementLog log;
+  EXPECT_GT(log.Apply(model, Update(1, 5, {0}, {1})), 0u);
+  // A lower revision of a *different* document is not stale.
+  EXPECT_GT(log.Apply(model, Update(2, 1, {0}, {1})), 0u);
+  EXPECT_EQ(log.applied(), 2u);
+  EXPECT_EQ(log.skipped_stale(), 0u);
+}
+
 }  // namespace
 }  // namespace p2pdt

@@ -1,0 +1,177 @@
+#include "ml/staleness.h"
+
+#include <cmath>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+StalenessOptions SmallOptions() {
+  StalenessOptions opt;
+  opt.window = 4;
+  opt.min_observations = 4;
+  opt.fast_alpha = 0.25;
+  opt.slow_alpha = 0.05;
+  opt.drift_threshold = 0.2;
+  opt.confidence_weight = 0.5;
+  opt.stale_after_docs = 10;
+  return opt;
+}
+
+TEST(StalenessTrackerTest, WindowEvictsOldestFirst) {
+  ModelStalenessTracker tracker(SmallOptions());
+  for (double g : {1.0, 1.0, 1.0, 0.0, 0.0, 0.0}) {
+    tracker.RecordHoldout(g, 0.5);
+  }
+  // Capacity 4: the two leading 1.0s were evicted -> window {1, 0, 0, 0}.
+  EXPECT_EQ(tracker.window_size(), 4u);
+  EXPECT_DOUBLE_EQ(tracker.window_accuracy(), 0.25);
+}
+
+TEST(StalenessTrackerTest, WindowAccuracyIsOneWhileEmpty) {
+  ModelStalenessTracker tracker(SmallOptions());
+  EXPECT_DOUBLE_EQ(tracker.window_accuracy(), 1.0);
+  EXPECT_EQ(tracker.window_size(), 0u);
+}
+
+TEST(StalenessTrackerTest, OutOfRangeGradesAreClamped) {
+  ModelStalenessTracker tracker(SmallOptions());
+  tracker.RecordHoldout(7.5, 0.5);
+  tracker.RecordHoldout(-3.0, 0.5);
+  EXPECT_DOUBLE_EQ(tracker.window_accuracy(), 0.5);  // {1, 0}
+}
+
+TEST(StalenessTrackerTest, NanCorrectnessCountsAsZero) {
+  ModelStalenessTracker tracker(SmallOptions());
+  tracker.RecordHoldout(std::nan(""), 0.5);
+  EXPECT_EQ(tracker.window_size(), 1u);
+  EXPECT_DOUBLE_EQ(tracker.window_accuracy(), 0.0);
+}
+
+TEST(StalenessTrackerTest, NanConfidenceIsMissingNotZero) {
+  ModelStalenessTracker tracker(SmallOptions());
+  tracker.RecordHoldout(1.0, 0.8);
+  const double fast = tracker.fast_confidence();
+  const double slow = tracker.slow_confidence();
+  tracker.RecordHoldout(1.0, std::nan(""));
+  tracker.RecordHoldout(1.0, std::numeric_limits<double>::infinity());
+  // The confidence EWMAs are untouched by missing signals...
+  EXPECT_DOUBLE_EQ(tracker.fast_confidence(), fast);
+  EXPECT_DOUBLE_EQ(tracker.slow_confidence(), slow);
+  // ...but the accuracy observations were still recorded.
+  EXPECT_EQ(tracker.observations_since_train(), 3u);
+  EXPECT_EQ(tracker.window_size(), 3u);
+}
+
+TEST(StalenessTrackerTest, NoDriftBeforeMinObservations) {
+  ModelStalenessTracker tracker(SmallOptions());
+  // Total collapse, but only 3 of the 4 required observations.
+  for (int i = 0; i < 3; ++i) tracker.RecordHoldout(0.0, 0.5);
+  EXPECT_FALSE(tracker.DriftDetected());
+  // Before the anchor forms there is no accuracy reference, so no gap.
+  EXPECT_DOUBLE_EQ(tracker.drift_score(), 0.0);
+}
+
+TEST(StalenessTrackerTest, AnchorsOnFirstWindowThenDetectsCollapse) {
+  ModelStalenessTracker tracker(SmallOptions());
+  for (int i = 0; i < 4; ++i) tracker.RecordHoldout(1.0, 0.9);
+  // Anchored at the mean of the first min_observations grades.
+  EXPECT_DOUBLE_EQ(tracker.slow_accuracy(), 1.0);
+  EXPECT_FALSE(tracker.DriftDetected());
+  // Sustained collapse: the window mean falls far below the slow EWMA.
+  for (int i = 0; i < 8; ++i) tracker.RecordHoldout(0.0, 0.9);
+  EXPECT_DOUBLE_EQ(tracker.window_accuracy(), 0.0);
+  EXPECT_GT(tracker.drift_score(), SmallOptions().drift_threshold);
+  EXPECT_TRUE(tracker.DriftDetected());
+}
+
+TEST(StalenessTrackerTest, StationaryGradesNeverDetect) {
+  ModelStalenessTracker tracker(SmallOptions());
+  for (int i = 0; i < 100; ++i) tracker.RecordHoldout(0.75, 0.6);
+  EXPECT_FALSE(tracker.DriftDetected());
+  EXPECT_DOUBLE_EQ(tracker.drift_score(), 0.0);
+}
+
+TEST(StalenessTrackerTest, ConfidenceCollapseAloneCanDetect) {
+  StalenessOptions opt = SmallOptions();
+  opt.confidence_weight = 1.0;
+  ModelStalenessTracker tracker(opt);
+  // Accuracy stays flat; confidence collapses. The fast EWMA races ahead
+  // of the slow one and their (weighted) gap carries the whole signal.
+  for (int i = 0; i < 4; ++i) tracker.RecordHoldout(0.8, 0.9);
+  for (int i = 0; i < 20; ++i) tracker.RecordHoldout(0.8, 0.0);
+  EXPECT_GT(tracker.drift_score(), opt.drift_threshold);
+  EXPECT_TRUE(tracker.DriftDetected());
+}
+
+TEST(StalenessTrackerTest, RetrainResetsAndReanchors) {
+  ModelStalenessTracker tracker(SmallOptions());
+  tracker.RecordDocument(7);
+  for (int i = 0; i < 4; ++i) tracker.RecordHoldout(1.0, 0.9);
+  for (int i = 0; i < 8; ++i) tracker.RecordHoldout(0.0, 0.9);
+  ASSERT_TRUE(tracker.DriftDetected());
+
+  tracker.RecordTrained();
+  EXPECT_EQ(tracker.docs_since_train(), 0u);
+  EXPECT_EQ(tracker.observations_since_train(), 0u);
+  EXPECT_EQ(tracker.window_size(), 0u);
+  EXPECT_FALSE(tracker.DriftDetected());
+
+  // The new model's quality level is the new reference: a *lower but
+  // stable* post-retrain level must not keep the drift latch armed.
+  for (int i = 0; i < 10; ++i) tracker.RecordHoldout(0.6, 0.9);
+  EXPECT_FALSE(tracker.DriftDetected());
+  EXPECT_DOUBLE_EQ(tracker.drift_score(), 0.0);
+}
+
+TEST(StalenessTrackerTest, AgeAloneCapsStalenessAtQuarter) {
+  StalenessOptions opt = SmallOptions();
+  ModelStalenessTracker tracker(opt);
+  tracker.RecordDocument(opt.stale_after_docs * 3);  // far past saturation
+  // No holdouts at all: zero gap, pure age.
+  EXPECT_DOUBLE_EQ(tracker.staleness(), 0.25);
+}
+
+TEST(StalenessTrackerTest, SubThresholdGapIsDeadbanded) {
+  StalenessOptions opt = SmallOptions();
+  ModelStalenessTracker tracker(opt);
+  tracker.RecordDocument(opt.stale_after_docs);
+  for (int i = 0; i < 4; ++i) tracker.RecordHoldout(1.0, 0.9);
+  // A mild wobble: gap stays below the drift threshold.
+  tracker.RecordHoldout(0.8, 0.9);
+  ASSERT_GT(tracker.drift_score(), 0.0);
+  ASSERT_LT(tracker.drift_score(), opt.drift_threshold);
+  // The gate contributes exactly nothing below the threshold.
+  EXPECT_DOUBLE_EQ(tracker.staleness(), 0.25);
+}
+
+TEST(StalenessTrackerTest, AgedAndDriftingApproachesOne) {
+  StalenessOptions opt = SmallOptions();
+  ModelStalenessTracker tracker(opt);
+  tracker.RecordDocument(opt.stale_after_docs);
+  for (int i = 0; i < 4; ++i) tracker.RecordHoldout(1.0, 0.9);
+  for (int i = 0; i < 8; ++i) tracker.RecordHoldout(0.0, 0.9);
+  // Gap >= 2x threshold saturates the gate; age is saturated too.
+  ASSERT_GE(tracker.drift_score(), 2.0 * opt.drift_threshold);
+  EXPECT_DOUBLE_EQ(tracker.staleness(), 1.0);
+}
+
+TEST(StalenessTrackerTest, DegenerateOptionsAreRepaired) {
+  StalenessOptions opt;
+  opt.window = 0;
+  opt.stale_after_docs = 0;
+  opt.fast_alpha = 17.0;
+  opt.slow_alpha = -2.0;
+  ModelStalenessTracker tracker(opt);
+  tracker.RecordHoldout(0.5, 0.5);
+  tracker.RecordHoldout(1.0, 0.5);
+  EXPECT_EQ(tracker.window_size(), 1u);  // window repaired to 1
+  tracker.RecordDocument(5);
+  EXPECT_GE(tracker.staleness(), 0.0);
+  EXPECT_LE(tracker.staleness(), 1.0);
+}
+
+}  // namespace
+}  // namespace p2pdt

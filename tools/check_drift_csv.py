@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Validates the drift-sweep CSV emitted by bench_drift.
+
+Usage: check_drift_csv.py <drift.csv> [--strict]
+
+Pure stdlib. Checks the column schema exactly, value ranges, and the
+structural invariants every sweep must satisfy:
+
+- A stationary ("none") scenario and at least one drift scenario per
+  algorithm.
+- Idle-machinery bit-identity: within each (algorithm, loss, churn) group
+  of stationary rows, the non-periodic policy arms (frozen / staleness /
+  drift) that recorded zero retrains must share one fingerprint — the
+  armed detector changes nothing unless it fires.
+- At zero loss the stationary non-periodic arms must not fire at all
+  (retrains == 0). Lossy stationary rows MAY legitimately retrain:
+  packet loss erodes CEMPaR's serving quality, the detector reads the
+  erosion as drift, and the republish repairs it (self-healing).
+- Frozen arms never retrain, anywhere.
+- Recovery bookkeeping is internally consistent (reconverged implies
+  recovery_epochs < num_epochs, and vice versa).
+
+With --strict it additionally enforces the DRIFT1 acceptance bar: for at
+least one sudden-drift scenario at >= 20 % loss, some retraining policy
+re-converges to within 2 macro-F1 points of its pre-drift level while the
+frozen arm of the same group stays >= 5 points degraded. Exits non-zero
+with one message per violation.
+"""
+
+import csv
+import sys
+
+EXPECTED_COLUMNS = [
+    "algorithm", "scenario", "policy", "loss_rate", "churn", "num_epochs",
+    "first_drift_epoch", "pre_drift_f1", "min_post_drift_f1", "final_f1",
+    "max_dip", "recovery_epochs", "reconverged", "retrains",
+    "drift_detections", "give_ups", "suspected_peers", "total_messages",
+    "total_bytes", "fingerprint",
+]
+
+KNOWN_SCENARIOS = {
+    "none", "sudden_vocab", "gradual_rotation", "popularity_spike",
+    "new_tag",
+}
+
+KNOWN_POLICIES = {"frozen", "periodic", "staleness", "drift"}
+
+SUDDEN_SCENARIOS = {"sudden_vocab", "new_tag"}
+
+RECONVERGE_MARGIN = 0.02
+FROZEN_DEGRADATION = 0.05
+
+errors = []
+
+
+def check(cond, msg):
+    if not cond:
+        errors.append(msg)
+
+
+def validate(path, strict):
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        check(reader.fieldnames == EXPECTED_COLUMNS,
+              f"header mismatch: got {reader.fieldnames}")
+        rows = list(reader)
+    check(rows, "no data rows")
+    if errors:
+        return
+
+    for i, row in enumerate(rows):
+        where = f"row {i + 2}"
+        check(row["algorithm"] in ("cempar", "pace"),
+              f"{where}: unknown algorithm {row['algorithm']!r}")
+        check(row["scenario"] in KNOWN_SCENARIOS,
+              f"{where}: unknown scenario {row['scenario']!r}")
+        check(row["policy"] in KNOWN_POLICIES,
+              f"{where}: unknown policy {row['policy']!r}")
+        check(row["churn"] in ("0", "1"),
+              f"{where}: churn must be 0/1, got {row['churn']!r}")
+        check(row["reconverged"] in ("0", "1"),
+              f"{where}: reconverged must be 0/1")
+        loss = float(row["loss_rate"])
+        check(0.0 <= loss <= 1.0, f"{where}: loss_rate {loss}")
+        for col in ("pre_drift_f1", "min_post_drift_f1", "final_f1"):
+            v = float(row[col])
+            check(0.0 <= v <= 1.0, f"{where}: {col}={v} outside [0, 1]")
+        check(float(row["max_dip"]) >= 0.0, f"{where}: negative max_dip")
+        for col in ("num_epochs", "retrains", "drift_detections",
+                    "give_ups", "suspected_peers", "total_messages",
+                    "total_bytes"):
+            check(int(row[col]) >= 0, f"{where}: negative {col}")
+        epochs = int(row["num_epochs"])
+        recovery = int(row["recovery_epochs"])
+        check(recovery <= epochs,
+              f"{where}: recovery_epochs {recovery} > num_epochs {epochs}")
+        check((row["reconverged"] == "1") == (recovery < epochs),
+              f"{where}: reconverged={row['reconverged']} inconsistent with "
+              f"recovery_epochs={recovery} of {epochs}")
+        check(len(row["fingerprint"]) == 16,
+              f"{where}: fingerprint not a 16-hex-digit digest")
+        if row["scenario"] == "none":
+            check(int(row["first_drift_epoch"]) >= epochs,
+                  f"{where}: stationary row has first_drift_epoch "
+                  f"{row['first_drift_epoch']} inside the run")
+        if row["policy"] == "frozen":
+            check(int(row["retrains"]) == 0,
+                  f"{where}: frozen arm recorded retrains")
+
+    algorithms = sorted({row["algorithm"] for row in rows})
+    for algorithm in algorithms:
+        check(any(r["algorithm"] == algorithm and r["scenario"] == "none"
+                  for r in rows),
+              f"{algorithm}: no stationary baseline rows")
+        check(any(r["algorithm"] == algorithm and r["scenario"] != "none"
+                  for r in rows),
+              f"{algorithm}: no drift scenario rows")
+
+    # Idle-machinery bit-identity over stationary groups.
+    groups = {}
+    for row in rows:
+        if row["scenario"] != "none" or row["policy"] == "periodic":
+            continue
+        key = (row["algorithm"], row["loss_rate"], row["churn"])
+        groups.setdefault(key, []).append(row)
+    for key, group in sorted(groups.items()):
+        label = "/".join(key)
+        idle = [r for r in group if int(r["retrains"]) == 0]
+        check(len({r["fingerprint"] for r in idle}) <= 1,
+              f"stationary {label}: zero-retrain policy arms disagree on "
+              f"fingerprint (idle drift machinery must be invisible)")
+        if float(key[1]) == 0.0:
+            for r in group:
+                check(int(r["retrains"]) == 0,
+                      f"stationary {label}: {r['policy']} arm retrained "
+                      f"{r['retrains']} peers with no drift and no loss")
+
+    if not strict:
+        return
+
+    # Acceptance bar: one sudden-drift group at >= 20 % loss where a
+    # retraining policy re-converges while frozen stays degraded.
+    witnesses = []
+    for row in rows:
+        if (row["scenario"] not in SUDDEN_SCENARIOS
+                or float(row["loss_rate"]) < 0.2
+                or row["policy"] == "frozen"):
+            continue
+        frozen = next(
+            (r for r in rows
+             if r["policy"] == "frozen"
+             and (r["algorithm"], r["scenario"], r["loss_rate"], r["churn"])
+             == (row["algorithm"], row["scenario"], row["loss_rate"],
+                 row["churn"])), None)
+        if frozen is None:
+            continue
+        pre = float(row["pre_drift_f1"])
+        reconverged = (row["reconverged"] == "1"
+                       or float(row["final_f1"]) >= pre - RECONVERGE_MARGIN)
+        frozen_stuck = (float(frozen["final_f1"])
+                        <= float(frozen["pre_drift_f1"]) - FROZEN_DEGRADATION)
+        if reconverged and frozen_stuck:
+            witnesses.append(
+                f"{row['algorithm']}/{row['scenario']}@{row['loss_rate']}"
+                f" via {row['policy']}")
+    check(witnesses,
+          "acceptance bar not met: no sudden-drift scenario at >= 20% loss "
+          "where a retraining policy re-converges (within "
+          f"{RECONVERGE_MARGIN} macro-F1 of pre-drift) while the frozen arm "
+          f"stays >= {FROZEN_DEGRADATION} degraded")
+    if witnesses:
+        print(f"acceptance witnesses: {', '.join(sorted(set(witnesses)))}")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--strict"]
+    strict = "--strict" in sys.argv[1:]
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+    validate(args[0], strict)
+    if errors:
+        for msg in errors:
+            print(f"FAIL: {msg}")
+        return 1
+    print(f"OK: {args[0]} passes schema and drift invariants"
+          + (" (strict)" if strict else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
