@@ -4,35 +4,28 @@
 // latency distribution of predictions (request issue → answer) for each
 // algorithm, at two network scales.
 //
+// Percentiles come from the same per-request tagging-latency histogram the
+// overload SLO harness quotes (TaggingLatencyHistogram), so LAT and OVER1
+// numbers are directly comparable.
+//
 // Expected shape: PACE answers locally (≈0 network latency); CEMPaR pays
 // one DHT resolution (first query per requester) then cached
 // request/response round-trips; centralized pays exactly one RTT to the
 // coordinator. Cold (first query, cache misses) vs warm separates the
 // lookup cost.
 
-#include <algorithm>
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "p2pdmt/loadgen.h"
 
 using namespace p2pdt_bench;
 
 namespace {
 
 struct LatencyStats {
-  double p50 = 0, p95 = 0, max = 0;
+  double p50 = 0, p95 = 0, p99 = 0, max = 0;
 };
-
-LatencyStats Percentiles(std::vector<double> samples) {
-  LatencyStats out;
-  if (samples.empty()) return out;
-  std::sort(samples.begin(), samples.end());
-  out.p50 = samples[samples.size() / 2];
-  out.p95 = samples[static_cast<std::size_t>(
-      static_cast<double>(samples.size() - 1) * 0.95)];
-  out.max = samples.back();
-  return out;
-}
 
 }  // namespace
 
@@ -40,13 +33,13 @@ int main() {
   std::printf("=== prediction latency (simulated seconds) ===\n\n");
   const VectorizedCorpus& corpus = SharedCorpus(64, 12);
   CorpusSplit split = SplitCorpus(corpus, 0.2, 21);
-  CsvWriter csv({"algorithm", "peers", "phase", "p50_ms", "p95_ms",
+  CsvWriter csv({"algorithm", "peers", "phase", "p50_ms", "p95_ms", "p99_ms",
                  "max_ms"});
 
   for (std::size_t peers : {64u, 128u}) {
     std::printf("-- %zu peers --\n", peers);
-    std::printf("%-12s %-6s %10s %10s %10s\n", "algorithm", "phase",
-                "p50(ms)", "p95(ms)", "max(ms)");
+    std::printf("%-12s %-6s %10s %10s %10s %10s\n", "algorithm", "phase",
+                "p50(ms)", "p95(ms)", "p99(ms)", "max(ms)");
     for (AlgorithmType algo :
          {AlgorithmType::kCempar, AlgorithmType::kPace,
           AlgorithmType::kCentralized}) {
@@ -68,9 +61,13 @@ int main() {
 
       // Cold phase: every requester's first query (lookup-heavy for
       // CEMPaR). Warm phase: repeat queries from the same requesters.
+      // Each phase observes into its own tagging-latency histogram — the
+      // exact instrument the SLO harness quantiles.
       Rng rng(500 + peers);
       auto measure = [&](std::size_t count, bool reuse_requester) {
-        std::vector<double> latencies;
+        MetricsRegistry metrics;
+        Histogram& hist =
+            TaggingLatencyHistogram(metrics, classifier->name());
         NodeId fixed = rng.NextU64(peers);
         for (std::size_t i = 0; i < count; ++i) {
           const auto& ex = split.test[i % split.test.size()];
@@ -84,25 +81,30 @@ int main() {
           // (RunUntilFlag's coarse slices would quantize latencies).
           while (!done && env->sim().Step()) {
           }
-          latencies.push_back((env->sim().Now() - issued) * 1e3);
+          hist.Observe(env->sim().Now() - issued);
         }
-        return Percentiles(std::move(latencies));
+        LatencyStats out;
+        out.p50 = hist.Quantile(0.5) * 1e3;
+        out.p95 = hist.Quantile(0.95) * 1e3;
+        out.p99 = hist.Quantile(0.99) * 1e3;
+        out.max = hist.max() * 1e3;
+        return out;
       };
 
       LatencyStats cold = measure(60, /*reuse_requester=*/false);
       LatencyStats warm = measure(60, /*reuse_requester=*/true);
-      std::printf("%-12s %-6s %10.1f %10.1f %10.1f\n",
+      std::printf("%-12s %-6s %10.1f %10.1f %10.1f %10.1f\n",
                   classifier->name().c_str(), "cold", cold.p50, cold.p95,
-                  cold.max);
-      std::printf("%-12s %-6s %10.1f %10.1f %10.1f\n",
+                  cold.p99, cold.max);
+      std::printf("%-12s %-6s %10.1f %10.1f %10.1f %10.1f\n",
                   classifier->name().c_str(), "warm", warm.p50, warm.p95,
-                  warm.max);
+                  warm.p99, warm.max);
       csv.AddRow({classifier->name(), std::to_string(peers), "cold",
                   std::to_string(cold.p50), std::to_string(cold.p95),
-                  std::to_string(cold.max)});
+                  std::to_string(cold.p99), std::to_string(cold.max)});
       csv.AddRow({classifier->name(), std::to_string(peers), "warm",
                   std::to_string(warm.p50), std::to_string(warm.p95),
-                  std::to_string(warm.max)});
+                  std::to_string(warm.p99), std::to_string(warm.max)});
     }
     std::printf("\n");
   }

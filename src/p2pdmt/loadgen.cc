@@ -1,0 +1,233 @@
+#include "p2pdmt/loadgen.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "common/rng.h"
+
+namespace p2pdt {
+
+namespace {
+
+// FNV-1a over arbitrary bytes; the same constants every other digest in the
+// repo uses, so fingerprints stay comparable across harnesses.
+struct Fnv64 {
+  uint64_t state = 0xcbf29ce484222325ull;
+  void MixBytes(const void* data, std::size_t n) {
+    const unsigned char* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      state ^= p[i];
+      state *= 0x100000001b3ull;
+    }
+  }
+  void Mix(uint64_t v) { MixBytes(&v, sizeof(v)); }
+  void Mix(double v) {
+    uint64_t bits = 0;
+    std::memcpy(&bits, &v, sizeof(bits));
+    Mix(bits);
+  }
+};
+
+// Distinct DeriveSeed domains so the arrival, document, and retry streams
+// never alias even for the same (session, request) pair.
+constexpr uint64_t kDocStream = 0xD0Cull;
+constexpr uint64_t kRetryStream = 0x7E7ull;
+
+}  // namespace
+
+Histogram& TaggingLatencyHistogram(MetricsRegistry& metrics,
+                                   const std::string& classifier) {
+  return metrics.GetHistogram("tagging_latency_seconds",
+                              {{"classifier", classifier}});
+}
+
+SessionLoadGenerator::SessionLoadGenerator(
+    Simulator& sim, P2PClassifier& algo, LoadGenOptions options,
+    std::vector<const SparseVector*> docs, std::vector<NodeId> requesters,
+    MetricsRegistry& metrics)
+    : sim_(sim),
+      algo_(algo),
+      options_(std::move(options)),
+      docs_(std::move(docs)),
+      requesters_(std::move(requesters)),
+      latency_hist_(TaggingLatencyHistogram(metrics, algo.name())) {}
+
+double SessionLoadGenerator::BurstMultiplier(double t) const {
+  double mult = 1.0;
+  for (const FlashCrowdBurst& b : options_.bursts) {
+    if (t >= b.start && t < b.start + b.duration) mult *= b.rate_multiplier;
+  }
+  return mult;
+}
+
+const FlashCrowdBurst* SessionLoadGenerator::ActiveBurst(double t) const {
+  for (const FlashCrowdBurst& b : options_.bursts) {
+    if (t >= b.start && t < b.start + b.duration) return &b;
+  }
+  return nullptr;
+}
+
+std::size_t SessionLoadGenerator::PickDoc(std::size_t session, std::size_t idx,
+                                          double t) const {
+  Rng rng(DeriveSeed(options_.seed ^ kDocStream, session, idx));
+  if (const FlashCrowdBurst* burst = ActiveBurst(t)) {
+    if (rng.Bernoulli(burst->hot_fraction)) {
+      const uint64_t n = std::min<uint64_t>(
+          std::max<std::size_t>(burst->hot_docs, 1), docs_.size());
+      return static_cast<std::size_t>(rng.Zipf(n, options_.zipf_s));
+    }
+  }
+  return static_cast<std::size_t>(rng.Zipf(docs_.size(), options_.zipf_s));
+}
+
+void SessionLoadGenerator::Run(
+    std::function<void(const LoadGenResult&)> on_complete) {
+  on_complete_ = std::move(on_complete);
+  start_ = sim_.Now();  // burst windows are relative to load start
+  if (docs_.empty() || requesters_.empty() || options_.sessions == 0) {
+    all_scheduled_ = true;
+    FinishIfDone();
+    return;
+  }
+
+  session_len_.resize(options_.sessions);
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < options_.sessions; ++s) {
+    Rng rng(DeriveSeed(options_.seed, s));
+    session_len_[s] = static_cast<std::size_t>(rng.UniformInt(
+        static_cast<int64_t>(options_.min_docs),
+        static_cast<int64_t>(std::max(options_.max_docs, options_.min_docs))));
+    total += session_len_[s];
+  }
+  outstanding_ = total;
+  result_.offered = total;
+  first_issue_ = -1.0;
+
+  const double per_session_rate =
+      options_.arrival_rate / static_cast<double>(options_.sessions);
+
+  for (std::size_t s = 0; s < options_.sessions; ++s) {
+    if (options_.closed_loop) {
+      // First request after one think interval; the chain continues from
+      // OnOutcome as each answer lands.
+      Rng rng(DeriveSeed(options_.seed, s, 0));
+      const double t0 = rng.Exponential(options_.think_time);
+      sim_.Schedule(t0, [this, s] { IssueRequest(s, 0, /*issued_at=*/0.0, 0); });
+    } else {
+      // Open loop: the whole Poisson schedule is computed up front. The gap
+      // before request i shrinks by the burst multiplier in effect at the
+      // previous arrival, so a flash crowd compresses arrivals without
+      // making the schedule depend on completions.
+      double t = 0.0;
+      for (std::size_t i = 0; i < session_len_[s]; ++i) {
+        Rng rng(DeriveSeed(options_.seed, s, i));
+        const double rate = per_session_rate * BurstMultiplier(t);
+        t += rng.Exponential(1.0 / std::max(rate, 1e-9));
+        sim_.Schedule(t, [this, s, i] { IssueRequest(s, i, /*issued_at=*/0.0, 0); });
+      }
+    }
+  }
+  all_scheduled_ = true;
+}
+
+void SessionLoadGenerator::IssueRequest(std::size_t session, std::size_t idx,
+                                        double issued_at, std::size_t attempt) {
+  const double now = sim_.Now();
+  if (first_issue_ < 0.0) first_issue_ = now;
+  // A fresh request is stamped with the sim time it actually issues at (the
+  // schedule offsets are relative to Run(), which rarely starts at sim time
+  // zero — training ran first). Retries keep the original stamp so latency
+  // covers the whole reject-backoff-retry arc.
+  const double issued = attempt == 0 ? now : issued_at;
+  const std::size_t doc = PickDoc(session, idx, now - start_);
+  const NodeId requester = requesters_[session % requesters_.size()];
+  algo_.Predict(requester, *docs_[doc],
+                [this, session, idx, issued, attempt](P2PPrediction p) {
+                  OnOutcome(session, idx, issued, attempt, std::move(p));
+                });
+}
+
+void SessionLoadGenerator::OnOutcome(std::size_t session, std::size_t idx,
+                                     double first_issued, std::size_t attempt,
+                                     P2PPrediction p) {
+  if (p.overloaded) {
+    ++result_.shed;
+    if (attempt < options_.max_retries) {
+      // Client-side backoff after a typed overload reject; jittered so a
+      // synchronized crowd does not re-arrive as a synchronized crowd.
+      ++result_.retries;
+      Rng rng(DeriveSeed(options_.seed ^ kRetryStream, session,
+                         idx * 16 + attempt));
+      const double delay = options_.retry_backoff * rng.Uniform(1.0, 1.5);
+      sim_.Schedule(delay, [this, session, idx, first_issued, attempt] {
+        IssueRequest(session, idx, first_issued, attempt + 1);
+      });
+      return;
+    }
+  }
+
+  const double now = sim_.Now();
+  const double latency = now - first_issued;
+  ++result_.completed;
+  last_complete_ = std::max(last_complete_, now);
+
+  const bool answered = p.success && !p.overloaded;
+  if (!answered) {
+    ++result_.failed;
+  } else {
+    if (p.cached) {
+      ++result_.cached;
+    } else if (p.degraded) {
+      ++result_.degraded;
+    } else {
+      ++result_.ok;
+    }
+    latency_hist_.Observe(latency);
+    result_.max_latency = std::max(result_.max_latency, latency);
+    if (latency <= options_.slo_latency) ++result_.within_slo;
+  }
+
+  // Order-independent: per-request digests are summed, so the fingerprint
+  // is invariant to completion interleaving across shard counts.
+  Fnv64 h;
+  h.Mix(static_cast<uint64_t>(session));
+  h.Mix(static_cast<uint64_t>(idx));
+  h.Mix(static_cast<uint64_t>(answered ? (p.cached ? 2 : p.degraded ? 3 : 1)
+                                       : 0));
+  h.Mix(latency);
+  for (TagId t : p.tags) h.Mix(static_cast<uint64_t>(t));
+  for (double s : p.scores) h.Mix(s);
+  result_.fingerprint += h.state;
+
+  --outstanding_;
+
+  if (options_.closed_loop && idx + 1 < session_len_[session]) {
+    Rng rng(DeriveSeed(options_.seed, session, idx + 1));
+    const double mult = std::max(BurstMultiplier(now - start_), 1e-9);
+    const double gap = rng.Exponential(options_.think_time) / mult;
+    sim_.Schedule(gap, [this, session, idx] {
+      IssueRequest(session, idx + 1, /*issued_at=*/0.0, 0);
+    });
+  }
+
+  FinishIfDone();
+}
+
+void SessionLoadGenerator::FinishIfDone() {
+  if (!all_scheduled_ || outstanding_ != 0) return;
+  result_.p50_latency = latency_hist_.Quantile(0.5);
+  result_.p95_latency = latency_hist_.Quantile(0.95);
+  result_.p99_latency = latency_hist_.Quantile(0.99);
+  const double span = last_complete_ - std::max(first_issue_, 0.0);
+  result_.makespan = span;
+  result_.goodput_within_slo =
+      span > 0.0 ? static_cast<double>(result_.within_slo) / span : 0.0;
+  if (on_complete_) {
+    auto cb = std::move(on_complete_);
+    on_complete_ = nullptr;
+    cb(result_);
+  }
+}
+
+}  // namespace p2pdt

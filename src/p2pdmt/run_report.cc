@@ -107,6 +107,47 @@ std::string RunReport::ToJson(const ExperimentResult& result,
   out += ", \"wall_seconds\": " + Num(result.wall_seconds);
   out += "},\n";
 
+  // Overload health: admission-control sheds, prediction-cache hit ledger,
+  // peak serving-queue depth and the CEMPaR batch-size distribution.
+  // Always present — all zeros when the overload machinery was off or idle.
+  {
+    double shed = 0.0, hits = 0.0, misses = 0.0, stale = 0.0;
+    double queue_depth = 0.0;
+    uint64_t batch_count = 0;
+    double batch_sum = 0.0, batch_max = 0.0;
+    for (const MetricsSnapshot::Entry& e : metrics.entries) {
+      if (e.name == "requests_shed") shed += e.value;
+      if (e.name == "cache_hits") hits += e.value;
+      if (e.name == "cache_misses") misses += e.value;
+      if (e.name == "cache_stale") stale += e.value;
+      if (e.name == "serve_queue_depth") {
+        queue_depth = queue_depth > e.value ? queue_depth : e.value;
+      }
+      if (e.name == "batch_size" &&
+          e.kind == MetricsSnapshot::Kind::kHistogram) {
+        batch_count += e.count;
+        batch_sum += e.sum;
+        batch_max = batch_max > e.max ? batch_max : e.max;
+      }
+    }
+    const double lookups = hits + misses + stale;
+    out += "  \"overload\": {";
+    out += "\"requests_shed\": " + Num(shed);
+    out += ", \"cache_hits\": " + Num(hits);
+    out += ", \"cache_misses\": " + Num(misses);
+    out += ", \"cache_stale\": " + Num(stale);
+    out += ", \"cache_hit_rate\": " +
+           Num(lookups == 0.0 ? 0.0 : hits / lookups);
+    out += ", \"serve_queue_depth\": " + Num(queue_depth);
+    out += ", \"batches\": " + std::to_string(batch_count);
+    out += ", \"mean_batch_size\": " +
+           Num(batch_count == 0
+                   ? 0.0
+                   : batch_sum / static_cast<double>(batch_count));
+    out += ", \"max_batch_size\": " + Num(batch_max);
+    out += "},\n";
+  }
+
   // Per-phase latency histograms — every `phase_seconds` family member the
   // run recorded, in canonical (deterministic) snapshot order.
   out += "  \"phases\": [";

@@ -69,6 +69,46 @@ Cempar::Cempar(Simulator& sim, PhysicalNetwork& net, ChordOverlay& chord,
     transport_->SetSuspicionListener(
         [this](NodeId suspect) { OnSuspect(suspect); });
   }
+  if (options_.serve.enabled) {
+    serve_ = std::make_unique<ServeQueueSet>(options_.serve);
+    if (transport_ != nullptr) {
+      // Wire-level admission control: every fresh prediction request (or
+      // batch) arriving at a super-peer is charged against its serving
+      // queue; rejects travel back as typed overload NACKs.
+      transport_->SetAdmissionHook(
+          [this](NodeId to, MessageType type) -> AdmissionVerdict {
+            AdmissionVerdict v;
+            if (type != MessageType::kPredictionRequest) return v;
+            Admission a = AdmitServe(to);
+            if (a.outcome != AdmitOutcome::kAccept) {
+              v.accept = false;
+              v.retry_after = a.retry_after;
+              return v;
+            }
+            v.delay = a.delay;
+            return v;
+          });
+    }
+  }
+  if (options_.predict_cache.enabled) {
+    cache_ = std::make_unique<PredictCacheSet>(options_.predict_cache);
+  }
+}
+
+Admission Cempar::AdmitServe(NodeId owner) {
+  Admission a = serve_->Admit(owner, sim_.Now());
+  if (MetricsRegistry* metrics = net_.metrics()) {
+    metrics->GetGauge("serve_queue_depth", {{"classifier", "cempar"}})
+        .Set(static_cast<double>(a.depth));
+    if (a.outcome != AdmitOutcome::kAccept) {
+      metrics
+          ->GetCounter("requests_shed",
+                       {{"classifier", "cempar"},
+                        {"reason", AdmitOutcomeToString(a.outcome)}})
+          .Increment();
+    }
+  }
+  return a;
 }
 
 uint64_t Cempar::HomeKey(TagId tag, std::size_t region) const {
@@ -131,6 +171,7 @@ void Cempar::PurgeContributor(NodeId observer, NodeId contributor) {
     if (home.locals.erase(contributor) > 0) home.dirty = true;
     home.local_versions.erase(contributor);
   }
+  BumpPublishEpoch();
 }
 
 DefenseStats Cempar::defense_stats() const {
@@ -361,6 +402,9 @@ void Cempar::Train(std::function<void(Status)> on_complete) {
 }
 
 void Cempar::CascadeAll() {
+  // Regional models are about to change: every cached prediction computed
+  // against the old cascade is stale.
+  BumpPublishEpoch();
   Histogram* cascade_hist = PhaseHistogram(net_.metrics(), "cascade_merge");
   for (Home& home : homes_) {
     if (home.locals.empty() || !home.dirty) continue;
@@ -405,6 +449,103 @@ void Cempar::CascadeAll() {
   }
 }
 
+std::vector<Cempar::PredictVote> Cempar::EvaluateHomes(
+    NodeId owner, const std::vector<std::size_t>& home_list,
+    const SparseVector& x) {
+  std::vector<PredictVote> partials;
+  // A vote-spam super-peer answers every queried tag with a huge
+  // constant score under an inflated weight — the classic
+  // drown-the-honest-votes attack the requester-side gate exists for.
+  const AdversaryDirectory* adv = net_.adversaries();
+  const bool spam = adv != nullptr && adv->BehaviorAt(owner, sim_.Now()) ==
+                                          AdversaryBehavior::kVoteSpam;
+  for (std::size_t h : home_list) {
+    const Home& home = homes_[h];
+    if (home.owner != owner || !home.has_regional) continue;
+    TagId tag = static_cast<TagId>(h / options_.regions_per_tag);
+    if (spam) {
+      partials.push_back({tag, 1.0e9, 1.0e3});
+    } else {
+      partials.push_back({tag, home.regional.Decision(x), home.weight});
+    }
+  }
+  if (Tracer* tracer = net_.tracer()) {
+    // Runs inside the request message's delivery, so the marker lands
+    // in the prediction's trace at the super-peer.
+    tracer->Instant("super_peer_vote", sim_.Now(), owner, tracer->current());
+  }
+  return partials;
+}
+
+void Cempar::EnqueueBatch(NodeId requester, NodeId owner, BatchMember member) {
+  const auto key = std::make_pair(requester, owner);
+  PendingBatch& batch = batches_[key];
+  batch.members.push_back(std::move(member));
+  if (batch.members.size() == 1) {
+    batch.generation = ++batch_generation_;
+    const uint64_t gen = batch.generation;
+    // First member opens the window; companions queued before it closes
+    // ride the same round-trip.
+    sim_.Schedule(options_.batch_window_seconds, [this, key, gen] {
+      auto it = batches_.find(key);
+      if (it == batches_.end() || it->second.generation != gen) return;
+      FlushBatch(key.first, key.second);
+    });
+  } else if (batch.members.size() >= options_.max_batch) {
+    FlushBatch(requester, owner);
+  }
+}
+
+void Cempar::FlushBatch(NodeId requester, NodeId owner) {
+  auto it = batches_.find(std::make_pair(requester, owner));
+  if (it == batches_.end()) return;
+  auto members =
+      std::make_shared<std::vector<BatchMember>>(std::move(it->second.members));
+  batches_.erase(it);
+  std::size_t request_bytes = 0;
+  for (const BatchMember& m : *members) request_bytes += RequestBytes(m.x);
+  if (MetricsRegistry* metrics = net_.metrics()) {
+    static const std::vector<double> kBatchBounds = {1,  2,  3,  4,  6,
+                                                     8,  12, 16, 24, 32};
+    metrics->GetHistogram("batch_size", {{"classifier", "cempar"}},
+                          kBatchBounds)
+        .Observe(static_cast<double>(members->size()));
+  }
+  // One coalesced round-trip: the batch pays a single admission charge and
+  // a single ACK exchange for every member.
+  transport_->SendReliable(
+      requester, owner, request_bytes, MessageType::kPredictionRequest,
+      /*on_deliver=*/
+      [this, owner, requester, members] {
+        auto all =
+            std::make_shared<std::vector<std::vector<PredictVote>>>();
+        std::size_t response_bytes = 0;
+        all->reserve(members->size());
+        for (const BatchMember& m : *members) {
+          all->push_back(EvaluateHomes(owner, m.home_list, m.x));
+          response_bytes += ResponseBytes(all->back().size());
+        }
+        transport_->SendReliable(
+            owner, requester, response_bytes, MessageType::kPredictionResponse,
+            /*on_deliver=*/
+            [members, all] {
+              for (std::size_t i = 0; i < members->size(); ++i) {
+                (*members)[i].deliver((*all)[i]);
+              }
+            },
+            /*on_acked=*/nullptr,
+            /*on_give_up=*/
+            [members] {
+              for (const BatchMember& m : *members) m.fail();
+            });
+      },
+      /*on_acked=*/nullptr,
+      /*on_give_up=*/
+      [members] {
+        for (const BatchMember& m : *members) m.fail();
+      });
+}
+
 void Cempar::Predict(NodeId requester, const SparseVector& x,
                      std::function<void(P2PPrediction)> done) {
   if (!trained_ || requester >= peer_data_.size() ||
@@ -415,13 +556,33 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
     return;
   }
 
+  // Requester-side versioned cache: a hit answers instantly with zero
+  // network traffic and zero super-peer load — how a flash crowd on a hot
+  // document set is absorbed before it reaches the serving queues.
+  if (cache_ != nullptr) {
+    PredictionCache& cache = cache_->ForNode(requester);
+    const uint64_t key = FingerprintVector(x);
+    CacheOutcome oc = CacheOutcome::kMiss;
+    const P2PPrediction* hit =
+        cache.Lookup(key, publish_epoch_, sim_.Now(), &oc);
+    if (MetricsRegistry* metrics = net_.metrics()) {
+      const char* family = oc == CacheOutcome::kHit     ? "cache_hits"
+                           : oc == CacheOutcome::kStale ? "cache_stale"
+                                                        : "cache_misses";
+      metrics->GetCounter(family, {{"classifier", "cempar"}}).Increment();
+    }
+    if (hit != nullptr) {
+      P2PPrediction out = *hit;
+      out.cached = true;
+      sim_.Schedule(0.0, [done = std::move(done), out = std::move(out)] {
+        done(std::move(out));
+      });
+      return;
+    }
+  }
+
   struct PredictCtx {
-    /// One per-tag score from one super-peer response.
-    struct Vote {
-      TagId tag;
-      double score;
-      double weight;
-    };
+    using Vote = PredictVote;
     /// Every vote in arrival order. Aggregation happens at finalize so the
     /// requester can gate and trim; surviving votes are summed in exactly
     /// this order, which keeps clean runs bit-identical to the old
@@ -431,6 +592,9 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
     std::vector<double> score_sum;
     std::size_t remaining = 0;
     std::size_t responded = 0;
+    /// Request groups shed by admission control (fire-and-forget or local
+    /// path; the reliable path surfaces sheds as overload give-ups).
+    std::size_t shed = 0;
     std::function<void(P2PPrediction)> done;
     /// End-to-end prediction span; lookups, requests and responses all
     /// nest under it (or under its descendants).
@@ -543,6 +707,14 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
       if (out.degraded) tracer->AddArg(ctx->span, "degraded", "true");
       tracer->EndSpan(ctx->span, sim_.Now());
     }
+    // The typed overload reject: nothing answered and at least one group
+    // was shed — the caller may retry with backoff rather than treat this
+    // as a reachability failure.
+    if (!out.success && ctx->shed > 0) out.overloaded = true;
+    if (cache_ != nullptr && out.success && !out.degraded) {
+      cache_->ForNode(requester)
+          .Insert(FingerprintVector(x), publish_epoch_, sim_.Now(), out);
+    }
     ctx->done(std::move(out));
   };
 
@@ -571,10 +743,22 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
     ctx->remaining = groups.size();
     for (const auto& [owner, home_list] : groups) {
       if (owner == requester) {
-        // Local super-peer: evaluate without network traffic. (A vote-spam
-        // requester poisons its own request too — the behavior belongs to
-        // the responding super-peer, whoever that is.)
-        sim_.Schedule(0.0, [this, ctx, owner, home_list, x, finalize_one] {
+        // Local super-peer: evaluate without network traffic — but the
+        // evaluation itself still occupies the serving queue.
+        double local_delay = 0.0;
+        if (serve_ != nullptr) {
+          Admission a = AdmitServe(owner);
+          if (a.outcome != AdmitOutcome::kAccept) {
+            ++ctx->shed;
+            sim_.Schedule(0.0, finalize_one);
+            continue;
+          }
+          local_delay = a.delay;
+        }
+        // (A vote-spam requester poisons its own request too — the
+        // behavior belongs to the responding super-peer, whoever that is.)
+        sim_.Schedule(local_delay,
+                      [this, ctx, owner, home_list, x, finalize_one] {
           const AdversaryDirectory* adv = net_.adversaries();
           const bool spam =
               adv != nullptr && adv->BehaviorAt(owner, sim_.Now()) ==
@@ -598,31 +782,8 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
       }
       // Super-peer evaluates all queried homes it actually hosts.
       auto evaluate = [this, owner, home_list, x] {
-        auto partials = std::make_shared<std::vector<PredictCtx::Vote>>();
-        // A vote-spam super-peer answers every queried tag with a huge
-        // constant score under an inflated weight — the classic
-        // drown-the-honest-votes attack the requester-side gate exists for.
-        const AdversaryDirectory* adv = net_.adversaries();
-        const bool spam =
-            adv != nullptr && adv->BehaviorAt(owner, sim_.Now()) ==
-                                  AdversaryBehavior::kVoteSpam;
-        for (std::size_t h : home_list) {
-          const Home& home = homes_[h];
-          if (home.owner != owner || !home.has_regional) continue;
-          TagId tag = static_cast<TagId>(h / options_.regions_per_tag);
-          if (spam) {
-            partials->push_back({tag, 1.0e9, 1.0e3});
-          } else {
-            partials->push_back({tag, home.regional.Decision(x), home.weight});
-          }
-        }
-        if (Tracer* tracer = net_.tracer()) {
-          // Runs inside the request message's delivery, so the marker lands
-          // in the prediction's trace at the super-peer.
-          tracer->Instant("super_peer_vote", sim_.Now(), owner,
-                          tracer->current());
-        }
-        return partials;
+        return std::make_shared<std::vector<PredictCtx::Vote>>(
+            EvaluateHomes(owner, home_list, x));
       };
       auto accumulate =
           [ctx](std::shared_ptr<std::vector<PredictCtx::Vote>> partials) {
@@ -638,6 +799,31 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
           }
         }
       };
+      if (transport_ && options_.batch_predictions) {
+        // Batched reliable path: park this group in the (requester, owner)
+        // batch; the flush sends one coalesced round-trip for every member.
+        auto settle = [finalize_one,
+                       flag = std::make_shared<bool>(false)]() mutable {
+          if (*flag) return;
+          *flag = true;
+          finalize_one();
+        };
+        BatchMember m;
+        m.x = x;
+        m.home_list = home_list;
+        m.deliver = [ctx,
+                     settle](const std::vector<PredictVote>& partials) mutable {
+          for (const auto& p : partials) ctx->votes.push_back(p);
+          ++ctx->responded;
+          settle();
+        };
+        m.fail = [invalidate, settle]() mutable {
+          invalidate();
+          settle();
+        };
+        EnqueueBatch(requester, owner, std::move(m));
+        continue;
+      }
       if (transport_) {
         // Reliable path. A group can settle through several routes
         // (response delivered, response given up at the responder, request
@@ -675,16 +861,39 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
       }
       net_.Send(
           requester, owner, RequestBytes(x), MessageType::kPredictionRequest,
-          [this, owner, requester, evaluate, accumulate, finalize_one] {
-            auto partials = evaluate();
-            net_.Send(
-                owner, requester, ResponseBytes(partials->size()),
-                MessageType::kPredictionResponse,
-                [accumulate, partials, finalize_one] {
-                  accumulate(partials);
-                  finalize_one();
-                },
-                finalize_one);
+          [this, ctx, owner, requester, evaluate, accumulate, finalize_one] {
+            // Fire-and-forget admission: a shed request simply never gets
+            // a response (the sender cannot be NACKed without a reliable
+            // channel), so the requester's group finalizes empty.
+            double serve_delay = 0.0;
+            if (serve_ != nullptr) {
+              Admission a = AdmitServe(owner);
+              if (a.outcome != AdmitOutcome::kAccept) {
+                net_.stats().RecordDrop(MessageType::kPredictionRequest,
+                                        DropReason::kOverloadShed);
+                ++ctx->shed;
+                finalize_one();
+                return;
+              }
+              serve_delay = a.delay;
+            }
+            auto respond = [this, owner, requester, evaluate, accumulate,
+                            finalize_one] {
+              auto partials = evaluate();
+              net_.Send(
+                  owner, requester, ResponseBytes(partials->size()),
+                  MessageType::kPredictionResponse,
+                  [accumulate, partials, finalize_one] {
+                    accumulate(partials);
+                    finalize_one();
+                  },
+                  finalize_one);
+            };
+            if (serve_delay > 0.0) {
+              sim_.Schedule(serve_delay, respond);
+            } else {
+              respond();
+            }
           },
           [invalidate, finalize_one] {
             invalidate();
@@ -951,6 +1160,7 @@ Status Cempar::Restore(NodeId peer, const std::string& blob) {
   }
   // Commit only after the whole blob parsed: restore is all-or-nothing.
   local_models_[peer] = std::move(restored);
+  BumpPublishEpoch();
   return Status::OK();
 }
 
@@ -958,12 +1168,14 @@ void Cempar::EvictPeer(NodeId peer) {
   if (peer >= local_models_.size()) return;
   local_models_[peer].clear();
   owner_cache_[peer].clear();
+  BumpPublishEpoch();
 }
 
 std::size_t Cempar::ColdRestart(NodeId peer) {
   if (peer >= peer_data_.size()) return 0;
   local_models_[peer].clear();
   owner_cache_[peer].clear();
+  BumpPublishEpoch();
   const DatasetShard& data = peer_data_[peer];
   if (data.empty()) return 0;
   std::vector<std::size_t> counts = data.TagCounts();
@@ -1019,6 +1231,9 @@ void Cempar::RefreshPeer(NodeId peer, std::function<void()> done) {
   // re-uploaded below carries it, so a home can tell this refresh from the
   // superseded fit no matter which copies (or retransmissions) arrive when.
   const uint32_t version = ++model_version_[peer];
+  // The version bump invalidates cached predictions immediately, before
+  // any re-upload lands (the coherence rule: never serve across a bump).
+  BumpPublishEpoch();
   Stopwatch refresh_wall;
   local_models_[peer].clear();
   const DatasetShard& data = peer_data_[peer];

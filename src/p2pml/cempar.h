@@ -10,8 +10,10 @@
 #include "ml/multilabel.h"
 #include "ml/sanitize.h"
 #include "p2pml/p2p_classifier.h"
+#include "p2pml/predict_cache.h"
 #include "p2pml/reputation.h"
 #include "p2psim/chord.h"
+#include "p2psim/serve_queue.h"
 #include "p2psim/transport.h"
 
 namespace p2pdt {
@@ -71,6 +73,22 @@ struct CemparOptions {
   /// (|decision| is bounded by C · #SV + |bias|), so the trim is inert in
   /// clean runs.
   double vote_outlier_threshold = 1.0e4;
+  /// Finite serving capacity + admission control at super-peers: accepted
+  /// prediction requests queue behind the super-peer's evaluations, shed
+  /// ones come back as a typed overload reject the requester handles by
+  /// retry-after (reliable transport) or degraded local fallback. Off by
+  /// default (bit-identical).
+  ServeOptions serve;
+  /// Requester-side versioned prediction cache. Off by default.
+  PredictCacheOptions predict_cache;
+  /// Coalesce prediction requests queued for the same super-peer into one
+  /// round-trip (reliable transport only). A batch pays one admission
+  /// charge and one ACK exchange for up to max_batch documents — the
+  /// flash-crowd amortization. Off by default.
+  bool batch_predictions = false;
+  /// How long the first queued request waits for companions (sim seconds).
+  double batch_window_seconds = 0.02;
+  std::size_t max_batch = 16;
 };
 
 /// CEMPaR (Ang et al., ECML/PKDD 2009): communication-efficient P2P
@@ -170,6 +188,15 @@ class Cempar final : public P2PClassifier {
   /// Non-null when options.reputation.enabled (test access).
   ReputationManager* reputation() { return reputation_.get(); }
 
+  /// Non-null when options.serve.enabled / options.predict_cache.enabled
+  /// (test access).
+  ServeQueueSet* serve_queue() { return serve_.get(); }
+  PredictCacheSet* predict_cache() { return cache_.get(); }
+
+  /// Model-publish epoch: bumped whenever any regional model (or a peer's
+  /// visibility of them) changes. The prediction cache's version key.
+  uint64_t publish_epoch() const { return publish_epoch_; }
+
  private:
   struct Home {
     NodeId owner = kInvalidNode;
@@ -220,11 +247,58 @@ class Cempar final : public P2PClassifier {
   /// those homes dirty so the next CascadeAll rebuilds without them.
   void PurgeContributor(NodeId observer, NodeId contributor);
 
+  /// One per-tag score from one super-peer response.
+  struct PredictVote {
+    TagId tag;
+    double score;
+    double weight;
+  };
+
+  /// Super-peer side of a prediction: evaluates the queried homes `owner`
+  /// actually hosts against document `x` (honoring the vote-spam
+  /// adversary). Shared by the single-request and batched paths.
+  std::vector<PredictVote> EvaluateHomes(
+      NodeId owner, const std::vector<std::size_t>& home_list,
+      const SparseVector& x);
+
+  /// Charges one request against `owner`'s serving queue and surfaces the
+  /// queue-health metrics. serve_ must be non-null.
+  Admission AdmitServe(NodeId owner);
+
+  /// Bumps the model-publish epoch (cache invalidation). Cheap and
+  /// unconditional; over-invalidation is safe, serving stale is not.
+  void BumpPublishEpoch() { ++publish_epoch_; }
+
+  /// One queued request awaiting a coalesced super-peer round-trip.
+  struct BatchMember {
+    SparseVector x;
+    std::vector<std::size_t> home_list;
+    /// Runs at the requester when the batched response lands.
+    std::function<void(const std::vector<PredictVote>&)> deliver;
+    /// Runs at the requester when either leg of the round-trip gives up.
+    std::function<void()> fail;
+  };
+  struct PendingBatch {
+    std::vector<BatchMember> members;
+    /// Stamp guarding the flush timer: a timer for a generation that was
+    /// already flushed (size-triggered) finds a different stamp and stands
+    /// down.
+    uint64_t generation = 0;
+  };
+  void EnqueueBatch(NodeId requester, NodeId owner, BatchMember member);
+  void FlushBatch(NodeId requester, NodeId owner);
+
   Simulator& sim_;
   PhysicalNetwork& net_;
   ChordOverlay& chord_;
   CemparOptions options_;
   std::unique_ptr<ReliableTransport> transport_;
+  std::unique_ptr<ServeQueueSet> serve_;
+  std::unique_ptr<PredictCacheSet> cache_;
+  uint64_t publish_epoch_ = 0;
+  /// Batches being assembled, keyed by (requester, owner).
+  std::map<std::pair<NodeId, NodeId>, PendingBatch> batches_;
+  uint64_t batch_generation_ = 0;
 
   /// Per-peer flyweight views into the shared training corpus (legacy
   /// Setup wraps its materialized datasets into single-peer shards).

@@ -27,6 +27,13 @@ struct P2PPrediction {
   /// model instead of the distributed one. Such answers count as successes
   /// but with reduced expected quality.
   bool degraded = false;
+  /// True when the request was shed by admission control at an overloaded
+  /// serving peer (the typed `kOverloaded` reject). Callers may retry with
+  /// backoff; unlike a transport give-up this carries no liveness signal.
+  bool overloaded = false;
+  /// True when the answer was served from the requester's prediction cache
+  /// without any network traffic.
+  bool cached = false;
 };
 
 /// Aggregate counters from the Byzantine-defense stack (sanitation +

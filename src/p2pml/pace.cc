@@ -37,6 +37,12 @@ Pace::Pace(Simulator& sim, PhysicalNetwork& net, Overlay& overlay,
     transport_ =
         std::make_unique<ReliableTransport>(sim_, net_, options_.transport);
   }
+  if (options_.serve.enabled) {
+    serve_ = std::make_unique<ServeQueueSet>(options_.serve);
+  }
+  if (options_.predict_cache.enabled) {
+    cache_ = std::make_unique<PredictCacheSet>(options_.predict_cache);
+  }
 }
 
 Status Pace::Setup(std::vector<MultiLabelDataset> peer_data, TagId num_tags) {
@@ -314,6 +320,9 @@ void Pace::AcceptBundle(NodeId receiver, NodeId contributor) {
   if (pm.version > HeldVersion(receiver, rank)) {
     SetHeldVersion(receiver, rank, pm.version);
   }
+  // The receiver's visible ensemble changed: cached predictions computed
+  // without this bundle are now stale.
+  BumpPublishEpoch();
 }
 
 void Pace::ProbeQuarantined(NodeId requester) {
@@ -512,6 +521,62 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
     return;
   }
 
+  // Requester-side versioned cache: a hit answers instantly with zero
+  // compute and zero queue pressure — how a flash crowd on a hot document
+  // set is absorbed.
+  uint64_t cache_key = 0;
+  PredictionCache* cache = nullptr;
+  if (cache_ != nullptr) {
+    cache = &cache_->ForNode(requester);
+    cache_key = FingerprintVector(x);
+    CacheOutcome oc = CacheOutcome::kMiss;
+    const P2PPrediction* hit =
+        cache->Lookup(cache_key, publish_epoch_, sim_.Now(), &oc);
+    if (MetricsRegistry* metrics = net_.metrics()) {
+      const char* family = oc == CacheOutcome::kHit     ? "cache_hits"
+                           : oc == CacheOutcome::kStale ? "cache_stale"
+                                                        : "cache_misses";
+      metrics->GetCounter(family, {{"classifier", "pace"}}).Increment();
+    }
+    if (hit != nullptr) {
+      P2PPrediction out = *hit;
+      out.cached = true;
+      sim_.Schedule(0.0, [done = std::move(done), out = std::move(out)] {
+        done(std::move(out));
+      });
+      return;
+    }
+  }
+
+  // PACE serves locally, so the requester's own serving queue is the
+  // bottleneck a burst saturates. Shed requests get the typed overloaded
+  // reject without consuming any capacity.
+  double serve_delay = 0.0;
+  if (serve_ != nullptr) {
+    Admission a = serve_->Admit(requester, sim_.Now());
+    if (MetricsRegistry* metrics = net_.metrics()) {
+      metrics->GetGauge("serve_queue_depth", {{"classifier", "pace"}})
+          .Set(static_cast<double>(a.depth));
+    }
+    if (a.outcome != AdmitOutcome::kAccept) {
+      if (MetricsRegistry* metrics = net_.metrics()) {
+        metrics
+            ->GetCounter("requests_shed",
+                         {{"classifier", "pace"},
+                          {"reason", AdmitOutcomeToString(a.outcome)}})
+            .Increment();
+      }
+      P2PPrediction out;
+      out.success = false;
+      out.overloaded = true;
+      sim_.Schedule(0.0, [done = std::move(done), out = std::move(out)] {
+        done(std::move(out));
+      });
+      return;
+    }
+    serve_delay = a.delay;
+  }
+
   Tracer* tracer = net_.tracer();
   TraceContext span;
   if (tracer != nullptr) {
@@ -613,7 +678,7 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
       tracer->AddArg(span, "success", "false");
       tracer->EndSpan(span, sim_.Now());
     }
-    sim_.Schedule(0.0, [done = std::move(done), out = std::move(out)] {
+    sim_.Schedule(serve_delay, [done = std::move(done), out = std::move(out)] {
       done(std::move(out));
     });
     return;
@@ -668,7 +733,10 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
     tracer->AddArg(span, "success", "true");
     tracer->EndSpan(span, sim_.Now());
   }
-  sim_.Schedule(0.0, [done = std::move(done), out = std::move(out)] {
+  if (cache != nullptr) {
+    cache->Insert(cache_key, publish_epoch_, sim_.Now(), out);
+  }
+  sim_.Schedule(serve_delay, [done = std::move(done), out = std::move(out)] {
     done(std::move(out));
   });
 }
@@ -819,6 +887,7 @@ Status Pace::Restore(NodeId peer, const std::string& blob) {
     }
   }
   bundle_verdict_[peer] = -1;
+  BumpPublishEpoch();
   return Status::OK();
 }
 
@@ -830,12 +899,14 @@ void Pace::EvictPeer(NodeId peer) {
   // destroy; visibility is entirely received_[q][rank(peer)].
   received_[peer].assign(contributors_.size(), false);
   received_version_[peer].clear();
+  BumpPublishEpoch();
 }
 
 std::size_t Pace::ColdRestart(NodeId peer) {
   if (peer >= peer_data_.size()) return 0;
   received_[peer].assign(contributors_.size(), false);
   received_version_[peer].clear();
+  BumpPublishEpoch();
   const DatasetShard& data = peer_data_[peer];
   if (data.empty()) return 0;
   TrainLocal(peer);
@@ -954,6 +1025,9 @@ void Pace::RefreshPeer(NodeId peer, std::function<void()> done) {
     return;
   }
   models_[peer].version = next_version;
+  // The version bump invalidates cached predictions even if the refreshed
+  // bundle is later refused at some ingestion gate.
+  BumpPublishEpoch();
   // Index the refreshed centroids under the new stamp; the superseded
   // version's entries are now dead at query time (version mismatch).
   for (std::size_t c = 0; c < models_[peer].centroids.size(); ++c) {

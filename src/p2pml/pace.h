@@ -11,8 +11,10 @@
 #include "ml/multilabel.h"
 #include "ml/sanitize.h"
 #include "p2pml/p2p_classifier.h"
+#include "p2pml/predict_cache.h"
 #include "p2pml/reputation.h"
 #include "p2psim/overlay.h"
+#include "p2psim/serve_queue.h"
 #include "p2psim/simulator.h"
 #include "p2psim/transport.h"
 
@@ -68,6 +70,13 @@ struct PaceOptions {
   SanitizeOptions sanitize;
   /// Cross-validation reputation + quarantine (opt-in defense layer).
   ReputationOptions reputation;
+  /// Finite per-peer serving capacity + admission control. PACE serves
+  /// predictions locally, so the "server" is the requesting peer itself:
+  /// accepted requests queue behind its ensemble evaluations, shed ones
+  /// return the typed overloaded reject. Off by default (bit-identical).
+  ServeOptions serve;
+  /// Requester-side versioned prediction cache. Off by default.
+  PredictCacheOptions predict_cache;
 };
 
 /// PACE (Ang et al., DASFAA 2010): adaptive ensemble classification in P2P
@@ -119,6 +128,16 @@ class Pace final : public P2PClassifier {
 
   /// Non-null when options.reputation.enabled (test access).
   ReputationManager* reputation() { return reputation_.get(); }
+
+  /// Non-null when options.serve.enabled / options.predict_cache.enabled
+  /// (test access).
+  ServeQueueSet* serve_queue() { return serve_.get(); }
+  PredictCacheSet* predict_cache() { return cache_.get(); }
+
+  /// Model-publish epoch: bumped whenever any peer's published model state
+  /// changes (train, refresh, restore, eviction, cold restart). The
+  /// prediction cache's version key.
+  uint64_t publish_epoch() const { return publish_epoch_; }
 
   // Durability: a PACE peer's crash-volatile state is its own trained
   // bundle (one-vs-all linear models, centroids, accuracy weights) plus
@@ -187,11 +206,19 @@ class Pace final : public P2PClassifier {
   /// re-admits any whose trust recovered.
   void ProbeQuarantined(NodeId requester);
 
+  /// Bumps the model-publish epoch (cheap unconditional increment; callers
+  /// are the points where any published model changes). Over-invalidation
+  /// of the cache is safe — serving stale is not.
+  void BumpPublishEpoch() { ++publish_epoch_; }
+
   Simulator& sim_;
   PhysicalNetwork& net_;
   Overlay& overlay_;
   PaceOptions options_;
   std::unique_ptr<ReliableTransport> transport_;
+  std::unique_ptr<ServeQueueSet> serve_;
+  std::unique_ptr<PredictCacheSet> cache_;
+  uint64_t publish_epoch_ = 0;
   std::size_t repair_rounds_run_ = 0;
 
   /// Rank value for peers that contributed no data (and so can never have a

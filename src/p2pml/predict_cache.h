@@ -1,0 +1,99 @@
+#ifndef P2PDT_P2PML_PREDICT_CACHE_H_
+#define P2PDT_P2PML_PREDICT_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "ml/dataset.h"
+#include "p2pml/p2p_classifier.h"
+#include "p2psim/network.h"
+
+namespace p2pdt {
+
+/// Versioned prediction cache. Disabled by default so un-configured runs
+/// stay bit-identical to the pre-cache code.
+struct PredictCacheOptions {
+  bool enabled = false;
+  /// Entries per requester (LRU beyond this).
+  std::size_t capacity = 256;
+  /// Entries older than this (simulated seconds) are stale even at the
+  /// current model epoch.
+  double ttl_seconds = 300.0;
+};
+
+/// Content fingerprint of a document vector (FNV-1a over the sparse
+/// entries) — the cache key, so the same document re-tagged during a flash
+/// crowd hits without any float comparison.
+uint64_t FingerprintVector(const SparseVector& x);
+
+enum class CacheOutcome : uint8_t { kHit = 0, kMiss, kStale };
+
+/// LRU + TTL cache of P2PPredictions for one requester, versioned by the
+/// publisher's model epoch: a model republish (drift retrain, recovery,
+/// eviction) bumps the epoch and implicitly invalidates every cached
+/// answer. The coherence rule is therefore: no prediction computed against
+/// an old model version is ever served after the version bump, and even at
+/// a stable version nothing outlives the TTL.
+class PredictionCache {
+ public:
+  explicit PredictionCache(const PredictCacheOptions& options)
+      : options_(options) {}
+
+  /// Returns the cached prediction for `key` if it is fresh (same epoch,
+  /// within TTL), else null. Stale entries are erased on contact and
+  /// counted separately from plain misses.
+  const P2PPrediction* Lookup(uint64_t key, uint64_t epoch, double now,
+                              CacheOutcome* outcome);
+
+  /// Inserts (or refreshes) an entry, evicting LRU beyond capacity.
+  void Insert(uint64_t key, uint64_t epoch, double now, P2PPrediction value);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t stale() const { return stale_; }
+  uint64_t evictions() const { return evictions_; }
+  std::size_t size() const { return map_.size(); }
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    uint64_t epoch = 0;
+    double inserted_at = 0.0;
+    P2PPrediction value;
+  };
+
+  PredictCacheOptions options_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> map_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t stale_ = 0;
+  uint64_t evictions_ = 0;
+};
+
+/// Per-requester cache family (lazily grown), plus aggregate stats for
+/// reports.
+class PredictCacheSet {
+ public:
+  explicit PredictCacheSet(PredictCacheOptions options)
+      : options_(options) {}
+
+  PredictionCache& ForNode(NodeId node);
+
+  uint64_t hits() const;
+  uint64_t misses() const;
+  uint64_t stale() const;
+
+  const PredictCacheOptions& options() const { return options_; }
+
+ private:
+  PredictCacheOptions options_;
+  std::vector<std::unique_ptr<PredictionCache>> caches_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PML_PREDICT_CACHE_H_

@@ -1,0 +1,67 @@
+#include "p2psim/serve_queue.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace p2pdt {
+
+const char* AdmitOutcomeToString(AdmitOutcome outcome) {
+  switch (outcome) {
+    case AdmitOutcome::kAccept:
+      return "accept";
+    case AdmitOutcome::kShedQueueFull:
+      return "queue_full";
+    case AdmitOutcome::kShedWait:
+      return "wait_exceeded";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Requests represented by `backlog` seconds of work at `rate`. The epsilon
+/// keeps an exact multiple of the service interval from rounding up (0.3s
+/// of backlog at 10/s is 3 requests, not ceil(3.0000000000000004) = 4).
+std::size_t BacklogDepth(double backlog, double rate) {
+  if (backlog <= 0.0) return 0;
+  return static_cast<std::size_t>(std::ceil(backlog * rate - 1e-9));
+}
+
+}  // namespace
+
+ServeQueueSet::ServeQueueSet(ServeOptions options) : options_(options) {}
+
+std::size_t ServeQueueSet::Depth(NodeId node, SimTime now) const {
+  if (!options_.enabled || node >= busy_until_.size()) return 0;
+  return BacklogDepth(busy_until_[node] - now, options_.service_rate);
+}
+
+Admission ServeQueueSet::Admit(NodeId node, SimTime now) {
+  Admission a;
+  if (!options_.enabled) return a;
+  if (node >= busy_until_.size()) busy_until_.resize(node + 1, 0.0);
+  const double backlog = std::max(0.0, busy_until_[node] - now);
+  a.depth = BacklogDepth(backlog, options_.service_rate);
+  if (options_.admission_control) {
+    if (a.depth >= options_.max_depth) {
+      a.outcome = AdmitOutcome::kShedQueueFull;
+      a.retry_after = options_.retry_after;
+      ++shed_full_;
+      return a;
+    }
+    if (backlog > options_.max_wait) {
+      a.outcome = AdmitOutcome::kShedWait;
+      a.retry_after = options_.retry_after;
+      ++shed_wait_;
+      return a;
+    }
+  }
+  const double service = 1.0 / options_.service_rate;
+  busy_until_[node] = std::max(busy_until_[node], now) + service;
+  a.delay = busy_until_[node] - now;
+  ++accepted_;
+  max_depth_seen_ = std::max(max_depth_seen_, a.depth + 1);
+  return a;
+}
+
+}  // namespace p2pdt

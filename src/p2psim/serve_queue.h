@@ -1,0 +1,93 @@
+#ifndef P2PDT_P2PSIM_SERVE_QUEUE_H_
+#define P2PDT_P2PSIM_SERVE_QUEUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "p2psim/network.h"
+#include "p2psim/simulator.h"
+
+namespace p2pdt {
+
+/// Finite serving capacity at a peer. Disabled by default: every request is
+/// admitted instantly, so runs without an overload configuration are
+/// bit-identical to the pre-overload code.
+struct ServeOptions {
+  bool enabled = false;
+  /// Predictions per simulated second one peer can evaluate (the token
+  /// refill rate of its serving queue).
+  double service_rate = 50.0;
+  /// Bounded queue + load shedding (the defended arm). Off: the queue is
+  /// unbounded and every request waits its full backlog — the undefended
+  /// collapse mode a flash crowd drives.
+  bool admission_control = false;
+  /// Shed when this many requests are already queued.
+  std::size_t max_depth = 32;
+  /// Shed when the predicted queueing delay exceeds this (seconds); keeps
+  /// admitted requests inside the latency SLO instead of serving answers
+  /// nobody is still waiting for.
+  double max_wait = 0.5;
+  /// Server-suggested backoff carried in the overload reject.
+  double retry_after = 0.25;
+};
+
+/// Why a request was shed (or not).
+enum class AdmitOutcome : uint8_t {
+  kAccept = 0,
+  kShedQueueFull,  // queue depth at max_depth
+  kShedWait,       // predicted wait beyond max_wait
+};
+
+const char* AdmitOutcomeToString(AdmitOutcome outcome);
+
+/// Verdict of one admission attempt.
+struct Admission {
+  AdmitOutcome outcome = AdmitOutcome::kAccept;
+  /// Queueing + service delay until this request's evaluation completes
+  /// (0 when the feature is disabled).
+  double delay = 0.0;
+  /// Suggested retry time on shed.
+  double retry_after = 0.0;
+  /// Queue depth observed at admission time (before this request).
+  std::size_t depth = 0;
+};
+
+/// Analytic per-node serving queues in simulated time: each node is a
+/// single server draining one request per 1/service_rate seconds. No
+/// per-job state is stored — only the virtual time the server becomes free
+/// — so a 100k-peer simulation pays one double per node. All calls run on
+/// the simulator driver thread.
+class ServeQueueSet {
+ public:
+  explicit ServeQueueSet(ServeOptions options);
+
+  /// Admits (or sheds) one request at node `node` at sim-time `now`.
+  /// Accepting consumes capacity: the node's backlog grows by one service
+  /// interval. Shedding consumes nothing.
+  Admission Admit(NodeId node, SimTime now);
+
+  /// Requests queued (including in service) at `node` as of `now`.
+  std::size_t Depth(NodeId node, SimTime now) const;
+
+  uint64_t accepted() const { return accepted_; }
+  uint64_t shed() const { return shed_full_ + shed_wait_; }
+  uint64_t shed_queue_full() const { return shed_full_; }
+  uint64_t shed_wait() const { return shed_wait_; }
+  std::size_t max_depth_seen() const { return max_depth_seen_; }
+
+  const ServeOptions& options() const { return options_; }
+
+ private:
+  ServeOptions options_;
+  /// Virtual time each node's server becomes idle (index = NodeId; grown
+  /// lazily so idle nodes cost nothing).
+  std::vector<SimTime> busy_until_;
+  uint64_t accepted_ = 0;
+  uint64_t shed_full_ = 0;
+  uint64_t shed_wait_ = 0;
+  std::size_t max_depth_seen_ = 0;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PSIM_SERVE_QUEUE_H_

@@ -28,6 +28,8 @@ const char* MessageTypeToString(MessageType type) {
       return "ack";
     case MessageType::kModelReplicate:
       return "model_replicate";
+    case MessageType::kOverloadNack:
+      return "overload_nack";
     case MessageType::kCount:
       return "count";
   }
@@ -44,6 +46,8 @@ const char* DropReasonToString(DropReason reason) {
       return "random_loss";
     case DropReason::kInjectedFault:
       return "injected_fault";
+    case DropReason::kOverloadShed:
+      return "overload_shed";
     case DropReason::kCount:
       return "count";
   }

@@ -21,6 +21,7 @@ enum class MessageType : uint8_t {
   kGossip,                  // unstructured overlay dissemination
   kAck,                     // reliable-transport acknowledgement
   kModelReplicate,          // CEMPaR: regional model to standby super-peer
+  kOverloadNack,            // typed kOverloaded reject from a shedding peer
   kCount,                   // sentinel
 };
 
@@ -34,6 +35,7 @@ enum class DropReason : uint8_t {
   kRecvOffline,      // receiver was offline at delivery time
   kRandomLoss,       // baseline probabilistic loss (loss_rate)
   kInjectedFault,    // dropped by an armed fault plan
+  kOverloadShed,     // shed by admission control at an overloaded server
   kCount,            // sentinel
 };
 

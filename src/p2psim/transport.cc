@@ -72,7 +72,37 @@ void ReliableTransport::Attempt(std::shared_ptr<Pending> p) {
         // Receiver side: run the payload exactly once per logical message,
         // then (re-)ACK — a duplicate data arrival still deserves an ACK
         // because the previous one may have been lost.
-        if (delivered_.insert(p->id).second && p->on_deliver) {
+        if (admission_ && delivered_.count(p->id) == 0) {
+          AdmissionVerdict v = admission_(p->to, p->type);
+          if (!v.accept) {
+            // Shed: the payload never runs. A typed NACK carries the
+            // server's retry-after back; no ACK, so the message stays
+            // pending at the sender.
+            net_.stats().RecordDrop(p->type, DropReason::kOverloadShed);
+            if (Tracer* tracer = net_.tracer()) {
+              tracer->Instant("overload_shed", sim_.Now(), p->to, p->trace);
+            }
+            const double retry_after = v.retry_after;
+            net_.Send(p->to, p->from, options_.nack_bytes,
+                      MessageType::kOverloadNack,
+                      [this, p, retry_after] {
+                        HandleOverloadNack(p, retry_after);
+                      },
+                      nullptr);
+            return;
+          }
+          // Accepted: mark delivered *now* (a retransmission arriving while
+          // the payload waits in the serving queue must not enqueue it
+          // twice), then run the payload after the queueing delay.
+          delivered_.insert(p->id);
+          if (p->on_deliver) {
+            if (v.delay > 0.0) {
+              sim_.Schedule(v.delay, [p] { p->on_deliver(); });
+            } else {
+              p->on_deliver();
+            }
+          }
+        } else if (delivered_.insert(p->id).second && p->on_deliver) {
           p->on_deliver();
         }
         net_.Send(p->to, p->from, options_.ack_bytes, MessageType::kAck,
@@ -89,6 +119,11 @@ void ReliableTransport::Attempt(std::shared_ptr<Pending> p) {
 void ReliableTransport::HandleTimeout(std::shared_ptr<Pending> p,
                                       std::size_t attempt) {
   if (p->settled) return;
+  // A server-suggested retry-after wait owns the retransmission schedule;
+  // the standard backoff timer standing down is exactly the retry-storm
+  // fix. (If the NACK itself was lost, overload_wait stays false and this
+  // path still recovers the message.)
+  if (p->overload_wait) return;
   // Only the timeout armed by the newest attempt may act; earlier ones are
   // stale (defensive — attempts are issued strictly one at a time).
   if (attempt + 1 != p->attempts) return;
@@ -129,6 +164,42 @@ void ReliableTransport::HandleAck(std::shared_ptr<Pending> p) {
   }
 }
 
+void ReliableTransport::HandleOverloadNack(std::shared_ptr<Pending> p,
+                                           double retry_after) {
+  if (p->settled) return;
+  ++overload_rejects_;
+  ++p->overload_rejects;
+  // A NACK is proof of life: the peer is overloaded, not dead.
+  if (p->to < suspicion_.size()) suspicion_[p->to] = 0;
+  if (Tracer* tracer = net_.tracer()) {
+    tracer->Instant("overload_nack", sim_.Now(), p->from, p->trace);
+  }
+  if (p->overload_rejects > options_.max_overload_retries) {
+    p->overloaded = true;
+    GiveUp(std::move(p));
+    return;
+  }
+  // Honor the server's retry-after (with deterministic jitter so a burst
+  // of shed senders does not re-arrive in lockstep), suppressing the
+  // standard backoff timer until the retry fires.
+  double delay = std::max(retry_after, options_.rto_min);
+  if (options_.jitter > 0.0) {
+    Rng jitter_rng(
+        DeriveSeed(options_.seed ^ 0x0AD, p->id, p->overload_rejects));
+    delay *= jitter_rng.Uniform(1.0, 1.0 + options_.jitter);
+  }
+  p->overload_wait = true;
+  sim_.Schedule(delay, [this, p] {
+    if (p->settled) return;
+    p->overload_wait = false;
+    net_.stats().RecordRetransmit(p->type);
+    if (Tracer* tracer = net_.tracer()) {
+      tracer->Instant("overload_retry", sim_.Now(), p->from, p->trace);
+    }
+    Attempt(p);
+  });
+}
+
 void ReliableTransport::GiveUp(std::shared_ptr<Pending> p) {
   p->settled = true;
   pending_.erase(p->id);
@@ -146,7 +217,10 @@ void ReliableTransport::GiveUp(std::shared_ptr<Pending> p) {
     tracer->AddArg(p->trace, "outcome", "give_up");
     tracer->EndSpan(p->trace, sim_.Now());
   }
-  RaiseSuspicion(p->to);
+  // Suspicion is for peers that stopped answering. An overloaded peer
+  // answered with NACKs — suspecting it would wrongly trigger standby
+  // promotion and pile recovery traffic onto a peer already drowning.
+  if (!p->overloaded) RaiseSuspicion(p->to);
   if (p->on_give_up) {
     ScopedTraceContext scope(net_.tracer(), p->trace);
     p->on_give_up();

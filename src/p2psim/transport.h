@@ -35,7 +35,24 @@ struct ReliableTransportOptions {
   std::size_t ack_bytes = 24;
   /// Consecutive give-ups targeting one peer before it is suspected dead.
   std::size_t suspicion_threshold = 2;
+  /// Overload rejects tolerated per message before giving up. Deliberately
+  /// much smaller than max_retries: hammering an overloaded peer with the
+  /// full retry budget is the retry storm that amplifies a flash crowd.
+  std::size_t max_overload_retries = 2;
+  /// Wire size of an overload NACK.
+  std::size_t nack_bytes = 24;
   uint64_t seed = 0x5EED7A6;
+};
+
+/// Receiver-side admission verdict for one arriving message. `accept=false`
+/// sheds the request: the payload never runs and the sender gets a typed
+/// overload NACK carrying `retry_after` instead of an ACK. On accept,
+/// `delay` defers the payload (queueing + service time) while the ACK still
+/// returns immediately — the wire-level accept is not the serving latency.
+struct AdmissionVerdict {
+  bool accept = true;
+  double delay = 0.0;
+  double retry_after = 0.0;
 };
 
 /// Reliable, at-most-once-effect delivery on top of the lossy
@@ -62,6 +79,8 @@ class ReliableTransport {
  public:
   using MsgId = uint64_t;
   using SuspicionListener = std::function<void(NodeId suspect)>;
+  using AdmissionHook =
+      std::function<AdmissionVerdict(NodeId to, MessageType type)>;
 
   ReliableTransport(Simulator& sim, PhysicalNetwork& net,
                     ReliableTransportOptions options = {});
@@ -88,6 +107,17 @@ class ReliableTransport {
     suspicion_listener_ = std::move(listener);
   }
 
+  /// Installs receiver-side admission control. Consulted once per *fresh*
+  /// data arrival (duplicates of an already-delivered message are just
+  /// re-ACKed); null (the default) keeps the pre-overload behavior
+  /// bit-identical. A rejected message costs an overload-capped retry
+  /// schedule driven by the server's retry_after, not the standard backoff
+  /// ladder.
+  void SetAdmissionHook(AdmissionHook hook) { admission_ = std::move(hook); }
+
+  /// Overload NACKs processed at senders (counts retries and give-ups).
+  uint64_t overload_rejects() const { return overload_rejects_; }
+
   /// Messages currently awaiting an ACK.
   std::size_t in_flight() const { return pending_.size(); }
 
@@ -102,7 +132,16 @@ class ReliableTransport {
     MessageType type = MessageType::kCount;
     std::size_t attempts = 0;  // attempts issued so far
     bool settled = false;      // acked or given up
-    SimTime sent_at = 0.0;     // first-attempt time, for settle latency
+    /// Overload NACKs received; capped by max_overload_retries.
+    std::size_t overload_rejects = 0;
+    /// True while waiting out a server-suggested retry-after; suppresses
+    /// the standard timeout path so a shed message is retried exactly once
+    /// per NACK instead of storming.
+    bool overload_wait = false;
+    /// Message ended in give-up because the peer shed it (peer is alive —
+    /// give-up must not raise dead-peer suspicion).
+    bool overloaded = false;
+    SimTime sent_at = 0.0;  // first-attempt time, for settle latency
     /// Logical-message span: every physical attempt (and its ACK) nests
     /// under it, so one trace shows the full retry history.
     TraceContext trace;
@@ -114,6 +153,7 @@ class ReliableTransport {
   void Attempt(std::shared_ptr<Pending> p);
   void HandleTimeout(std::shared_ptr<Pending> p, std::size_t attempt);
   void HandleAck(std::shared_ptr<Pending> p);
+  void HandleOverloadNack(std::shared_ptr<Pending> p, double retry_after);
   void GiveUp(std::shared_ptr<Pending> p);
   void RaiseSuspicion(NodeId node);
 
@@ -127,6 +167,8 @@ class ReliableTransport {
   /// Consecutive give-ups per target peer.
   std::vector<std::size_t> suspicion_;
   SuspicionListener suspicion_listener_;
+  AdmissionHook admission_;
+  uint64_t overload_rejects_ = 0;
 };
 
 }  // namespace p2pdt

@@ -1,0 +1,126 @@
+#include "p2pml/predict_cache.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+SparseVector MakeVec(std::initializer_list<std::pair<uint32_t, double>> kv) {
+  SparseVector v;
+  for (const auto& [i, w] : kv) v.PushBack(i, w);
+  return v;
+}
+
+P2PPrediction MakePrediction(std::initializer_list<TagId> tags) {
+  P2PPrediction p;
+  p.tags = tags;
+  for (std::size_t i = 0; i < p.tags.size(); ++i) p.scores.push_back(0.5);
+  return p;
+}
+
+PredictCacheOptions Enabled(std::size_t capacity = 8, double ttl = 100.0) {
+  PredictCacheOptions opt;
+  opt.enabled = true;
+  opt.capacity = capacity;
+  opt.ttl_seconds = ttl;
+  return opt;
+}
+
+TEST(PredictCacheTest, FingerprintDistinguishesContent) {
+  const SparseVector a = MakeVec({{1, 0.5}, {7, 1.25}});
+  const SparseVector b = MakeVec({{1, 0.5}, {7, 1.25}});
+  const SparseVector c = MakeVec({{1, 0.5}, {7, 1.251}});
+  const SparseVector d = MakeVec({{2, 0.5}, {7, 1.25}});
+  EXPECT_EQ(FingerprintVector(a), FingerprintVector(b));
+  EXPECT_NE(FingerprintVector(a), FingerprintVector(c));
+  EXPECT_NE(FingerprintVector(a), FingerprintVector(d));
+}
+
+TEST(PredictCacheTest, HitAfterInsert) {
+  PredictionCache cache(Enabled());
+  const uint64_t key = 42;
+  cache.Insert(key, /*epoch=*/1, /*now=*/0.0, MakePrediction({2, 5}));
+
+  CacheOutcome outcome;
+  const P2PPrediction* hit = cache.Lookup(key, 1, 1.0, &outcome);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(outcome, CacheOutcome::kHit);
+  EXPECT_EQ(hit->tags, (std::vector<TagId>{2, 5}));
+  EXPECT_EQ(cache.hits(), 1u);
+
+  EXPECT_EQ(cache.Lookup(99, 1, 1.0, &outcome), nullptr);
+  EXPECT_EQ(outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(PredictCacheTest, EpochBumpInvalidates) {
+  PredictionCache cache(Enabled());
+  cache.Insert(7, /*epoch=*/1, /*now=*/0.0, MakePrediction({1}));
+
+  CacheOutcome outcome;
+  EXPECT_EQ(cache.Lookup(7, /*epoch=*/2, 0.5, &outcome), nullptr);
+  EXPECT_EQ(outcome, CacheOutcome::kStale);
+  EXPECT_EQ(cache.stale(), 1u);
+  // Stale entries are erased on contact — the next lookup is a plain miss.
+  EXPECT_EQ(cache.Lookup(7, 2, 0.5, &outcome), nullptr);
+  EXPECT_EQ(outcome, CacheOutcome::kMiss);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(PredictCacheTest, TtlExpires) {
+  PredictionCache cache(Enabled(8, /*ttl=*/10.0));
+  cache.Insert(7, 1, /*now=*/0.0, MakePrediction({1}));
+
+  CacheOutcome outcome;
+  EXPECT_NE(cache.Lookup(7, 1, 9.9, &outcome), nullptr);
+  EXPECT_EQ(cache.Lookup(7, 1, 10.1, &outcome), nullptr);
+  EXPECT_EQ(outcome, CacheOutcome::kStale);
+}
+
+TEST(PredictCacheTest, ReinsertRefreshes) {
+  PredictionCache cache(Enabled(8, 10.0));
+  cache.Insert(7, 1, 0.0, MakePrediction({1}));
+  cache.Insert(7, 2, 8.0, MakePrediction({3}));
+
+  CacheOutcome outcome;
+  const P2PPrediction* hit = cache.Lookup(7, 2, 15.0, &outcome);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit->tags, (std::vector<TagId>{3}));
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(PredictCacheTest, LruEvictsOldest) {
+  PredictionCache cache(Enabled(/*capacity=*/3));
+  cache.Insert(1, 1, 0.0, MakePrediction({1}));
+  cache.Insert(2, 1, 0.0, MakePrediction({2}));
+  cache.Insert(3, 1, 0.0, MakePrediction({3}));
+  // Touch key 1 so key 2 becomes the LRU victim.
+  CacheOutcome outcome;
+  EXPECT_NE(cache.Lookup(1, 1, 0.1, &outcome), nullptr);
+  cache.Insert(4, 1, 0.2, MakePrediction({4}));
+
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_EQ(cache.Lookup(2, 1, 0.3, &outcome), nullptr);
+  EXPECT_NE(cache.Lookup(1, 1, 0.3, &outcome), nullptr);
+  EXPECT_NE(cache.Lookup(3, 1, 0.3, &outcome), nullptr);
+  EXPECT_NE(cache.Lookup(4, 1, 0.3, &outcome), nullptr);
+}
+
+TEST(PredictCacheTest, SetAggregatesPerNodeCounters) {
+  PredictCacheSet set(Enabled());
+  set.ForNode(0).Insert(1, 1, 0.0, MakePrediction({1}));
+  set.ForNode(5).Insert(1, 1, 0.0, MakePrediction({2}));
+
+  CacheOutcome outcome;
+  EXPECT_NE(set.ForNode(0).Lookup(1, 1, 0.1, &outcome), nullptr);
+  EXPECT_NE(set.ForNode(5).Lookup(1, 1, 0.1, &outcome), nullptr);
+  EXPECT_EQ(set.ForNode(9).Lookup(1, 1, 0.1, &outcome), nullptr);
+  // Caches are per-requester: node 5's entry for key 1 is its own.
+  EXPECT_EQ(set.hits(), 2u);
+  EXPECT_EQ(set.misses(), 1u);
+  EXPECT_EQ(set.stale(), 0u);
+}
+
+}  // namespace
+}  // namespace p2pdt

@@ -1,0 +1,127 @@
+#include "p2psim/serve_queue.h"
+
+#include <gtest/gtest.h>
+
+namespace p2pdt {
+namespace {
+
+TEST(ServeQueueTest, DisabledAdmitsInstantlyAndKeepsNoState) {
+  ServeQueueSet q(ServeOptions{});  // enabled = false
+  for (int i = 0; i < 100; ++i) {
+    Admission a = q.Admit(3, 0.0);
+    EXPECT_EQ(a.outcome, AdmitOutcome::kAccept);
+    EXPECT_EQ(a.delay, 0.0);
+    EXPECT_EQ(a.depth, 0u);
+  }
+  EXPECT_EQ(q.accepted(), 0u);
+  EXPECT_EQ(q.shed(), 0u);
+  EXPECT_EQ(q.Depth(3, 0.0), 0u);
+}
+
+TEST(ServeQueueTest, AcceptedRequestsQueueBehindEachOther) {
+  ServeOptions opt;
+  opt.enabled = true;
+  opt.service_rate = 10.0;  // one request per 0.1s
+  ServeQueueSet q(opt);
+
+  Admission a0 = q.Admit(0, 0.0);
+  Admission a1 = q.Admit(0, 0.0);
+  Admission a2 = q.Admit(0, 0.0);
+  EXPECT_EQ(a0.outcome, AdmitOutcome::kAccept);
+  EXPECT_NEAR(a0.delay, 0.1, 1e-9);
+  EXPECT_NEAR(a1.delay, 0.2, 1e-9);
+  EXPECT_NEAR(a2.delay, 0.3, 1e-9);
+  EXPECT_EQ(a0.depth, 0u);
+  EXPECT_EQ(a1.depth, 1u);
+  EXPECT_EQ(a2.depth, 2u);
+  EXPECT_EQ(q.accepted(), 3u);
+  EXPECT_EQ(q.Depth(0, 0.0), 3u);
+
+  // The backlog drains in virtual time.
+  EXPECT_EQ(q.Depth(0, 0.25), 1u);
+  EXPECT_EQ(q.Depth(0, 0.31), 0u);
+  // A late arrival starts a fresh busy period.
+  Admission late = q.Admit(0, 10.0);
+  EXPECT_NEAR(late.delay, 0.1, 1e-9);
+  EXPECT_EQ(late.depth, 0u);
+}
+
+TEST(ServeQueueTest, NodesAreIndependent) {
+  ServeOptions opt;
+  opt.enabled = true;
+  opt.service_rate = 10.0;
+  ServeQueueSet q(opt);
+  q.Admit(0, 0.0);
+  q.Admit(0, 0.0);
+  Admission other = q.Admit(7, 0.0);
+  EXPECT_NEAR(other.delay, 0.1, 1e-9);
+  EXPECT_EQ(q.Depth(0, 0.0), 2u);
+  EXPECT_EQ(q.Depth(7, 0.0), 1u);
+}
+
+TEST(ServeQueueTest, ShedsOnQueueDepth) {
+  ServeOptions opt;
+  opt.enabled = true;
+  opt.service_rate = 10.0;
+  opt.admission_control = true;
+  opt.max_depth = 3;
+  opt.max_wait = 100.0;  // depth limit binds first
+  opt.retry_after = 0.7;
+  ServeQueueSet q(opt);
+
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(q.Admit(0, 0.0).outcome, AdmitOutcome::kAccept);
+  }
+  Admission shed = q.Admit(0, 0.0);
+  EXPECT_EQ(shed.outcome, AdmitOutcome::kShedQueueFull);
+  EXPECT_DOUBLE_EQ(shed.retry_after, 0.7);
+  EXPECT_EQ(q.accepted(), 3u);
+  EXPECT_EQ(q.shed_queue_full(), 1u);
+  // Shedding consumed no capacity: after draining, admits again.
+  EXPECT_EQ(q.Admit(0, 1.0).outcome, AdmitOutcome::kAccept);
+}
+
+TEST(ServeQueueTest, ShedsOnPredictedWait) {
+  ServeOptions opt;
+  opt.enabled = true;
+  opt.service_rate = 10.0;
+  opt.admission_control = true;
+  opt.max_depth = 1000;
+  opt.max_wait = 0.25;
+  ServeQueueSet q(opt);
+
+  EXPECT_EQ(q.Admit(0, 0.0).outcome, AdmitOutcome::kAccept);  // wait 0
+  EXPECT_EQ(q.Admit(0, 0.0).outcome, AdmitOutcome::kAccept);  // wait 0.1
+  EXPECT_EQ(q.Admit(0, 0.0).outcome, AdmitOutcome::kAccept);  // wait 0.2
+  // Next would wait 0.3 > 0.25.
+  EXPECT_EQ(q.Admit(0, 0.0).outcome, AdmitOutcome::kShedWait);
+  EXPECT_EQ(q.shed_wait(), 1u);
+  EXPECT_EQ(q.shed(), 1u);
+}
+
+TEST(ServeQueueTest, UnboundedWithoutAdmissionControl) {
+  // The undefended arm: capacity is finite but nothing is ever shed — the
+  // queue just grows.
+  ServeOptions opt;
+  opt.enabled = true;
+  opt.service_rate = 10.0;
+  opt.admission_control = false;
+  ServeQueueSet q(opt);
+  Admission last;
+  for (int i = 0; i < 200; ++i) last = q.Admit(0, 0.0);
+  EXPECT_EQ(last.outcome, AdmitOutcome::kAccept);
+  EXPECT_NEAR(last.delay, 20.0, 1e-7);
+  EXPECT_EQ(q.shed(), 0u);
+  EXPECT_GE(q.max_depth_seen(), 200u);
+}
+
+TEST(ServeQueueTest, OutcomeStrings) {
+  EXPECT_STREQ(AdmitOutcomeToString(AdmitOutcome::kAccept), "accept");
+  EXPECT_STREQ(AdmitOutcomeToString(AdmitOutcome::kShedQueueFull),
+               "queue_full");
+  EXPECT_STREQ(AdmitOutcomeToString(AdmitOutcome::kShedWait),
+               "wait_exceeded");
+}
+
+}  // namespace
+}  // namespace p2pdt

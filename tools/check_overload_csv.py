@@ -1,0 +1,184 @@
+#!/usr/bin/env python3
+"""Validates the overload-sweep CSV emitted by bench_overload.
+
+Usage: check_overload_csv.py <overload.csv> [--strict]
+
+Pure stdlib. Checks the column schema exactly, value ranges, and the
+structural invariants every sweep must satisfy:
+
+- Every algorithm carries a disarmed pair (load generator off, both arm
+  configurations) whose fingerprints MATCH — the bit-identity witness
+  that idle overload machinery (serving queues with no contention, an
+  empty prediction cache, an unused batching window) changes no answer.
+- Outcome arithmetic: ok + degraded + cached + failed == completed, and
+  completed == offered (every request resolves — answered, degraded,
+  or a typed give-up; nothing is silently dropped).
+- The undefended arm never sheds and never retries (there is no
+  admission control to reject and no typed overload signal to retry on).
+- Latency quantiles are ordered (p50 <= p95 <= p99) and rates are sane
+  (cache_hit_rate in [0, 1]; shed_rate >= 0 — transport-level retries
+  can shed one client request more than once).
+
+With --strict it additionally enforces the OVER1 acceptance bar: at
+least one flash-burst point where the undefended arm is driven past the
+SLO (p95 tagging latency above slo_s, or >5 % of requests failing)
+while the defended arm of the same (algorithm, rate, burst) sustains
+>= 2x the undefended goodput-within-SLO. Exits non-zero with one
+message per violation.
+"""
+
+import csv
+import sys
+
+EXPECTED_COLUMNS = [
+    "algorithm", "arm", "burst", "arrival_rate", "burst_multiplier",
+    "offered", "completed", "ok", "degraded", "cached", "failed", "shed",
+    "retries", "within_slo", "goodput_within_slo", "shed_rate",
+    "cache_hit_rate", "p50_s", "p95_s", "p99_s", "slo_s", "give_ups",
+    "fingerprint",
+]
+
+KNOWN_ARMS = {"undefended", "defended"}
+KNOWN_BURSTS = {"disarmed", "none", "flash"}
+
+GOODPUT_FACTOR = 2.0
+FAIL_COLLAPSE = 0.05
+
+errors = []
+
+
+def check(cond, msg):
+    if not cond:
+        errors.append(msg)
+
+
+def validate(path, strict):
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        check(reader.fieldnames == EXPECTED_COLUMNS,
+              f"header mismatch: got {reader.fieldnames}")
+        rows = list(reader)
+    check(rows, "no data rows")
+    if errors:
+        return
+
+    for i, row in enumerate(rows):
+        where = f"row {i + 2}"
+        check(row["algorithm"] in ("cempar", "pace"),
+              f"{where}: unknown algorithm {row['algorithm']!r}")
+        check(row["arm"] in KNOWN_ARMS,
+              f"{where}: unknown arm {row['arm']!r}")
+        check(row["burst"] in KNOWN_BURSTS,
+              f"{where}: unknown burst {row['burst']!r}")
+        for col in ("offered", "completed", "ok", "degraded", "cached",
+                    "failed", "shed", "retries", "within_slo", "give_ups"):
+            check(int(row[col]) >= 0, f"{where}: negative {col}")
+        offered = int(row["offered"])
+        completed = int(row["completed"])
+        answered = (int(row["ok"]) + int(row["degraded"]) +
+                    int(row["cached"]) + int(row["failed"]))
+        check(completed == offered,
+              f"{where}: completed {completed} != offered {offered} "
+              "(requests went missing)")
+        check(answered == completed,
+              f"{where}: ok+degraded+cached+failed {answered} != "
+              f"completed {completed}")
+        check(int(row["within_slo"]) <= completed,
+              f"{where}: within_slo exceeds completed")
+        for col in ("goodput_within_slo", "shed_rate", "p50_s", "p95_s",
+                    "p99_s", "slo_s"):
+            check(float(row[col]) >= 0.0, f"{where}: negative {col}")
+        hit = float(row["cache_hit_rate"])
+        check(0.0 <= hit <= 1.0, f"{where}: cache_hit_rate {hit}")
+        p50, p95, p99 = (float(row["p50_s"]), float(row["p95_s"]),
+                         float(row["p99_s"]))
+        check(p50 <= p95 + 1e-12 and p95 <= p99 + 1e-12,
+              f"{where}: latency quantiles unordered "
+              f"({p50}, {p95}, {p99})")
+        check(len(row["fingerprint"]) == 16,
+              f"{where}: fingerprint not a 16-hex-digit digest")
+        if row["arm"] == "undefended":
+            check(int(row["shed"]) == 0,
+                  f"{where}: undefended arm shed requests")
+            check(int(row["retries"]) == 0,
+                  f"{where}: undefended arm retried")
+            check(int(row["give_ups"]) == 0,
+                  f"{where}: undefended arm recorded overload give-ups")
+        if row["burst"] == "disarmed":
+            check(float(row["arrival_rate"]) == 0.0,
+                  f"{where}: disarmed row carries an arrival rate")
+
+    algorithms = sorted({row["algorithm"] for row in rows})
+    for algorithm in algorithms:
+        # Disarmed bit-identity pair.
+        disarmed = {row["arm"]: row["fingerprint"] for row in rows
+                    if row["algorithm"] == algorithm
+                    and row["burst"] == "disarmed"}
+        check(set(disarmed) == KNOWN_ARMS,
+              f"{algorithm}: disarmed pair incomplete "
+              f"(have {sorted(disarmed)})")
+        if set(disarmed) == KNOWN_ARMS:
+            check(disarmed["undefended"] == disarmed["defended"],
+                  f"{algorithm}: disarmed fingerprints differ — idle "
+                  "overload machinery changed a prediction")
+        check(any(row["algorithm"] == algorithm and row["burst"] == "flash"
+                  for row in rows),
+              f"{algorithm}: no flash-burst rows")
+
+    if not strict:
+        return
+
+    # Acceptance bar: a flash point where the undefended arm collapses
+    # (p95 past SLO or failure collapse) and the defended arm sustains
+    # >= 2x its goodput-within-SLO.
+    witnesses = []
+    for row in rows:
+        if row["burst"] != "flash" or row["arm"] != "undefended":
+            continue
+        defended = next(
+            (r for r in rows
+             if r["arm"] == "defended"
+             and (r["algorithm"], r["burst"], r["arrival_rate"],
+                  r["burst_multiplier"])
+             == (row["algorithm"], row["burst"], row["arrival_rate"],
+                 row["burst_multiplier"])), None)
+        if defended is None:
+            continue
+        offered = int(row["offered"])
+        fail_rate = int(row["failed"]) / offered if offered else 0.0
+        past_slo = (float(row["p95_s"]) > float(row["slo_s"])
+                    or fail_rate > FAIL_COLLAPSE)
+        sustained = (float(defended["goodput_within_slo"])
+                     >= GOODPUT_FACTOR * float(row["goodput_within_slo"]))
+        if past_slo and sustained:
+            witnesses.append(
+                f"{row['algorithm']}@{row['arrival_rate']}"
+                f"x{row['burst_multiplier']} "
+                f"({row['goodput_within_slo']} -> "
+                f"{defended['goodput_within_slo']} good/s)")
+    check(witnesses,
+          "acceptance bar not met: no flash point where the undefended arm "
+          "is past SLO (or >5% failed) while the defended arm sustains "
+          f">= {GOODPUT_FACTOR}x its goodput-within-SLO")
+    if witnesses:
+        print(f"acceptance witnesses: {', '.join(sorted(set(witnesses)))}")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--strict"]
+    strict = "--strict" in sys.argv[1:]
+    if len(args) != 1:
+        print(__doc__)
+        return 2
+    validate(args[0], strict)
+    if errors:
+        for msg in errors:
+            print(f"FAIL: {msg}")
+        return 1
+    print(f"OK: {args[0]} passes schema and overload invariants"
+          + (" (strict)" if strict else ""))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -80,7 +80,8 @@ def validate_metrics(path):
 def validate_report(path):
     with open(path) as f:
         doc = json.load(f)
-    for section in ("run", "quality", "cost", "timing", "phases"):
+    for section in ("run", "quality", "cost", "timing", "overload",
+                    "phases"):
         check(section in doc, f"report: missing '{section}' section")
     quality = doc.get("quality", {})
     for key in ("micro_f1", "macro_f1", "hamming_loss"):
@@ -90,6 +91,18 @@ def validate_report(path):
     for key in ("train_messages", "predict_messages", "delivery_rate",
                 "retransmits"):
         check(key in cost, f"report: cost.{key} missing")
+    # Overload health is always present — all zeros when the serving
+    # queues, cache, and batching were off or idle — so dashboards can key
+    # on the section unconditionally.
+    overload = doc.get("overload", {})
+    for key in ("requests_shed", "cache_hits", "cache_misses",
+                "cache_stale", "cache_hit_rate", "serve_queue_depth",
+                "batches", "mean_batch_size", "max_batch_size"):
+        check(isinstance(overload.get(key), (int, float)),
+              f"report: overload.{key} must be numeric")
+    if isinstance(overload.get("cache_hit_rate"), (int, float)):
+        check(0.0 <= overload["cache_hit_rate"] <= 1.0,
+              "report: overload.cache_hit_rate outside [0, 1]")
     phases = doc.get("phases", [])
     check(isinstance(phases, list) and phases,
           "report: non-empty phases array required")
