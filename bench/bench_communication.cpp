@@ -5,6 +5,7 @@
 // message type and phase for each algorithm as N grows.
 
 #include <cstdio>
+#include <cstring>
 
 #include "bench/bench_util.h"
 
@@ -18,9 +19,35 @@ struct Traffic {
   uint64_t by_type_bytes[NetworkStats::kNumTypes] = {};
 };
 
+/// Deterministic wire-cost pass for the CI bench-regression gate
+/// (`--smoke`): small corpus, both P2P algorithms, ledger enabled, exact
+/// message/byte/op counts emitted as machine-readable JSON.
+int RunSmoke() {
+  const VectorizedCorpus& corpus = SharedCorpus(24, 8);
+  BenchEmitter emitter("bench_communication");
+  for (AlgorithmType algo : {AlgorithmType::kCempar, AlgorithmType::kPace}) {
+    ExperimentOptions opt = MacroDefaults(algo, 16);
+    opt.max_test_documents = 40;
+    opt.env.observe.metrics = true;
+    opt.env.observe.cost_ledger = true;
+    Result<ExperimentResult> r = RunExperiment(corpus, opt);
+    if (!r.ok()) {
+      std::fprintf(stderr, "smoke failed: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    RecordExperiment(emitter, r->algorithm + "_p16", *r);
+  }
+  emitter.Write("perf/bench_communication.json");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+  }
   std::printf("=== CLAIM1: communication-cost breakdown ===\n\n");
   const VectorizedCorpus& corpus = SharedCorpus(128, 12);
   CsvWriter csv({"algorithm", "peers", "phase_or_type", "messages", "MiB"});

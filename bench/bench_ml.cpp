@@ -4,11 +4,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
+#include "bench_util.h"
+#include "common/cost_ledger.h"
 #include "common/rng.h"
+#include "common/stopwatch.h"
 #include "ml/kernel_svm.h"
 #include "ml/kmeans.h"
 #include "ml/linear_svm.h"
 #include "ml/lsh.h"
+#include "ml/serialization.h"
 
 namespace {
 
@@ -175,6 +181,115 @@ void BM_ExhaustiveScan(benchmark::State& state) {
 }
 BENCHMARK(BM_ExhaustiveScan)->Arg(256)->Arg(1024)->Arg(4096);
 
+/// Dumps every non-zero ledger scalar of `delta` into `point`'s
+/// deterministic metrics and the wall clock into advisory.
+void RecordDelta(p2pdt_bench::BenchEmitter& emitter, const std::string& point,
+                 const CostCounts& delta, double wall_seconds) {
+  for (const auto& [op, value] : delta.Scalars()) {
+    if (value != 0) emitter.Deterministic(point, op, value);
+  }
+  emitter.Advisory(point, "wall_seconds", wall_seconds);
+}
+
+/// Deterministic ledger-counting pass over every ML kernel, for the CI
+/// bench-regression gate (`--smoke`). The op counts are exact at a fixed
+/// seed; wall time rides along as advisory.
+int RunSmoke() {
+  CostLedger::SetEnabled(true);
+  p2pdt_bench::BenchEmitter emitter("bench_ml");
+
+  {
+    auto data = MakeProblem(64, 2000, 40, 1);
+    CostCounts before = CostLedger::Collect();
+    Stopwatch wall;
+    auto model = TrainLinearSvm(data);
+    if (!model.ok()) return 1;
+    RecordDelta(emitter, "linear_svm_train_n64",
+                CostLedger::Collect() - before, wall.ElapsedSeconds());
+  }
+  {
+    auto data = MakeProblem(48, 2000, 40, 2);
+    KernelSvmOptions opt;
+    opt.kernel = Kernel::Rbf(1.0);
+    CostCounts before = CostLedger::Collect();
+    Stopwatch wall;
+    auto model = TrainKernelSvm(data, opt);
+    if (!model.ok()) return 1;
+    RecordDelta(emitter, "kernel_svm_train_n48",
+                CostLedger::Collect() - before, wall.ElapsedSeconds());
+
+    before = CostLedger::Collect();
+    Stopwatch predict_wall;
+    for (const auto& ex : data) model.value().Decision(ex.x);
+    RecordDelta(emitter, "kernel_svm_predict_n48",
+                CostLedger::Collect() - before,
+                predict_wall.ElapsedSeconds());
+
+    before = CostLedger::Collect();
+    Stopwatch wire_wall;
+    std::string bytes = SerializeKernelSvm(model.value());
+    auto round_trip = DeserializeKernelSvm(bytes);
+    if (!round_trip.ok()) return 1;
+    RecordDelta(emitter, "kernel_svm_serialize_roundtrip",
+                CostLedger::Collect() - before, wire_wall.ElapsedSeconds());
+  }
+  {
+    KernelSvmOptions opt;
+    opt.kernel = Kernel::Linear();
+    std::vector<KernelSvmModel> locals;
+    for (std::size_t m = 0; m < 8; ++m) {
+      locals.push_back(
+          std::move(TrainKernelSvm(MakeProblem(16, 2000, 40, 10 + m), opt))
+              .value());
+    }
+    std::vector<const KernelSvmModel*> ptrs;
+    for (const auto& m : locals) ptrs.push_back(&m);
+    CostCounts before = CostLedger::Collect();
+    Stopwatch wall;
+    auto merged = CascadeTree(ptrs, opt, 4);
+    if (!merged.ok()) return 1;
+    RecordDelta(emitter, "cascade_merge_8x16", CostLedger::Collect() - before,
+                wall.ElapsedSeconds());
+  }
+  {
+    auto data = MakeProblem(128, 2000, 40, 5);
+    std::vector<SparseVector> points;
+    for (const auto& ex : data) points.push_back(ex.x);
+    KMeansOptions opt;
+    opt.k = 8;
+    CostCounts before = CostLedger::Collect();
+    Stopwatch wall;
+    auto clusters = KMeansCluster(points, opt);
+    if (!clusters.ok()) return 1;
+    RecordDelta(emitter, "kmeans_n128_k8", CostLedger::Collect() - before,
+                wall.ElapsedSeconds());
+  }
+  {
+    LshFixture fixture(256);
+    CostCounts before = CostLedger::Collect();
+    Stopwatch wall;
+    std::size_t total = 0;
+    for (const auto& q : fixture.queries) {
+      total += fixture.index.QueryAtLeast(q, 16).size();
+    }
+    CostCounts delta = CostLedger::Collect() - before;
+    RecordDelta(emitter, "lsh_query_n256", delta, wall.ElapsedSeconds());
+    emitter.Deterministic("lsh_query_n256", "results", total);
+  }
+
+  emitter.Write("perf/bench_ml.json");
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) return RunSmoke();
+  }
+  ::benchmark::Initialize(&argc, argv);
+  if (::benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  ::benchmark::RunSpecifiedBenchmarks();
+  ::benchmark::Shutdown();
+  return 0;
+}

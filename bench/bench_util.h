@@ -3,8 +3,11 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
+#include <map>
 #include <string>
 
+#include "common/build_info.h"
 #include "common/csv.h"
 #include "p2pdmt/experiment.h"
 
@@ -37,10 +40,29 @@ inline const VectorizedCorpus& SharedCorpus(std::size_t num_users = 128,
   return corpus;
 }
 
-/// Writes a CSV table under bench_results/, creating the directory.
+/// Minimal JSON string escape for bench metric/point names.
+inline std::string BenchJsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+/// Writes a CSV table under bench_results/, creating the directory, plus a
+/// machine-readable JSON mirror (`<name>.json`) so tooling never parses CSV.
 inline void WriteResults(const CsvWriter& csv, const std::string& name) {
   std::error_code ec;
-  std::filesystem::create_directories("bench_results", ec);
+  std::filesystem::create_directories(
+      std::filesystem::path("bench_results/" + name).parent_path(), ec);
   std::string path = "bench_results/" + name;
   Status s = csv.WriteFile(path);
   if (s.ok()) {
@@ -49,6 +71,129 @@ inline void WriteResults(const CsvWriter& csv, const std::string& name) {
     std::fprintf(stderr, "could not write %s: %s\n", path.c_str(),
                  s.ToString().c_str());
   }
+  std::string json = "{\n  \"header\": [";
+  for (std::size_t i = 0; i < csv.header().size(); ++i) {
+    if (i > 0) json += ", ";
+    json += "\"" + BenchJsonEscape(csv.header()[i]) + "\"";
+  }
+  json += "],\n  \"rows\": [";
+  for (std::size_t r = 0; r < csv.rows().size(); ++r) {
+    json += r > 0 ? ",\n    [" : "\n    [";
+    for (std::size_t i = 0; i < csv.rows()[r].size(); ++i) {
+      if (i > 0) json += ", ";
+      json += "\"" + BenchJsonEscape(csv.rows()[r][i]) + "\"";
+    }
+    json += "]";
+  }
+  json += csv.rows().empty() ? "]\n}\n" : "\n  ]\n}\n";
+  std::ofstream out(path + ".json", std::ios::binary | std::ios::trunc);
+  out << json;
+}
+
+/// Machine-readable bench emitter for the regression gate.
+///
+/// Each bench point carries two metric families: `deterministic` values
+/// (ledger op counts, wire bytes, message counts — bit-identical across
+/// runs at a fixed seed and toolchain) which tools/bench_diff.py compares
+/// against the committed baseline at 0% tolerance, and `advisory` values
+/// (wall-clock seconds, throughput) which are reported but never gate.
+class BenchEmitter {
+ public:
+  explicit BenchEmitter(std::string bench_name)
+      : bench_name_(std::move(bench_name)) {}
+
+  void Deterministic(const std::string& point, const std::string& metric,
+                     uint64_t value) {
+    points_[point].deterministic[metric] = value;
+  }
+  void Advisory(const std::string& point, const std::string& metric,
+                double value) {
+    points_[point].advisory[metric] = value;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n";
+    out += "  \"bench\": \"" + BenchJsonEscape(bench_name_) + "\",\n";
+    out += "  \"build_info\": " + BuildInfo::Current().ToJson() + ",\n";
+    out += "  \"points\": {";
+    bool first_point = true;
+    for (const auto& [point, metrics] : points_) {
+      if (!first_point) out += ",";
+      first_point = false;
+      out += "\n    \"" + BenchJsonEscape(point) + "\": {";
+      out += "\n      \"deterministic\": {";
+      bool first = true;
+      for (const auto& [metric, value] : metrics.deterministic) {
+        if (!first) out += ", ";
+        first = false;
+        out += "\"" + BenchJsonEscape(metric) +
+               "\": " + std::to_string(value);
+      }
+      out += "},\n      \"advisory\": {";
+      first = true;
+      for (const auto& [metric, value] : metrics.advisory) {
+        if (!first) out += ", ";
+        first = false;
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.9g", value);
+        out += "\"" + BenchJsonEscape(metric) + "\": " + buf;
+      }
+      out += "}\n    }";
+    }
+    out += first_point ? "}\n}\n" : "\n  }\n}\n";
+    return out;
+  }
+
+  /// Writes bench_results/<name>, creating directories.
+  void Write(const std::string& name) const {
+    std::error_code ec;
+    std::filesystem::create_directories(
+        std::filesystem::path("bench_results/" + name).parent_path(), ec);
+    std::string path = "bench_results/" + name;
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << ToJson();
+    if (out.good()) {
+      std::printf("[bench json written to %s]\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "could not write %s\n", path.c_str());
+    }
+  }
+
+ private:
+  struct PointMetrics {
+    std::map<std::string, uint64_t> deterministic;
+    std::map<std::string, double> advisory;
+  };
+  std::string bench_name_;
+  std::map<std::string, PointMetrics> points_;
+};
+
+/// Records one experiment's ledger deltas into a bench point's
+/// deterministic metrics (plus sim-time, which is deterministic too) and
+/// its wall clock into the advisory family.
+inline void RecordExperiment(BenchEmitter& emitter, const std::string& point,
+                             const ExperimentResult& result) {
+  for (const auto& [op, value] : result.train_cost.Scalars()) {
+    emitter.Deterministic(point, std::string("train_") + op, value);
+  }
+  for (const auto& [op, value] : result.predict_cost.Scalars()) {
+    emitter.Deterministic(point, std::string("predict_") + op, value);
+  }
+  emitter.Deterministic(point, "train_wire_bytes",
+                        result.train_cost.total_wire_bytes());
+  emitter.Deterministic(point, "predict_wire_bytes",
+                        result.predict_cost.total_wire_bytes());
+  emitter.Deterministic(point, "train_bytes", result.train_bytes);
+  emitter.Deterministic(point, "predict_bytes", result.predict_bytes);
+  emitter.Deterministic(point, "train_messages", result.train_messages);
+  emitter.Deterministic(point, "predict_messages", result.predict_messages);
+  emitter.Deterministic(point, "failed_predictions",
+                        result.failed_predictions);
+  emitter.Advisory(point, "micro_f1", result.metrics.micro_f1);
+  emitter.Advisory(point, "train_sim_seconds", result.train_sim_seconds);
+  emitter.Advisory(point, "predict_sim_seconds",
+                   result.predict_sim_seconds);
+  emitter.Advisory(point, "wall_seconds", result.wall_seconds);
 }
 
 /// Common experiment defaults for the macro benches.

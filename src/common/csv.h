@@ -18,6 +18,8 @@ class CsvWriter {
 
   std::size_t num_columns() const { return header_.size(); }
   std::size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::string>& header() const { return header_; }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
 
   /// Appends a row; must match the header width.
   Status AddRow(std::vector<std::string> row);

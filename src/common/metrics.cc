@@ -105,8 +105,13 @@ double QuantileFromBuckets(const std::vector<double>& bounds,
     uint64_t prev = cum;
     cum += buckets[i];
     if (cum < rank) continue;
+    // Implicit overflow bucket: observations beyond the last bound are not
+    // uniformly spread over [last_bound, max] — the only honest point
+    // estimate is the observed maximum. Interpolating here used to
+    // fabricate values below every observation in the bucket.
+    if (i >= bounds.size()) return max_value;
     double lo = i == 0 ? 0.0 : bounds[i - 1];
-    double hi = i < bounds.size() ? bounds[i] : max_value;
+    double hi = bounds[i];
     if (hi < lo) hi = lo;
     double frac = buckets[i] == 0
                       ? 1.0

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/cost_ledger.h"
+
 namespace p2pdt {
 
 SparseVector SparseVector::FromPairs(std::vector<Entry> entries) {
@@ -66,6 +68,13 @@ double SparseVector::Dot(const SparseVector& other) const {
       ++j;
     }
   }
+  // Charged once per call with the merge-step aggregate (i + j), so the
+  // inner loop stays branch-free when the ledger is off.
+  if (CostLedger::enabled()) {
+    CostCounts& c = CostLedger::Tls();
+    ++c.sparse_dot_calls;
+    c.sparse_dot_ops += i + j;
+  }
   return sum;
 }
 
@@ -73,6 +82,11 @@ double SparseVector::DotDense(const std::vector<double>& dense) const {
   double sum = 0.0;
   for (const Entry& e : entries_) {
     if (e.first < dense.size()) sum += e.second * dense[e.first];
+  }
+  if (CostLedger::enabled()) {
+    CostCounts& c = CostLedger::Tls();
+    ++c.sparse_dot_calls;
+    c.sparse_dot_ops += entries_.size();
   }
   return sum;
 }
@@ -126,6 +140,7 @@ void SparseVector::Add(const SparseVector& other, double alpha) {
       ++j;
     }
   }
+  if (CostLedger::enabled()) CostLedger::Tls().sparse_axpy_ops += i + j;
   entries_ = std::move(merged);
 }
 
@@ -150,6 +165,11 @@ double SparseVector::SquaredDistance(const SparseVector& other) const {
       ++i;
       ++j;
     }
+  }
+  if (CostLedger::enabled()) {
+    CostCounts& c = CostLedger::Tls();
+    ++c.sparse_dist_calls;
+    c.sparse_dist_ops += i + j;
   }
   return sum;
 }

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "common/cost_ledger.h"
 #include "common/sparse_vector.h"
 
 namespace p2pdt {
@@ -24,6 +25,7 @@ struct Kernel {
   int degree = 3;
 
   double operator()(const SparseVector& a, const SparseVector& b) const {
+    if (CostLedger::enabled()) ++CostLedger::Tls().kernel_evals;
     switch (type) {
       case KernelType::kLinear:
         return a.Dot(b);

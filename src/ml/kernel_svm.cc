@@ -4,9 +4,13 @@
 #include <cmath>
 #include <limits>
 
+#include "common/cost_ledger.h"
+#include "common/profile.h"
+
 namespace p2pdt {
 
 double KernelSvmModel::Decision(const SparseVector& x) const {
+  PhaseScope profile("kernel_decision");
   double sum = bias_;
   for (const auto& sv : svs_) {
     sum += sv.alpha * sv.y * kernel_(sv.x, x);
@@ -45,16 +49,20 @@ Result<KernelSvmModel> TrainKernelSvm(const std::vector<Example>& data,
 
   // Materialized kernel matrix Q_ij = y_i y_j K(x_i, x_j).
   std::vector<double> q(n * n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i; j < n; ++j) {
-      double k = options.kernel(data[i].x, data[j].x);
-      q[i * n + j] = y[i] * y[j] * k;
-      q[j * n + i] = q[i * n + j];
+  {
+    PhaseScope profile("kernel_matrix");
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = i; j < n; ++j) {
+        double k = options.kernel(data[i].x, data[j].x);
+        q[i * n + j] = y[i] * y[j] * k;
+        q[j * n + i] = q[i * n + j];
+      }
     }
   }
 
   // SMO solving min ½αᵀQα − eᵀα, 0 ≤ α ≤ C, yᵀα = 0, with
   // maximal-violating-pair selection.
+  PhaseScope profile("smo_solve");
   std::vector<double> alpha(n, 0.0);
   std::vector<double> grad(n, -1.0);  // G_i = (Qα)_i − 1
   const double c = options.c;
@@ -108,6 +116,9 @@ Result<KernelSvmModel> TrainKernelSvm(const std::vector<Example>& data,
     for (std::size_t t = 0; t < n; ++t) {
       grad[t] += q[t * n + i] * dai + q[t * n + j] * daj;
     }
+  }
+  if (CostLedger::enabled()) {
+    CostLedger::Tls().smo_iterations += static_cast<uint64_t>(iter);
   }
 
   // Bias: average of y_i − Σ α_j y_j K(x_j, x_i) over free SVs; fall back to

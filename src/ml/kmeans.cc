@@ -4,6 +4,8 @@
 #include <atomic>
 #include <limits>
 
+#include "common/cost_ledger.h"
+#include "common/profile.h"
 #include "common/thread_pool.h"
 #include "ml/dataset.h"
 
@@ -11,6 +13,7 @@ namespace p2pdt {
 
 Result<KMeansResult> KMeansCluster(const std::vector<SparseVector>& points,
                                    const KMeansOptions& options) {
+  PhaseScope profile("kmeans");
   if (points.empty()) {
     return Status::InvalidArgument("k-means requires at least one point");
   }
@@ -55,6 +58,7 @@ Result<KMeansResult> KMeansCluster(const std::vector<SparseVector>& points,
     for (std::size_t i = 0; i < n; ++i) {
       min_d2[i] = std::min(min_d2[i], dist2(i, c - 1));
     }
+    if (CostLedger::enabled()) CostLedger::Tls().kmeans_distance_evals += n;
     std::size_t pick = rng.Categorical(min_d2);
     if (pick >= n) pick = rng.NextU64(n);  // all distances zero
     set_centroid(c, x[pick]);
@@ -90,6 +94,11 @@ Result<KMeansResult> KMeansCluster(const std::vector<SparseVector>& points,
                   if (local_changed) {
                     changed.store(true, std::memory_order_relaxed);
                   }
+                  // Per-chunk aggregate: the sum over chunks is n*k for any
+                  // partition, keeping the ledger shard-invariant.
+                  if (CostLedger::enabled()) {
+                    CostLedger::Tls().kmeans_distance_evals += (hi - lo) * k;
+                  }
                 });
     if (!changed.load(std::memory_order_relaxed) && iter > 0 &&
         options.early_stop) {
@@ -116,6 +125,9 @@ Result<KMeansResult> KMeansCluster(const std::vector<SparseVector>& points,
             far = i;
           }
         }
+        if (CostLedger::enabled()) {
+          CostLedger::Tls().kmeans_distance_evals += n;
+        }
         set_centroid(c, x[far]);
         continue;
       }
@@ -136,6 +148,7 @@ Result<KMeansResult> KMeansCluster(const std::vector<SparseVector>& points,
   for (std::size_t i = 0; i < n; ++i) {
     result.inertia += dist2(i, assignment[i]);
   }
+  if (CostLedger::enabled()) CostLedger::Tls().kmeans_distance_evals += n;
   result.centroids.reserve(k);
   for (std::size_t c = 0; c < k; ++c) {
     result.centroids.push_back(remap.DenseToGlobal(centroid[c]));

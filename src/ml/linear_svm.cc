@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/profile.h"
 #include "common/rng.h"
 
 namespace p2pdt {
 
 Result<LinearSvmModel> TrainLinearSvm(const std::vector<Example>& data,
                                       const LinearSvmOptions& options) {
+  PhaseScope profile("linear_svm");
   if (data.empty()) {
     return Status::InvalidArgument("cannot train linear SVM on empty data");
   }

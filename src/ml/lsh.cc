@@ -1,5 +1,8 @@
 #include "ml/lsh.h"
 
+#include "common/cost_ledger.h"
+#include "common/profile.h"
+
 namespace p2pdt {
 
 namespace {
@@ -34,6 +37,9 @@ uint64_t CosineLsh::Signature(std::size_t table, const SparseVector& v) const {
     }
     if (dot >= 0.0) sig |= (uint64_t{1} << bit);
   }
+  if (CostLedger::enabled()) {
+    CostLedger::Tls().lsh_signature_dots += options_.num_bits;
+  }
   return sig;
 }
 
@@ -46,12 +52,17 @@ void CosineLsh::Insert(std::size_t id, const SparseVector& v) {
 
 void CosineLsh::Collect(std::size_t table, uint64_t sig,
                         std::unordered_map<std::size_t, bool>& out) const {
+  if (CostLedger::enabled()) ++CostLedger::Tls().lsh_probes;
   auto it = tables_[table].find(sig);
   if (it == tables_[table].end()) return;
   for (std::size_t id : it->second) out[id] = true;
+  if (CostLedger::enabled()) {
+    CostLedger::Tls().lsh_candidates += it->second.size();
+  }
 }
 
 std::vector<std::size_t> CosineLsh::Query(const SparseVector& v) const {
+  PhaseScope profile("lsh_query");
   std::unordered_map<std::size_t, bool> seen;
   for (std::size_t t = 0; t < tables_.size(); ++t) {
     Collect(t, Signature(t, v), seen);
@@ -64,6 +75,7 @@ std::vector<std::size_t> CosineLsh::Query(const SparseVector& v) const {
 
 std::vector<std::size_t> CosineLsh::QueryAtLeast(
     const SparseVector& v, std::size_t min_results) const {
+  PhaseScope profile("lsh_query");
   std::unordered_map<std::size_t, bool> seen;
   std::vector<uint64_t> sigs(tables_.size());
   for (std::size_t t = 0; t < tables_.size(); ++t) {

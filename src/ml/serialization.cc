@@ -3,7 +3,23 @@
 #include <cstring>
 #include <fstream>
 
+#include "common/cost_ledger.h"
+
 namespace p2pdt {
+
+namespace {
+
+// Byte accounting happens at the model-level entry points only, so nested
+// helpers (sparse vectors inside a one-vs-all body) are not double-counted.
+void ChargeSerialized(std::size_t bytes) {
+  if (CostLedger::enabled()) CostLedger::Tls().serialized_bytes += bytes;
+}
+
+void ChargeDeserialized(std::size_t bytes) {
+  if (CostLedger::enabled()) CostLedger::Tls().deserialized_bytes += bytes;
+}
+
+}  // namespace
 
 namespace wire {
 
@@ -254,10 +270,12 @@ std::string SerializeLinearSvm(const LinearSvmModel& model) {
   PutHeader(out);
   PutU8(static_cast<uint8_t>(ModelKind::kLinear), out);
   PutLinearBody(model, out);
+  ChargeSerialized(out.size());
   return out;
 }
 
 Result<LinearSvmModel> DeserializeLinearSvm(const std::string& data) {
+  ChargeDeserialized(data.size());
   std::size_t offset = 0;
   P2PDT_RETURN_IF_ERROR(CheckHeader(data, offset));
   Result<uint8_t> kind = GetU8(data, offset);
@@ -273,10 +291,12 @@ std::string SerializeKernelSvm(const KernelSvmModel& model) {
   PutHeader(out);
   PutU8(static_cast<uint8_t>(ModelKind::kKernel), out);
   PutKernelBody(model, out);
+  ChargeSerialized(out.size());
   return out;
 }
 
 Result<KernelSvmModel> DeserializeKernelSvm(const std::string& data) {
+  ChargeDeserialized(data.size());
   std::size_t offset = 0;
   P2PDT_RETURN_IF_ERROR(CheckHeader(data, offset));
   Result<uint8_t> kind = GetU8(data, offset);
@@ -312,10 +332,12 @@ std::string SerializeOneVsAll(const OneVsAllModel& model) {
       PutDouble(m->Decision(SparseVector()), out);
     }
   }
+  ChargeSerialized(out.size());
   return out;
 }
 
 Result<OneVsAllModel> DeserializeOneVsAll(const std::string& data) {
+  ChargeDeserialized(data.size());
   std::size_t offset = 0;
   P2PDT_RETURN_IF_ERROR(CheckHeader(data, offset));
   Result<uint32_t> num_tags = GetU32(data, offset);
@@ -369,11 +391,13 @@ std::string SerializeCentroids(const std::vector<SparseVector>& centroids) {
   PutU8(static_cast<uint8_t>(ModelKind::kCentroids), out);
   PutU32(static_cast<uint32_t>(centroids.size()), out);
   for (const SparseVector& c : centroids) SerializeSparseVector(c, out);
+  ChargeSerialized(out.size());
   return out;
 }
 
 Result<std::vector<SparseVector>> DeserializeCentroids(
     const std::string& data) {
+  ChargeDeserialized(data.size());
   std::size_t offset = 0;
   P2PDT_RETURN_IF_ERROR(CheckHeader(data, offset));
   Result<uint8_t> kind = GetU8(data, offset);

@@ -50,6 +50,10 @@ Result<std::unique_ptr<Environment>> Environment::Create(
     env->tracer_ = std::make_unique<Tracer>();
     env->net_->SetTracer(env->tracer_.get());
   }
+  if (options.observe.profiling) {
+    env->profiler_ = std::make_unique<PhaseProfiler>();
+    PhaseProfiler::Install(env->profiler_.get());
+  }
 
   switch (options.overlay) {
     case OverlayType::kChord: {
@@ -106,6 +110,14 @@ Result<std::unique_ptr<Environment>> Environment::Create(
     });
   }
   return env;
+}
+
+Environment::~Environment() {
+  // Only uninstall our own profiler: a newer environment may have replaced
+  // the process-wide registration already.
+  if (profiler_ != nullptr && PhaseProfiler::Current() == profiler_.get()) {
+    PhaseProfiler::Install(nullptr);
+  }
 }
 
 void Environment::StartDynamics() {

@@ -5,6 +5,7 @@
 #include <string>
 
 #include "common/metrics.h"
+#include "common/profile.h"
 #include "common/status.h"
 #include "p2psim/chord.h"
 #include "p2psim/churn.h"
@@ -30,6 +31,12 @@ struct ObservabilityOptions {
   bool metrics = false;
   /// Causal tracer: per-message spans exported as Chrome trace JSON.
   bool tracing = false;
+  /// Hot-path cost ledger: deterministic operation and wire-byte counters.
+  /// Enabled process-wide for the experiment's duration (the counters are
+  /// thread-local, so concurrent environments share one ledger).
+  bool cost_ledger = false;
+  /// Wall-clock span profiler with collapsed-stack flamegraph export.
+  bool profiling = false;
 };
 
 /// One-stop configuration of a simulated P2P environment — the "Configure
@@ -79,6 +86,9 @@ class Environment {
   MetricsRegistry* metrics() { return metrics_.get(); }
   /// Non-null only when options.observe.tracing was set.
   Tracer* tracer() { return tracer_.get(); }
+  /// Non-null only when options.observe.profiling was set. Installed as the
+  /// process-wide profiler while this environment is alive.
+  PhaseProfiler* profiler() { return profiler_.get(); }
   const EnvironmentOptions& options() const { return options_; }
 
   /// Starts churn transitions and (for Chord) periodic stabilization.
@@ -89,6 +99,8 @@ class Environment {
   /// way to drive an async protocol to quiescence under recurring churn /
   /// maintenance events (plain RunAll would never return).
   double RunUntilFlag(const bool& flag, double max_sim_seconds);
+
+  ~Environment();
 
  private:
   Environment() = default;
@@ -103,6 +115,7 @@ class Environment {
   std::unique_ptr<FaultInjector> fault_;
   std::unique_ptr<MetricsRegistry> metrics_;
   std::unique_ptr<Tracer> tracer_;
+  std::unique_ptr<PhaseProfiler> profiler_;
 };
 
 }  // namespace p2pdt

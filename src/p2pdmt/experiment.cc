@@ -142,6 +142,54 @@ struct ScratchDirGuard {
   }
 };
 
+/// Restores the process-wide ledger enable bit on every exit path.
+struct LedgerGuard {
+  bool active = false;
+  bool prev = false;
+  void Enable() {
+    prev = CostLedger::SetEnabled(true);
+    active = true;
+  }
+  ~LedgerGuard() {
+    if (active) CostLedger::SetEnabled(prev);
+  }
+};
+
+/// Flushes one phase's ledger delta into the metrics registry as counters
+/// (`cost_ops{classifier,op,phase}` for scalar operation counts,
+/// `wire_messages` / `wire_bytes{classifier,msg_type,phase}` for the
+/// per-message-type wire accounting). Counters are additive, so the flush
+/// joins the same serial==sharded bit-identity contract as the ledger.
+void FlushCostDelta(MetricsRegistry* metrics, const std::string& classifier,
+                    const char* phase, const CostCounts& delta) {
+  if (metrics == nullptr) return;
+  for (const auto& [op, value] : delta.Scalars()) {
+    if (value == 0) continue;
+    metrics
+        ->GetCounter("cost_ops",
+                     {{"classifier", classifier}, {"op", op}, {"phase", phase}})
+        .Increment(value);
+  }
+  for (std::size_t t = 0; t < static_cast<std::size_t>(MessageType::kCount);
+       ++t) {
+    if (delta.wire_messages_by_type[t] == 0 &&
+        delta.wire_bytes_by_type[t] == 0) {
+      continue;
+    }
+    const char* msg_type = MessageTypeToString(static_cast<MessageType>(t));
+    metrics
+        ->GetCounter("wire_messages", {{"classifier", classifier},
+                                       {"msg_type", msg_type},
+                                       {"phase", phase}})
+        .Increment(delta.wire_messages_by_type[t]);
+    metrics
+        ->GetCounter("wire_bytes", {{"classifier", classifier},
+                                    {"msg_type", msg_type},
+                                    {"phase", phase}})
+        .Increment(delta.wire_bytes_by_type[t]);
+  }
+}
+
 }  // namespace
 
 Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
@@ -186,7 +234,18 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
     env.sim().RunUntil(env.sim().Now() + options.warmup_sim_seconds);
   }
 
+  // Deterministic cost accounting: the ledger's thread-local counters are
+  // cumulative for the process, so each phase is a Collect() delta taken at
+  // pool quiesce points.
+  LedgerGuard ledger;
+  if (options.env.observe.cost_ledger) {
+    ledger.Enable();
+    result.cost_ledger_enabled = true;
+  }
+
   // 3. Train.
+  if (env.profiler() != nullptr) env.profiler()->SetPhase("train");
+  CostCounts before_train_cost = CostLedger::Collect();
   StatsSnapshot before_train = StatsSnapshot::Take(env.net().stats());
   bool train_done = false;
   Status train_status = Status::OK();
@@ -202,6 +261,9 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
                             " simulated seconds");
   }
   P2PDT_RETURN_IF_ERROR(train_status);
+  if (result.cost_ledger_enabled) {
+    result.train_cost = CostLedger::Collect() - before_train_cost;
+  }
   StatsSnapshot after_train = StatsSnapshot::Take(env.net().stats());
   result.train_messages = (after_train.messages - before_train.messages) -
                           (after_train.maintenance_messages -
@@ -242,6 +304,8 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
   }
 
   // 4. Evaluate: sample test documents, predict from random online peers.
+  if (env.profiler() != nullptr) env.profiler()->SetPhase("predict");
+  CostCounts before_predict_cost = CostLedger::Collect();
   Rng eval_rng(options.seed ^ 0xE7A1);
   std::vector<std::size_t> test_idx(split.test.size());
   std::iota(test_idx.begin(), test_idx.end(), 0);
@@ -304,6 +368,9 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
   if (!predict_done) {
     return Status::Internal("prediction phase did not quiesce");
   }
+  if (result.cost_ledger_enabled) {
+    result.predict_cost = CostLedger::Collect() - before_predict_cost;
+  }
   StatsSnapshot after_predict = StatsSnapshot::Take(env.net().stats());
   result.predict_messages =
       (after_predict.messages - after_train.messages) -
@@ -357,7 +424,15 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
       EvaluateMultiLabel(truth, predicted, corpus.dataset.num_tags());
   result.wall_seconds = wall.ElapsedSeconds();
 
-  // 5. Observability artifacts.
+  // 5. Observability artifacts. Ledger deltas flush into the registry
+  // before the snapshot so cost counters ride every export (and the scale
+  // determinism fingerprint) for free.
+  if (result.cost_ledger_enabled) {
+    FlushCostDelta(env.metrics(), result.algorithm, "train",
+                   result.train_cost);
+    FlushCostDelta(env.metrics(), result.algorithm, "predict",
+                   result.predict_cost);
+  }
   if (env.metrics() != nullptr) {
     result.observability = env.metrics()->Snapshot();
   }
@@ -374,6 +449,14 @@ Result<ExperimentResult> RunExperiment(const VectorizedCorpus& corpus,
           "trace_path set but env.observe.tracing is off");
     }
     P2PDT_RETURN_IF_ERROR(env.tracer()->WriteChromeTrace(options.trace_path));
+  }
+  if (!options.profile_path.empty()) {
+    if (env.profiler() == nullptr) {
+      return Status::InvalidArgument(
+          "profile_path set but env.observe.profiling is off");
+    }
+    P2PDT_RETURN_IF_ERROR(
+        env.profiler()->WriteCollapsed(options.profile_path));
   }
   if (!options.report_path.empty()) {
     P2PDT_RETURN_IF_ERROR(RunReport::Write(options.report_path, result,

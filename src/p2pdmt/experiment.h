@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/cost_ledger.h"
 #include "common/status.h"
 #include "corpus/vectorize.h"
 #include "ml/metrics.h"
@@ -75,6 +76,7 @@ struct ExperimentOptions {
   std::string report_path;   ///< Run report JSON (see RunReport).
   std::string metrics_path;  ///< Raw metrics registry JSON export.
   std::string trace_path;    ///< Chrome trace_event JSON export.
+  std::string profile_path;  ///< Collapsed-stack flamegraph text export.
   uint64_t seed = 777;
 };
 
@@ -144,6 +146,13 @@ struct ExperimentResult {
   /// Snapshot of every metric the environment collected (empty unless
   /// env.observe.metrics was set) — phase latency histograms live here.
   MetricsSnapshot observability;
+
+  /// Deterministic hot-path cost ledger deltas per phase (all zero unless
+  /// env.observe.cost_ledger was set). Bit-identical across shard/thread
+  /// configurations at a fixed seed.
+  bool cost_ledger_enabled = false;
+  CostCounts train_cost;
+  CostCounts predict_cost;
 
   /// Mean bytes per peer spent on training — the per-user cost the paper's
   /// efficiency argument is about.

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <fstream>
 
+#include "common/build_info.h"
+
 namespace p2pdt {
 
 namespace {
@@ -47,6 +49,22 @@ std::string Num(double v) {
 }
 
 std::string Str(const std::string& s) { return "\"" + JsonEscape(s) + "\""; }
+
+/// One phase's deterministic ledger delta: scalar op counts plus the
+/// per-message-type wire accounting, all integers.
+std::string CostPhaseJson(const CostCounts& c) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [op, value] : c.Scalars()) {
+    if (!first) out += ", ";
+    first = false;
+    out += Str(op) + ": " + std::to_string(value);
+  }
+  out += ", \"wire_messages\": " + std::to_string(c.total_wire_messages());
+  out += ", \"wire_bytes\": " + std::to_string(c.total_wire_bytes());
+  out += "}";
+  return out;
+}
 
 }  // namespace
 
@@ -105,6 +123,19 @@ std::string RunReport::ToJson(const ExperimentResult& result,
   out += "\"train_sim_seconds\": " + Num(result.train_sim_seconds);
   out += ", \"predict_sim_seconds\": " + Num(result.predict_sim_seconds);
   out += ", \"wall_seconds\": " + Num(result.wall_seconds);
+  out += "},\n";
+
+  // Build provenance: which binary produced this report. Always present so
+  // report consumers (bench_diff, CI triage) never branch on its absence.
+  out += "  \"build_info\": " + BuildInfo::Current().ToJson() + ",\n";
+
+  // Deterministic hot-path cost ledger, split by phase. Always present —
+  // all zeros when env.observe.cost_ledger was off.
+  out += "  \"cost_ledger\": {";
+  out += "\"enabled\": ";
+  out += result.cost_ledger_enabled ? "true" : "false";
+  out += ", \"train\": " + CostPhaseJson(result.train_cost);
+  out += ", \"predict\": " + CostPhaseJson(result.predict_cost);
   out += "},\n";
 
   // Overload health: admission-control sheds, prediction-cache hit ledger,

@@ -7,6 +7,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/profile.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -340,6 +341,7 @@ void Cempar::Train(std::function<void(Status)> on_complete) {
   plan.seed = 0;
   ShardedPhase(grid.size(), plan, [&](std::size_t i, Rng&) -> UniqueFunction {
     const GridCell cell = grid[i];
+    PhaseScope profile("local_train");
     Stopwatch cell_wall;
     std::vector<Example> train =
         peer_data_[cell.peer].OneAgainstAll(cell.tag);
@@ -433,6 +435,7 @@ void Cempar::CascadeAll() {
       continue;
     }
     Stopwatch merge_wall;
+    PhaseScope profile("cascade_merge");
     Result<KernelSvmModel> regional =
         CascadeTree(locals, options_.svm, options_.cascade_fan_in);
     if (cascade_hist != nullptr) {
@@ -615,6 +618,7 @@ void Cempar::Predict(NodeId requester, const SparseVector& x,
     if (--ctx->remaining > 0) return;
     P2PPrediction out;
     out.scores.assign(num_tags_, 0.0);
+    PhaseScope profile("vote");
     Stopwatch vote_wall;
     // Requester-side robust voting. Two layers, both inert on honest
     // traffic: (1) the sanitation gate drops non-finite or absurdly large

@@ -6,6 +6,7 @@
 
 #include "common/logging.h"
 #include "common/metrics.h"
+#include "common/profile.h"
 #include "common/rng.h"
 #include "common/stopwatch.h"
 #include "common/thread_pool.h"
@@ -383,6 +384,7 @@ void Pace::Train(std::function<void(Status)> on_complete) {
   plan.seed = options_.svm.seed;
   ShardedPhase(training_peers.size(), plan,
                [&](std::size_t i, Rng&) -> UniqueFunction {
+                 PhaseScope profile("local_train");
                  Stopwatch peer_wall;
                  TrainLocal(training_peers[i]);
                  if (train_hist != nullptr) {
@@ -393,11 +395,14 @@ void Pace::Train(std::function<void(Status)> on_complete) {
 
   // Build the shared LSH index over all contributed centroids.
   Stopwatch index_wall;
-  for (NodeId peer = 0; peer < models_.size(); ++peer) {
-    if (!models_[peer].valid) continue;
-    for (std::size_t c = 0; c < models_[peer].centroids.size(); ++c) {
-      index_->Insert(index_items_.size(), models_[peer].centroids[c]);
-      index_items_.push_back({peer, c, models_[peer].version});
+  {
+    PhaseScope profile("lsh_index");
+    for (NodeId peer = 0; peer < models_.size(); ++peer) {
+      if (!models_[peer].valid) continue;
+      for (std::size_t c = 0; c < models_[peer].centroids.size(); ++c) {
+        index_->Insert(index_items_.size(), models_[peer].centroids[c]);
+        index_items_.push_back({peer, c, models_[peer].version});
+      }
     }
   }
   if (Histogram* hist = PhaseHistogram(net_.metrics(), "lsh_index")) {
@@ -616,50 +621,56 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
   // have enough), filter to models this peer actually received, rank by
   // true centroid distance, keep top-k.
   Stopwatch retrieve_wall;
-  std::vector<std::size_t> candidates =
-      index_->QueryAtLeast(x, options_.top_k * 4);
-
   struct Scored {
     NodeId peer;
     double dist2;
   };
   std::vector<Scored> nearest;
-  std::vector<double> best_dist(models_.size(),
-                                std::numeric_limits<double>::infinity());
-  for (std::size_t item : candidates) {
-    const IndexItem& entry = index_items_[item];
-    const NodeId peer = entry.peer;
-    if (!eligible(peer)) continue;
-    // Entries of superseded bundle versions are dead — old-version
-    // eviction at the index. Only the current version's centroids answer.
-    if (entry.version != models_[peer].version) continue;
-    // A restored bundle is expected to carry the indexed centroids, but a
-    // stale index entry must degrade to "skip", never to an OOB read.
-    if (entry.cidx >= models_[peer].centroids.size()) continue;
-    double d = x.SquaredDistance(models_[peer].centroids[entry.cidx]);
-    best_dist[peer] = std::min(best_dist[peer], d);
-  }
-  for (NodeId peer = 0; peer < models_.size(); ++peer) {
-    if (std::isfinite(best_dist[peer])) nearest.push_back({peer,
-                                                           best_dist[peer]});
-  }
-  // LSH recall fallback: when collisions under-deliver, scan every
-  // received model (correctness first; the LSH speedup is measured by the
-  // ML benchmarks, not assumed).
-  if (nearest.size() < options_.top_k) {
-    nearest.clear();
-    for (NodeId peer : contributors_) {
+  {
+    PhaseScope profile("top_k_retrieve");
+    std::vector<std::size_t> candidates =
+        index_->QueryAtLeast(x, options_.top_k * 4);
+
+    std::vector<double> best_dist(models_.size(),
+                                  std::numeric_limits<double>::infinity());
+    for (std::size_t item : candidates) {
+      const IndexItem& entry = index_items_[item];
+      const NodeId peer = entry.peer;
       if (!eligible(peer)) continue;
-      double best = std::numeric_limits<double>::infinity();
-      for (const auto& c : models_[peer].centroids) {
-        best = std::min(best, x.SquaredDistance(c));
-      }
-      nearest.push_back({peer, best});
+      // Entries of superseded bundle versions are dead — old-version
+      // eviction at the index. Only the current version's centroids answer.
+      if (entry.version != models_[peer].version) continue;
+      // A restored bundle is expected to carry the indexed centroids, but a
+      // stale index entry must degrade to "skip", never to an OOB read.
+      if (entry.cidx >= models_[peer].centroids.size()) continue;
+      double d = x.SquaredDistance(models_[peer].centroids[entry.cidx]);
+      best_dist[peer] = std::min(best_dist[peer], d);
     }
+    for (NodeId peer = 0; peer < models_.size(); ++peer) {
+      if (std::isfinite(best_dist[peer])) {
+        nearest.push_back({peer, best_dist[peer]});
+      }
+    }
+    // LSH recall fallback: when collisions under-deliver, scan every
+    // received model (correctness first; the LSH speedup is measured by the
+    // ML benchmarks, not assumed).
+    if (nearest.size() < options_.top_k) {
+      nearest.clear();
+      for (NodeId peer : contributors_) {
+        if (!eligible(peer)) continue;
+        double best = std::numeric_limits<double>::infinity();
+        for (const auto& c : models_[peer].centroids) {
+          best = std::min(best, x.SquaredDistance(c));
+        }
+        nearest.push_back({peer, best});
+      }
+    }
+    std::sort(nearest.begin(), nearest.end(), [](const Scored& a,
+                                                 const Scored& b) {
+      return a.dist2 < b.dist2;
+    });
+    if (nearest.size() > options_.top_k) nearest.resize(options_.top_k);
   }
-  std::sort(nearest.begin(), nearest.end(),
-            [](const Scored& a, const Scored& b) { return a.dist2 < b.dist2; });
-  if (nearest.size() > options_.top_k) nearest.resize(options_.top_k);
   if (Histogram* hist = PhaseHistogram(net_.metrics(), "top_k_retrieve")) {
     hist->Observe(retrieve_wall.ElapsedSeconds());
   }
@@ -685,6 +696,7 @@ void Pace::Predict(NodeId requester, const SparseVector& x,
   }
 
   Stopwatch vote_wall;
+  PhaseScope vote_profile("vote");
   std::vector<double> weight_sum(num_tags_, 0.0);
   for (const Scored& s : nearest) {
     const PeerModel& pm = models_[s.peer];

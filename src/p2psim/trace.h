@@ -99,6 +99,13 @@ class Tracer {
   std::string ToChromeTraceJson() const;
   Status WriteChromeTrace(const std::string& path) const;
 
+  /// Collapsed-stack ("folded") flamegraph text: one line per unique span
+  /// path, `root;child;leaf <self_micros>`, sorted by path. Self time is a
+  /// span's sim-time duration minus the duration of its direct children, so
+  /// stack totals match the parent's span. Instants contribute nothing.
+  std::string ToCollapsed() const;
+  Status WriteCollapsed(const std::string& path) const;
+
   void Clear();
 
  private:

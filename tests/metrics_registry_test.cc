@@ -89,6 +89,49 @@ TEST(HistogramTest, QuantilesInterpolateAndClampToMax) {
   EXPECT_LE(p99, 1.0);  // clamped to observed max
 }
 
+TEST(HistogramTest, SingleBucketQuantilesStayInsideTheBucket) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("lat", {}, {2.0});
+  h.Observe(1.0);
+  h.Observe(1.0);
+  h.Observe(1.5);
+  // Every observation is in [0, 2): quantiles interpolate inside that
+  // bucket and clamp at the observed max, never at the bound.
+  EXPECT_GT(h.Quantile(0.50), 0.0);
+  EXPECT_LE(h.Quantile(0.50), h.Quantile(0.95));
+  EXPECT_LE(h.Quantile(0.99), 1.5);
+}
+
+TEST(HistogramTest, AllMassInOverflowBucketReportsObservedMax) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("lat", {}, {1.0});
+  for (int i = 0; i < 4; ++i) h.Observe(5.0);
+  // The implicit overflow bucket has no upper bound; interpolating within
+  // it would fabricate values below every observation. The only honest
+  // answer is the observed max.
+  EXPECT_DOUBLE_EQ(h.Quantile(0.50), 5.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 5.0);
+}
+
+TEST(HistogramTest, QuantileAtExactBucketBoundaryIsNotInflated) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("lat", {}, {1.0, 2.0, 4.0});
+  // Rank lands exactly on the edge of the first bucket: the answer must
+  // not exceed the data actually observed there.
+  for (int i = 0; i < 10; ++i) h.Observe(0.5);
+  EXPECT_LE(h.Quantile(1.0), 0.5);
+  EXPECT_LE(h.Quantile(0.50), 1.0);
+}
+
+TEST(HistogramTest, P99ClampsToMaxWithOutlier) {
+  MetricsRegistry reg;
+  Histogram& h = reg.GetHistogram("lat", {}, {1.0, 2.0});
+  for (int i = 0; i < 99; ++i) h.Observe(0.5);
+  h.Observe(100.0);  // single overflow outlier
+  EXPECT_LE(h.Quantile(0.99), h.max());
+  EXPECT_DOUBLE_EQ(h.Quantile(0.999), 100.0);
+}
+
 TEST(HistogramTest, EmptyQuantileIsZero) {
   MetricsRegistry reg;
   Histogram& h = reg.GetHistogram("lat");

@@ -85,13 +85,16 @@ struct RunFingerprint {
   std::size_t failed = 0;
   double coverage = -1.0;
   std::string metrics;
+  CostCounts train_cost;
+  CostCounts predict_cost;
 
   bool operator==(const RunFingerprint& o) const {
     return macro_f1 == o.macro_f1 && micro_f1 == o.micro_f1 &&
            train_messages == o.train_messages && train_bytes == o.train_bytes &&
            predict_messages == o.predict_messages &&
            predict_bytes == o.predict_bytes && failed == o.failed &&
-           coverage == o.coverage && metrics == o.metrics;
+           coverage == o.coverage && metrics == o.metrics &&
+           train_cost == o.train_cost && predict_cost == o.predict_cost;
   }
 };
 
@@ -106,6 +109,8 @@ RunFingerprint Fingerprint(const ExperimentResult& r) {
   f.failed = r.failed_predictions;
   f.coverage = r.model_coverage;
   f.metrics = DeterministicFingerprint(r.observability);
+  f.train_cost = r.train_cost;
+  f.predict_cost = r.predict_cost;
   return f;
 }
 
@@ -117,6 +122,9 @@ ExperimentOptions ScaleOptions(AlgorithmType algo, std::size_t peers) {
       algo == AlgorithmType::kCempar ? OverlayType::kChord
                                      : OverlayType::kUnstructured;
   opt.env.observe.metrics = true;
+  // The cost ledger joins the fingerprint: op counts and wire bytes must
+  // also be bit-identical for any shard/thread partition.
+  opt.env.observe.cost_ledger = true;
   opt.distribution.cls = ClassDistribution::kByUser;
   opt.max_test_documents = 40;
   opt.max_eval_peers = 64;  // sampled evaluation at scale
@@ -150,6 +158,12 @@ TEST_F(ScaleDeterminismTest, Pace10kSerialEqualsSharded) {
   EXPECT_EQ(serial.macro_f1, sharded.macro_f1);
   EXPECT_EQ(serial.train_messages, sharded.train_messages);
   EXPECT_GT(serial.train_messages, 0u);
+  // Ledger partition-invariance, stated explicitly for diagnostics.
+  EXPECT_TRUE(serial.train_cost == sharded.train_cost)
+      << serial.train_cost.ToString() << "\nvs\n"
+      << sharded.train_cost.ToString();
+  EXPECT_TRUE(serial.predict_cost == sharded.predict_cost);
+  EXPECT_GT(serial.train_cost.total_wire_bytes(), 0u);
 }
 
 TEST_F(ScaleDeterminismTest, Pace10kBroadcastWindowPreservesResults) {

@@ -1,0 +1,187 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diffs bench JSON emissions against a baseline.
+
+Usage:
+  bench_diff.py [--strict] [--baseline FILE] [--results DIR]
+  bench_diff.py --update [--baseline FILE] [--results DIR]
+  bench_diff.py --selfcheck [--baseline FILE] [--results DIR]
+
+Reads every ``*.json`` emitted by the bench ``--smoke`` modes under
+``--results`` (default ``bench_results/perf``) and compares it against the
+committed baseline (default ``BENCH_baseline.json``, a map of bench name to
+its emission).
+
+Two metric families, two policies:
+
+* ``deterministic`` — ledger op counts, wire bytes, message counts. These
+  are bit-identical across runs at a fixed seed, so ANY difference is a
+  real behavior change: the diff is reported and, under ``--strict``,
+  fails the gate. New or vanished points/metrics also gate — silent
+  coverage loss is a regression too.
+* ``advisory`` — wall-clock, throughput, F1. Reported with a percentage
+  delta, never gates (CI machines differ; quality gates live in ctest).
+
+``--update`` rewrites the baseline from the current results (commit the
+file afterwards). ``--selfcheck`` proves the gate can fail: it corrupts a
+copy of the baseline in memory and asserts the strict diff catches it.
+
+Pure stdlib. Exit codes: 0 ok, 1 regression (strict) or selfcheck failure,
+2 usage/IO error.
+"""
+
+import argparse
+import copy
+import glob
+import json
+import os
+import sys
+
+
+def load_results(results_dir):
+    """Returns {bench_name: emission} from every JSON file in the dir."""
+    benches = {}
+    for path in sorted(glob.glob(os.path.join(results_dir, "*.json"))):
+        with open(path) as f:
+            doc = json.load(f)
+        name = doc.get("bench")
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"{path}: missing 'bench' name")
+        if not isinstance(doc.get("points"), dict):
+            raise ValueError(f"{path}: missing 'points' object")
+        benches[name] = doc
+    return benches
+
+
+def diff_benches(baseline, current):
+    """Compares two {bench: emission} maps.
+
+    Returns (regressions, advisories): lists of human-readable strings.
+    Only `regressions` gates.
+    """
+    regressions = []
+    advisories = []
+
+    for bench in sorted(set(baseline) | set(current)):
+        if bench not in current:
+            regressions.append(f"{bench}: bench missing from results")
+            continue
+        if bench not in baseline:
+            regressions.append(
+                f"{bench}: not in baseline (run --update to record it)")
+            continue
+        base_points = baseline[bench].get("points", {})
+        cur_points = current[bench].get("points", {})
+        for point in sorted(set(base_points) | set(cur_points)):
+            where = f"{bench}/{point}"
+            if point not in cur_points:
+                regressions.append(f"{where}: point missing from results")
+                continue
+            if point not in base_points:
+                regressions.append(f"{where}: point not in baseline")
+                continue
+            base_det = base_points[point].get("deterministic", {})
+            cur_det = cur_points[point].get("deterministic", {})
+            for metric in sorted(set(base_det) | set(cur_det)):
+                b = base_det.get(metric)
+                c = cur_det.get(metric)
+                if b is None:
+                    regressions.append(
+                        f"{where}: new deterministic metric '{metric}'={c}")
+                elif c is None:
+                    regressions.append(
+                        f"{where}: deterministic metric '{metric}' vanished"
+                        f" (baseline {b})")
+                elif b != c:
+                    regressions.append(
+                        f"{where}: {metric} {b} -> {c}"
+                        f" ({c - b:+d})")
+            base_adv = base_points[point].get("advisory", {})
+            cur_adv = cur_points[point].get("advisory", {})
+            for metric in sorted(set(base_adv) & set(cur_adv)):
+                b, c = base_adv[metric], cur_adv[metric]
+                if b and abs(c - b) / abs(b) > 0.10:
+                    advisories.append(
+                        f"{where}: {metric} {b:.4g} -> {c:.4g}"
+                        f" ({100.0 * (c - b) / b:+.1f}%)")
+    return regressions, advisories
+
+
+def selfcheck(baseline):
+    """Negative test: a corrupted baseline must produce regressions."""
+    if not baseline:
+        print("selfcheck FAIL: empty baseline, nothing to corrupt")
+        return False
+    corrupted = copy.deepcopy(baseline)
+    mutations = 0
+    for bench in corrupted.values():
+        for point in bench.get("points", {}).values():
+            for metric in point.get("deterministic", {}):
+                point["deterministic"][metric] += 1
+                mutations += 1
+                break  # one metric per point is plenty
+    if mutations == 0:
+        print("selfcheck FAIL: baseline has no deterministic metrics")
+        return False
+    regressions, _ = diff_benches(baseline, corrupted)
+    if len(regressions) != mutations:
+        print(f"selfcheck FAIL: corrupted {mutations} metrics but the diff "
+              f"reported {len(regressions)} regressions")
+        return False
+    print(f"selfcheck OK: {mutations} injected corruptions, all detected")
+    return True
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--baseline", default="BENCH_baseline.json")
+    ap.add_argument("--results", default="bench_results/perf")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 on any deterministic difference")
+    ap.add_argument("--update", action="store_true",
+                    help="rewrite the baseline from current results")
+    ap.add_argument("--selfcheck", action="store_true",
+                    help="verify the gate detects an injected corruption")
+    args = ap.parse_args()
+
+    try:
+        if args.selfcheck:
+            with open(args.baseline) as f:
+                baseline = json.load(f)
+            return 0 if selfcheck(baseline) else 1
+
+        current = load_results(args.results)
+        if not current:
+            print(f"no bench JSON found under {args.results}/")
+            return 2
+
+        if args.update:
+            with open(args.baseline, "w") as f:
+                json.dump(current, f, indent=2, sort_keys=True)
+                f.write("\n")
+            print(f"baseline {args.baseline} updated "
+                  f"({len(current)} benches)")
+            return 0
+
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError, ValueError) as e:
+        print(f"error: {e}")
+        return 2
+
+    regressions, advisories = diff_benches(baseline, current)
+    for line in regressions:
+        print(f"DIFF: {line}")
+    for line in advisories:
+        print(f"advisory: {line}")
+    if not regressions:
+        n_points = sum(len(b.get("points", {})) for b in current.values())
+        print(f"bench_diff OK: {len(current)} benches, {n_points} points, "
+              "deterministic metrics identical")
+        return 0
+    print(f"{len(regressions)} deterministic difference(s) vs "
+          f"{args.baseline}")
+    return 1 if args.strict else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

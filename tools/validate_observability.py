@@ -2,7 +2,9 @@
 """Validates the observability artifacts one traced experiment emits.
 
 Usage: validate_observability.py <dir>  (expects trace.json, metrics.json,
-report.json inside <dir>, as written by `bench_observe --smoke`).
+report.json inside <dir>, as written by `bench_observe --smoke`; also
+validates report_pace.json and any flame_*.txt collapsed-stack flamegraphs
+when present).
 
 Pure stdlib; the "schema" is structural: required keys, types, and the
 invariants the exporters promise (every trace event carries a causal
@@ -10,7 +12,9 @@ identity, histograms have ordered quantiles, the report joins quality and
 cost). Exits non-zero with a message per violation.
 """
 
+import glob
 import json
+import os
 import sys
 
 errors = []
@@ -110,6 +114,52 @@ def validate_report(path):
         where = f"report phase {i}"
         for key in ("classifier", "phase", "count", "p50", "p95", "p99"):
             check(key in ph, f"{where}: missing '{key}'")
+    build = doc.get("build_info")
+    check(isinstance(build, dict), "report: missing 'build_info' section")
+    for key in ("git_sha", "compiler", "flags", "build_type", "sanitizer",
+                "threads"):
+        check(isinstance((build or {}).get(key), str),
+              f"report: build_info.{key} must be a string")
+    ledger = doc.get("cost_ledger")
+    check(isinstance(ledger, dict), "report: missing 'cost_ledger' section")
+    if isinstance(ledger, dict):
+        check(isinstance(ledger.get("enabled"), bool),
+              "report: cost_ledger.enabled must be a bool")
+        for phase in ("train", "predict"):
+            counts = ledger.get(phase)
+            check(isinstance(counts, dict),
+                  f"report: cost_ledger.{phase} must be an object")
+            for op, value in (counts or {}).items():
+                check(isinstance(value, int) and value >= 0,
+                      f"report: cost_ledger.{phase}.{op} must be a "
+                      "non-negative integer")
+        if ledger.get("enabled") and isinstance(ledger.get("train"), dict):
+            check(any(v > 0 for v in ledger["train"].values()),
+                  "report: ledger enabled but every train counter is zero")
+
+
+def validate_flamegraph(path):
+    """Collapsed-stack format: `frame;frame;... <integer>` per line, at
+    least one stack three or more frames deep."""
+    with open(path) as f:
+        lines = [ln.rstrip("\n") for ln in f if ln.strip()]
+    check(bool(lines), f"{path}: empty flamegraph")
+    max_depth = 0
+    for i, line in enumerate(lines):
+        where = f"{path} line {i + 1}"
+        parts = line.rsplit(" ", 1)
+        check(len(parts) == 2, f"{where}: expected 'stack <micros>'")
+        if len(parts) != 2:
+            continue
+        stack, micros = parts
+        check(micros.isdigit(), f"{where}: value must be a non-negative int")
+        frames = stack.split(";")
+        check(all(f and " " not in f for f in frames),
+              f"{where}: empty or unsanitized frame in {stack!r}")
+        max_depth = max(max_depth, len(frames))
+    check(sorted(lines) == lines, f"{path}: lines must be sorted by stack")
+    check(max_depth >= 3,
+          f"{path}: deepest stack is {max_depth} frames, expected >= 3")
 
 
 def main():
@@ -121,6 +171,10 @@ def main():
         validate_trace(f"{d}/trace.json")
         validate_metrics(f"{d}/metrics.json")
         validate_report(f"{d}/report.json")
+        if os.path.exists(f"{d}/report_pace.json"):
+            validate_report(f"{d}/report_pace.json")
+        for flame in sorted(glob.glob(f"{d}/flame_*.txt")):
+            validate_flamegraph(flame)
     except (OSError, json.JSONDecodeError) as e:
         errors.append(str(e))
     if errors:
