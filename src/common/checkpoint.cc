@@ -1,5 +1,12 @@
 #include "common/checkpoint.h"
 
+#include <errno.h>
+#include <fcntl.h>
+#include <string.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -43,24 +50,55 @@ uint64_t GetLE(const unsigned char* p, int bytes) {
 }  // namespace
 
 Status AtomicWriteFile(const std::string& path, const std::string& data) {
+  // tmp + write + fsync(file) + rename + fsync(parent directory). Without
+  // the first fsync the rename can land before the data blocks (a crash
+  // yields a valid-looking file of garbage); without the directory fsync
+  // the rename itself may not survive a crash. CheckpointManager's
+  // durability claims rest on this exact sequence.
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream f(tmp, std::ios::binary | std::ios::trunc);
-    if (!f) return Status::IOError("cannot open " + tmp);
-    f.write(data.data(), static_cast<std::streamsize>(data.size()));
-    f.flush();
-    if (!f) {
-      std::error_code ec;
-      fs::remove(tmp, ec);
+  const int fd = open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                      0644);
+  if (fd < 0) {
+    return Status::IOError("cannot open " + tmp + ": " + strerror(errno));
+  }
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = write(fd, data.data() + off, data.size() - off);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      close(fd);
+      unlink(tmp.c_str());
       return Status::IOError("short write to " + tmp);
     }
+    off += static_cast<std::size_t>(n);
   }
-  std::error_code ec;
-  fs::rename(tmp, path, ec);
-  if (ec) {
-    fs::remove(tmp, ec);
-    return Status::IOError("cannot rename " + tmp + " -> " + path + ": " +
-                           ec.message());
+  if (fsync(fd) != 0) {
+    close(fd);
+    unlink(tmp.c_str());
+    return Status::IOError("fsync " + tmp + ": " + strerror(errno));
+  }
+  if (close(fd) != 0) {
+    unlink(tmp.c_str());
+    return Status::IOError("close " + tmp + ": " + strerror(errno));
+  }
+  if (rename(tmp.c_str(), path.c_str()) != 0) {
+    const Status st = Status::IOError("cannot rename " + tmp + " -> " + path +
+                                      ": " + strerror(errno));
+    unlink(tmp.c_str());
+    return st;
+  }
+  // Durable rename: fsync the parent directory entry.
+  const fs::path parent = fs::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int dir_fd = open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dir_fd < 0) {
+    return Status::IOError("cannot open directory " + dir + ": " +
+                           strerror(errno));
+  }
+  const int rc = fsync(dir_fd);
+  close(dir_fd);
+  if (rc != 0) {
+    return Status::IOError("fsync directory " + dir + ": " + strerror(errno));
   }
   return Status::OK();
 }

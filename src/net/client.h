@@ -1,0 +1,93 @@
+#ifndef P2PDT_NET_CLIENT_H_
+#define P2PDT_NET_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace p2pdt {
+
+/// Client side of the p2pdtd frame protocol: one TCP connection with the
+/// same incremental decoder the daemon uses. Blocking convenience calls
+/// (Predict / Ping / ReadFrame with a deadline) for tools and tests, plus
+/// non-blocking primitives (fd() + ReadAvailable + PollFrame) for the
+/// poll()-driven socket load generator, and raw-byte / abortive-close
+/// escape hatches for the fault injector.
+class ServiceClient {
+ public:
+  ServiceClient();
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+  ServiceClient(ServiceClient&& other) noexcept;
+  ServiceClient& operator=(ServiceClient&& other) noexcept;
+
+  /// Connects with a deadline (non-blocking connect + poll, then the socket
+  /// returns to blocking mode).
+  Status Connect(const std::string& host, uint16_t port,
+                 double timeout_seconds = 5.0);
+
+  void Close();
+
+  /// SO_LINGER{on, 0s} then close: the kernel sends RST instead of FIN —
+  /// the abrupt-reset fault the daemon must shrug off.
+  void AbortiveClose();
+
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Encodes and writes one complete frame (partial writes retried).
+  Status SendFrame(FrameType type, const std::string& payload);
+
+  /// Writes arbitrary bytes verbatim — malformed prefixes, dripped partial
+  /// frames. Fault injection only.
+  Status SendRaw(const std::string& bytes);
+
+  /// Blocks until one full frame arrives or the deadline passes
+  /// (DeadlineExceeded). EOF surfaces as IOError.
+  Status ReadFrame(Frame& out, double timeout_seconds = 5.0);
+
+  /// Non-blocking read of whatever the kernel has buffered (possibly zero
+  /// bytes). A reset surfaces as IOError; a poisoned decoder as DataLoss.
+  /// EOF is recorded (see eof()) rather than returned, because the server
+  /// may close right after a final frame — drain PollFrame first. Pair
+  /// with PollFrame under an external poll() loop.
+  Status ReadAvailable();
+
+  /// Extracts the next already-buffered frame; no I/O. False: need more.
+  bool PollFrame(Frame& out);
+
+  /// True once the server has sent FIN. Frames buffered before the close
+  /// are still retrievable via PollFrame.
+  bool eof() const { return eof_; }
+
+  // --- request/response convenience -------------------------------------
+
+  /// Any well-formed reply to a predict request: the answer, a typed
+  /// overload shed, or a typed protocol error.
+  struct PredictOutcome {
+    enum class Kind : uint8_t { kResponse = 0, kOverload, kError };
+    Kind kind = Kind::kError;
+    PredictResponse response;
+    OverloadReject overload;
+    ErrorReject error;
+  };
+
+  Status Predict(const PredictRequest& request, PredictOutcome& out,
+                 double timeout_seconds = 5.0);
+
+  /// Round-trips a token through kPing/kPong — the liveness probe.
+  Status Ping(uint64_t token, double timeout_seconds = 5.0);
+
+ private:
+  int fd_ = -1;
+  bool eof_ = false;
+  FrameDecoder decoder_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_NET_CLIENT_H_

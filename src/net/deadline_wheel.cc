@@ -1,0 +1,91 @@
+#include "net/deadline_wheel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace p2pdt {
+
+DeadlineWheel::DeadlineWheel(double tick_seconds, std::size_t slots)
+    : tick_(tick_seconds > 0.0 ? tick_seconds : 0.05),
+      slots_(std::max<std::size_t>(slots, 2)) {}
+
+std::size_t DeadlineWheel::SlotFor(double deadline) const {
+  const double ticks = std::max(deadline, 0.0) / tick_;
+  return static_cast<std::size_t>(static_cast<uint64_t>(ticks) %
+                                  slots_.size());
+}
+
+DeadlineWheel::TimerId DeadlineWheel::Arm(double deadline,
+                                          std::function<void()> callback) {
+  const TimerId id = next_id_++;
+  Entry entry;
+  entry.deadline = deadline;
+  // A deadline at or before the last processed tick would land in a slot
+  // the walk has moved past; park it in the next tick so the coming
+  // Advance fires it (precision stays one tick either way).
+  const double floor_deadline =
+      static_cast<double>(last_tick_ + 1) * tick_;
+  entry.slot = SlotFor(std::max(deadline, floor_deadline));
+  entry.callback = std::move(callback);
+  slots_[entry.slot].push_back(id);
+  deadlines_.insert(deadline);
+  entries_.emplace(id, std::move(entry));
+  return id;
+}
+
+bool DeadlineWheel::Cancel(TimerId id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) return false;
+  auto& slot = slots_[it->second.slot];
+  slot.erase(std::remove(slot.begin(), slot.end(), id), slot.end());
+  auto d = deadlines_.find(it->second.deadline);
+  if (d != deadlines_.end()) deadlines_.erase(d);
+  entries_.erase(it);
+  return true;
+}
+
+void DeadlineWheel::Advance(double now) {
+  if (entries_.empty()) {
+    last_tick_ = static_cast<int64_t>(std::max(now, 0.0) / tick_);
+    return;
+  }
+  const int64_t now_tick = static_cast<int64_t>(std::max(now, 0.0) / tick_);
+  // Walk at most one full rotation: a longer jump revisits the same slots.
+  const int64_t span =
+      std::min<int64_t>(now_tick - last_tick_,
+                        static_cast<int64_t>(slots_.size()));
+  // Collect due ids first: callbacks may arm timers into the very slots
+  // being walked, and firing must not observe a half-updated wheel.
+  std::vector<TimerId> due;
+  for (int64_t t = std::max<int64_t>(now_tick - span, 0); t <= now_tick;
+       ++t) {
+    const std::size_t slot =
+        static_cast<std::size_t>(t % static_cast<int64_t>(slots_.size()));
+    for (TimerId id : slots_[slot]) {
+      auto it = entries_.find(id);
+      if (it != entries_.end() && it->second.deadline <= now) {
+        due.push_back(id);
+      }
+    }
+  }
+  last_tick_ = now_tick;
+  for (TimerId id : due) {
+    auto it = entries_.find(id);
+    if (it == entries_.end()) continue;  // cancelled by an earlier callback
+    std::function<void()> cb = std::move(it->second.callback);
+    auto& slot = slots_[it->second.slot];
+    slot.erase(std::remove(slot.begin(), slot.end(), id), slot.end());
+    auto d = deadlines_.find(it->second.deadline);
+    if (d != deadlines_.end()) deadlines_.erase(d);
+    entries_.erase(it);
+    if (cb) cb();
+  }
+}
+
+double DeadlineWheel::NextDeadline() const {
+  if (deadlines_.empty()) return std::numeric_limits<double>::infinity();
+  return *deadlines_.begin();
+}
+
+}  // namespace p2pdt

@@ -1,0 +1,91 @@
+#ifndef P2PDT_NET_EVENT_LOOP_H_
+#define P2PDT_NET_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "common/status.h"
+#include "net/deadline_wheel.h"
+
+namespace p2pdt {
+
+/// Monotonic wall clock in seconds (steady_clock); the time base for the
+/// event loop, the deadline wheel and the serving-queue admission math in
+/// service mode.
+double MonotonicSeconds();
+
+/// Single-threaded, level-triggered epoll event loop — the real-socket
+/// sibling of the simulator's event queue. Fd handlers and wheel timers
+/// all run on the thread that calls Run(); nothing here is locked, and the
+/// only cross-thread entry point is Wakeup() (a self-pipe write, safe from
+/// other threads and signal handlers).
+///
+/// Level-triggered on purpose: a handler that leaves bytes unread (e.g. a
+/// connection pausing reads for backpressure simply drops EPOLLIN from its
+/// interest mask) is re-notified when it re-arms, with no starvation bugs
+/// from forgotten edge re-arming.
+class EpollLoop {
+ public:
+  using FdHandler = std::function<void(uint32_t epoll_events)>;
+
+  EpollLoop();
+  ~EpollLoop();
+
+  EpollLoop(const EpollLoop&) = delete;
+  EpollLoop& operator=(const EpollLoop&) = delete;
+
+  /// Registers `fd` with the given epoll interest mask (EPOLLIN etc.).
+  Status Add(int fd, uint32_t events, FdHandler handler);
+
+  /// Replaces the interest mask of a registered fd.
+  Status Modify(int fd, uint32_t events);
+
+  /// Deregisters `fd`. Does not close it. Safe to call from inside the
+  /// fd's own handler.
+  Status Remove(int fd);
+
+  bool Watched(int fd) const { return handlers_.count(fd) != 0; }
+
+  /// Runs until Stop(). Each iteration: epoll_wait bounded by the next
+  /// wheel deadline, dispatch ready fds, then advance the wheel.
+  void Run();
+
+  /// One iteration with an explicit upper bound on the wait (milliseconds;
+  /// -1 = wheel-driven). Returns the number of fd events dispatched.
+  int RunOnce(int max_wait_ms);
+
+  /// Makes Run() return after the current iteration. Loop-thread only; from
+  /// other threads pair a flag with Wakeup().
+  void Stop() { stopped_ = true; }
+  bool stopped() const { return stopped_; }
+
+  /// Interrupts a blocking epoll_wait from any thread or a signal handler
+  /// (one byte down the self-pipe); the handler registered via OnWakeup
+  /// then runs on the loop thread.
+  void Wakeup();
+
+  /// Callback invoked (on the loop thread) for every Wakeup() batch.
+  void OnWakeup(std::function<void()> handler) {
+    wakeup_handler_ = std::move(handler);
+  }
+
+  DeadlineWheel& wheel() { return wheel_; }
+
+  /// Clock used for wheel deadlines; virtualized nowhere — service mode is
+  /// honest wall time.
+  double Now() const { return MonotonicSeconds(); }
+
+ private:
+  int epoll_fd_ = -1;
+  int wake_read_ = -1;
+  int wake_write_ = -1;
+  bool stopped_ = false;
+  std::unordered_map<int, FdHandler> handlers_;
+  std::function<void()> wakeup_handler_;
+  DeadlineWheel wheel_;
+};
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_NET_EVENT_LOOP_H_

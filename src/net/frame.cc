@@ -1,0 +1,293 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "ml/serialization.h"
+
+namespace p2pdt {
+
+namespace {
+
+bool ValidType(uint8_t t) {
+  return t >= static_cast<uint8_t>(FrameType::kPredictRequest) &&
+         t <= static_cast<uint8_t>(FrameType::kPong);
+}
+
+uint32_t ReadU32At(const std::string& buf, std::size_t at) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= uint32_t{static_cast<unsigned char>(buf[at + i])} << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+const char* FrameTypeToString(FrameType t) {
+  switch (t) {
+    case FrameType::kPredictRequest:
+      return "predict_request";
+    case FrameType::kPredictResponse:
+      return "predict_response";
+    case FrameType::kOverload:
+      return "overload";
+    case FrameType::kError:
+      return "error";
+    case FrameType::kPing:
+      return "ping";
+    case FrameType::kPong:
+      return "pong";
+  }
+  return "unknown";
+}
+
+const char* WireErrorToString(WireError e) {
+  switch (e) {
+    case WireError::kMalformed:
+      return "malformed";
+    case WireError::kOversized:
+      return "oversized";
+    case WireError::kBadMagic:
+      return "bad_magic";
+    case WireError::kBadType:
+      return "bad_type";
+    case WireError::kZeroPayload:
+      return "zero_payload";
+    case WireError::kUnexpectedType:
+      return "unexpected_type";
+    case WireError::kTooManyConnections:
+      return "too_many_connections";
+    case WireError::kDraining:
+      return "draining";
+    case WireError::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string EncodeFrame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  wire::PutU32(kFrameMagic, out);
+  wire::PutU8(static_cast<uint8_t>(type), out);
+  wire::PutU32(static_cast<uint32_t>(payload.size()), out);
+  out += payload;
+  return out;
+}
+
+FrameDecoder::FrameDecoder(std::size_t max_payload)
+    : max_payload_(max_payload) {}
+
+bool FrameDecoder::Feed(const char* data, std::size_t n) {
+  if (poisoned()) return false;
+  // Compact lazily: once the consumed prefix dominates, drop it so the
+  // buffer stays bounded by one frame plus one read chunk.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  if (buffered() + n > kFrameHeaderBytes + max_payload_) return false;
+  buffer_.append(data, n);
+  return true;
+}
+
+FrameDecoder::Next FrameDecoder::Poll(Frame& out) {
+  if (poisoned()) return poisoned_;
+  if (buffered() < kFrameHeaderBytes) return Next::kNeedMore;
+  // Header validation happens on the 9 raw bytes, before the payload is
+  // ever sized: a hostile length field never reaches an allocator.
+  const std::size_t at = consumed_;
+  if (ReadU32At(buffer_, at) != kFrameMagic) {
+    poisoned_ = Next::kBadMagic;
+    return poisoned_;
+  }
+  const uint8_t type = static_cast<unsigned char>(buffer_[at + 4]);
+  if (!ValidType(type)) {
+    poisoned_ = Next::kBadType;
+    return poisoned_;
+  }
+  const uint32_t len = ReadU32At(buffer_, at + 5);
+  if (len == 0) {
+    poisoned_ = Next::kZeroPayload;
+    return poisoned_;
+  }
+  if (len > max_payload_) {
+    poisoned_ = Next::kOversized;
+    return poisoned_;
+  }
+  if (buffered() < kFrameHeaderBytes + len) return Next::kNeedMore;
+  out.type = static_cast<FrameType>(type);
+  out.payload.assign(buffer_, at + kFrameHeaderBytes, len);
+  consumed_ = at + kFrameHeaderBytes + len;
+  return Next::kFrame;
+}
+
+WireError FrameDecoder::RejectToError(Next reject) {
+  switch (reject) {
+    case Next::kBadMagic:
+      return WireError::kBadMagic;
+    case Next::kBadType:
+      return WireError::kBadType;
+    case Next::kZeroPayload:
+      return WireError::kZeroPayload;
+    case Next::kOversized:
+      return WireError::kOversized;
+    case Next::kFrame:
+    case Next::kNeedMore:
+      break;
+  }
+  return WireError::kInternal;
+}
+
+// --- Typed payloads --------------------------------------------------------
+
+std::string EncodePredictRequest(const PredictRequest& req) {
+  std::string out;
+  wire::PutU64(req.id, out);
+  wire::PutU64(req.requester, out);
+  SerializeSparseVector(req.doc, out);
+  return out;
+}
+
+Result<PredictRequest> DecodePredictRequest(const std::string& payload) {
+  std::size_t offset = 0;
+  PredictRequest req;
+  Result<uint64_t> id = wire::GetU64(payload, offset);
+  if (!id.ok()) return id.status();
+  req.id = *id;
+  Result<uint64_t> requester = wire::GetU64(payload, offset);
+  if (!requester.ok()) return requester.status();
+  req.requester = *requester;
+  Result<SparseVector> doc = DeserializeSparseVector(payload, offset);
+  if (!doc.ok()) return doc.status();
+  req.doc = std::move(*doc);
+  if (offset != payload.size()) {
+    return Status::DataLoss("predict request carries trailing bytes");
+  }
+  return req;
+}
+
+std::string EncodePredictResponse(const PredictResponse& resp) {
+  std::string out;
+  wire::PutU64(resp.id, out);
+  uint8_t flags = 0;
+  if (resp.success) flags |= 1;
+  if (resp.degraded) flags |= 2;
+  if (resp.cached) flags |= 4;
+  wire::PutU8(flags, out);
+  wire::PutU32(static_cast<uint32_t>(resp.tags.size()), out);
+  for (uint32_t t : resp.tags) wire::PutU32(t, out);
+  wire::PutU32(static_cast<uint32_t>(resp.scores.size()), out);
+  for (double s : resp.scores) wire::PutDouble(s, out);
+  return out;
+}
+
+Result<PredictResponse> DecodePredictResponse(const std::string& payload) {
+  std::size_t offset = 0;
+  PredictResponse resp;
+  Result<uint64_t> id = wire::GetU64(payload, offset);
+  if (!id.ok()) return id.status();
+  resp.id = *id;
+  Result<uint8_t> flags = wire::GetU8(payload, offset);
+  if (!flags.ok()) return flags.status();
+  resp.success = (*flags & 1) != 0;
+  resp.degraded = (*flags & 2) != 0;
+  resp.cached = (*flags & 4) != 0;
+  Result<uint32_t> num_tags = wire::GetU32(payload, offset);
+  if (!num_tags.ok()) return num_tags.status();
+  // Bound every count against the remaining bytes before reserving.
+  if (*num_tags > (payload.size() - offset) / 4) {
+    return Status::DataLoss("response tag count exceeds payload");
+  }
+  resp.tags.reserve(*num_tags);
+  for (uint32_t i = 0; i < *num_tags; ++i) {
+    Result<uint32_t> t = wire::GetU32(payload, offset);
+    if (!t.ok()) return t.status();
+    resp.tags.push_back(*t);
+  }
+  Result<uint32_t> num_scores = wire::GetU32(payload, offset);
+  if (!num_scores.ok()) return num_scores.status();
+  if (*num_scores > (payload.size() - offset) / 8) {
+    return Status::DataLoss("response score count exceeds payload");
+  }
+  resp.scores.reserve(*num_scores);
+  for (uint32_t i = 0; i < *num_scores; ++i) {
+    Result<double> s = wire::GetDouble(payload, offset);
+    if (!s.ok()) return s.status();
+    resp.scores.push_back(*s);
+  }
+  if (offset != payload.size()) {
+    return Status::DataLoss("predict response carries trailing bytes");
+  }
+  return resp;
+}
+
+std::string EncodeOverloadReject(const OverloadReject& reject) {
+  std::string out;
+  wire::PutU64(reject.id, out);
+  wire::PutU8(reject.reason, out);
+  wire::PutDouble(reject.retry_after, out);
+  return out;
+}
+
+Result<OverloadReject> DecodeOverloadReject(const std::string& payload) {
+  std::size_t offset = 0;
+  OverloadReject reject;
+  Result<uint64_t> id = wire::GetU64(payload, offset);
+  if (!id.ok()) return id.status();
+  reject.id = *id;
+  Result<uint8_t> reason = wire::GetU8(payload, offset);
+  if (!reason.ok()) return reason.status();
+  reject.reason = *reason;
+  Result<double> retry = wire::GetDouble(payload, offset);
+  if (!retry.ok()) return retry.status();
+  reject.retry_after = *retry;
+  if (offset != payload.size()) {
+    return Status::DataLoss("overload reject carries trailing bytes");
+  }
+  return reject;
+}
+
+std::string EncodeErrorReject(const ErrorReject& reject) {
+  std::string out;
+  wire::PutU64(reject.id, out);
+  wire::PutU8(static_cast<uint8_t>(reject.code), out);
+  wire::PutBytes(reject.message, out);
+  return out;
+}
+
+Result<ErrorReject> DecodeErrorReject(const std::string& payload) {
+  std::size_t offset = 0;
+  ErrorReject reject;
+  Result<uint64_t> id = wire::GetU64(payload, offset);
+  if (!id.ok()) return id.status();
+  reject.id = *id;
+  Result<uint8_t> code = wire::GetU8(payload, offset);
+  if (!code.ok()) return code.status();
+  reject.code = static_cast<WireError>(*code);
+  Result<std::string> message = wire::GetBytes(payload, offset);
+  if (!message.ok()) return message.status();
+  reject.message = std::move(*message);
+  if (offset != payload.size()) {
+    return Status::DataLoss("error reject carries trailing bytes");
+  }
+  return reject;
+}
+
+std::string EncodePingPayload(uint64_t token) {
+  std::string out;
+  wire::PutU64(token, out);
+  return out;
+}
+
+Result<uint64_t> DecodePingPayload(const std::string& payload) {
+  std::size_t offset = 0;
+  Result<uint64_t> token = wire::GetU64(payload, offset);
+  if (!token.ok()) return token.status();
+  if (offset != payload.size()) {
+    return Status::DataLoss("ping payload carries trailing bytes");
+  }
+  return *token;
+}
+
+}  // namespace p2pdt

@@ -42,6 +42,71 @@ Histogram& TaggingLatencyHistogram(MetricsRegistry& metrics,
                               {{"classifier", classifier}});
 }
 
+std::vector<std::size_t> LoadGenSessionLengths(const LoadGenOptions& options) {
+  std::vector<std::size_t> lengths(options.sessions);
+  for (std::size_t s = 0; s < options.sessions; ++s) {
+    Rng rng(DeriveSeed(options.seed, s));
+    lengths[s] = static_cast<std::size_t>(rng.UniformInt(
+        static_cast<int64_t>(options.min_docs),
+        static_cast<int64_t>(std::max(options.max_docs, options.min_docs))));
+  }
+  return lengths;
+}
+
+double LoadGenBurstMultiplier(const LoadGenOptions& options, double t) {
+  double mult = 1.0;
+  for (const FlashCrowdBurst& b : options.bursts) {
+    if (t >= b.start && t < b.start + b.duration) mult *= b.rate_multiplier;
+  }
+  return mult;
+}
+
+const FlashCrowdBurst* LoadGenActiveBurst(const LoadGenOptions& options,
+                                          double t) {
+  for (const FlashCrowdBurst& b : options.bursts) {
+    if (t >= b.start && t < b.start + b.duration) return &b;
+  }
+  return nullptr;
+}
+
+std::size_t LoadGenPickDoc(const LoadGenOptions& options,
+                           std::size_t catalog_size, std::size_t session,
+                           std::size_t idx, double t) {
+  Rng rng(DeriveSeed(options.seed ^ kDocStream, session, idx));
+  if (const FlashCrowdBurst* burst = LoadGenActiveBurst(options, t)) {
+    if (rng.Bernoulli(burst->hot_fraction)) {
+      const uint64_t n = std::min<uint64_t>(
+          std::max<std::size_t>(burst->hot_docs, 1), catalog_size);
+      return static_cast<std::size_t>(rng.Zipf(n, options.zipf_s));
+    }
+  }
+  return static_cast<std::size_t>(rng.Zipf(catalog_size, options.zipf_s));
+}
+
+std::vector<double> LoadGenOpenLoopOffsets(const LoadGenOptions& options,
+                                           std::size_t session,
+                                           std::size_t session_len) {
+  const double per_session_rate =
+      options.arrival_rate / static_cast<double>(options.sessions);
+  std::vector<double> offsets;
+  offsets.reserve(session_len);
+  double t = 0.0;
+  for (std::size_t i = 0; i < session_len; ++i) {
+    Rng rng(DeriveSeed(options.seed, session, i));
+    const double rate = per_session_rate * LoadGenBurstMultiplier(options, t);
+    t += rng.Exponential(1.0 / std::max(rate, 1e-9));
+    offsets.push_back(t);
+  }
+  return offsets;
+}
+
+double LoadGenRetryDelay(const LoadGenOptions& options, std::size_t session,
+                         std::size_t idx, std::size_t attempt) {
+  Rng rng(DeriveSeed(options.seed ^ kRetryStream, session,
+                     idx * 16 + attempt));
+  return options.retry_backoff * rng.Uniform(1.0, 1.5);
+}
+
 SessionLoadGenerator::SessionLoadGenerator(
     Simulator& sim, P2PClassifier& algo, LoadGenOptions options,
     std::vector<const SparseVector*> docs, std::vector<NodeId> requesters,
@@ -54,31 +119,16 @@ SessionLoadGenerator::SessionLoadGenerator(
       latency_hist_(TaggingLatencyHistogram(metrics, algo.name())) {}
 
 double SessionLoadGenerator::BurstMultiplier(double t) const {
-  double mult = 1.0;
-  for (const FlashCrowdBurst& b : options_.bursts) {
-    if (t >= b.start && t < b.start + b.duration) mult *= b.rate_multiplier;
-  }
-  return mult;
+  return LoadGenBurstMultiplier(options_, t);
 }
 
 const FlashCrowdBurst* SessionLoadGenerator::ActiveBurst(double t) const {
-  for (const FlashCrowdBurst& b : options_.bursts) {
-    if (t >= b.start && t < b.start + b.duration) return &b;
-  }
-  return nullptr;
+  return LoadGenActiveBurst(options_, t);
 }
 
 std::size_t SessionLoadGenerator::PickDoc(std::size_t session, std::size_t idx,
                                           double t) const {
-  Rng rng(DeriveSeed(options_.seed ^ kDocStream, session, idx));
-  if (const FlashCrowdBurst* burst = ActiveBurst(t)) {
-    if (rng.Bernoulli(burst->hot_fraction)) {
-      const uint64_t n = std::min<uint64_t>(
-          std::max<std::size_t>(burst->hot_docs, 1), docs_.size());
-      return static_cast<std::size_t>(rng.Zipf(n, options_.zipf_s));
-    }
-  }
-  return static_cast<std::size_t>(rng.Zipf(docs_.size(), options_.zipf_s));
+  return LoadGenPickDoc(options_, docs_.size(), session, idx, t);
 }
 
 void SessionLoadGenerator::Run(
@@ -91,21 +141,12 @@ void SessionLoadGenerator::Run(
     return;
   }
 
-  session_len_.resize(options_.sessions);
+  session_len_ = LoadGenSessionLengths(options_);
   std::size_t total = 0;
-  for (std::size_t s = 0; s < options_.sessions; ++s) {
-    Rng rng(DeriveSeed(options_.seed, s));
-    session_len_[s] = static_cast<std::size_t>(rng.UniformInt(
-        static_cast<int64_t>(options_.min_docs),
-        static_cast<int64_t>(std::max(options_.max_docs, options_.min_docs))));
-    total += session_len_[s];
-  }
+  for (std::size_t len : session_len_) total += len;
   outstanding_ = total;
   result_.offered = total;
   first_issue_ = -1.0;
-
-  const double per_session_rate =
-      options_.arrival_rate / static_cast<double>(options_.sessions);
 
   for (std::size_t s = 0; s < options_.sessions; ++s) {
     if (options_.closed_loop) {
@@ -115,16 +156,14 @@ void SessionLoadGenerator::Run(
       const double t0 = rng.Exponential(options_.think_time);
       sim_.Schedule(t0, [this, s] { IssueRequest(s, 0, /*issued_at=*/0.0, 0); });
     } else {
-      // Open loop: the whole Poisson schedule is computed up front. The gap
-      // before request i shrinks by the burst multiplier in effect at the
-      // previous arrival, so a flash crowd compresses arrivals without
-      // making the schedule depend on completions.
-      double t = 0.0;
+      // Open loop: the whole Poisson schedule is computed up front, so a
+      // flash crowd compresses arrivals without making the schedule depend
+      // on completions.
+      const std::vector<double> offsets =
+          LoadGenOpenLoopOffsets(options_, s, session_len_[s]);
       for (std::size_t i = 0; i < session_len_[s]; ++i) {
-        Rng rng(DeriveSeed(options_.seed, s, i));
-        const double rate = per_session_rate * BurstMultiplier(t);
-        t += rng.Exponential(1.0 / std::max(rate, 1e-9));
-        sim_.Schedule(t, [this, s, i] { IssueRequest(s, i, /*issued_at=*/0.0, 0); });
+        sim_.Schedule(offsets[i],
+                      [this, s, i] { IssueRequest(s, i, /*issued_at=*/0.0, 0); });
       }
     }
   }
@@ -157,9 +196,7 @@ void SessionLoadGenerator::OnOutcome(std::size_t session, std::size_t idx,
       // Client-side backoff after a typed overload reject; jittered so a
       // synchronized crowd does not re-arrive as a synchronized crowd.
       ++result_.retries;
-      Rng rng(DeriveSeed(options_.seed ^ kRetryStream, session,
-                         idx * 16 + attempt));
-      const double delay = options_.retry_backoff * rng.Uniform(1.0, 1.5);
+      const double delay = LoadGenRetryDelay(options_, session, idx, attempt);
       sim_.Schedule(delay, [this, session, idx, first_issued, attempt] {
         IssueRequest(session, idx, first_issued, attempt + 1);
       });

@@ -86,12 +86,50 @@ struct LoadGenResult {
   uint64_t fingerprint = 0;
 };
 
+// ---------------------------------------------------------------------------
+// Schedule primitives. Every random choice is keyed by
+// DeriveSeed(seed, session, request), so the schedule is a pure function of
+// the options — the in-sim SessionLoadGenerator and the real-socket
+// SocketLoadGenerator draw the *same* sessions, arrivals, documents and
+// retry jitter from these, which is what makes service-mode results
+// comparable to OVER1 rows.
+
+/// Per-session request counts: UniformInt[min_docs, max_docs] keyed by
+/// DeriveSeed(seed, session).
+std::vector<std::size_t> LoadGenSessionLengths(const LoadGenOptions& options);
+
+/// Burst rate multiplier in effect `t` seconds after replay start.
+double LoadGenBurstMultiplier(const LoadGenOptions& options, double t);
+
+/// Burst active at `t` (redirects a fraction of picks to the hot set), or
+/// nullptr.
+const FlashCrowdBurst* LoadGenActiveBurst(const LoadGenOptions& options,
+                                          double t);
+
+/// Document index (into a popularity-ordered catalog of `catalog_size`)
+/// for request (session, idx) issued `t` seconds into the replay.
+std::size_t LoadGenPickDoc(const LoadGenOptions& options,
+                           std::size_t catalog_size, std::size_t session,
+                           std::size_t idx, double t);
+
+/// The whole open-loop Poisson arrival schedule for one session: offset (in
+/// seconds after replay start) of each of its `session_len` requests. The
+/// gap before request i shrinks by the burst multiplier in effect at the
+/// previous arrival.
+std::vector<double> LoadGenOpenLoopOffsets(const LoadGenOptions& options,
+                                           std::size_t session,
+                                           std::size_t session_len);
+
+/// Jittered client backoff after the attempt-th overload reject of
+/// (session, idx).
+double LoadGenRetryDelay(const LoadGenOptions& options, std::size_t session,
+                         std::size_t idx, std::size_t attempt);
+
 /// Replays user tagging sessions against a trained classifier inside the
 /// simulator. Deterministic: every random choice (session length, arrival
-/// gap, document pick, retry jitter) draws from an Rng keyed by
-/// DeriveSeed(seed, session, request), so two runs with the same options
-/// produce bit-identical request schedules and fingerprints at any thread
-/// or shard count.
+/// gap, document pick, retry jitter) draws from the schedule primitives
+/// above, so two runs with the same options produce bit-identical request
+/// schedules and fingerprints at any thread or shard count.
 class SessionLoadGenerator {
  public:
   /// `docs` is the request catalog in popularity order (index 0 = most

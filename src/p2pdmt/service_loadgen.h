@@ -1,0 +1,54 @@
+#ifndef P2PDT_P2PDMT_SERVICE_LOADGEN_H_
+#define P2PDT_P2PDMT_SERVICE_LOADGEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/sparse_vector.h"
+#include "common/status.h"
+#include "p2pdmt/loadgen.h"
+
+namespace p2pdt {
+
+/// Socket-mode replay options: the PR 8 session schedule (sessions, lengths,
+/// Poisson arrivals, Zipf document popularity, bursts, retry backoff) driven
+/// over real TCP connections against a live p2pdtd. Schedule seconds are
+/// wall seconds; `schedule.arrival_rate` is the offered requests/second.
+struct ServiceLoadOptions {
+  std::string host = "127.0.0.1";
+  uint16_t port = 0;
+  LoadGenOptions schedule;  // schedule.enabled is ignored here
+  /// Per-I/O timeout and the overall wall-clock safety net (a wedged daemon
+  /// fails the replay instead of hanging it).
+  double io_timeout = 10.0;
+  double max_wall_seconds = 300.0;
+};
+
+/// Outcome of one socket replay. `load` carries the same fields as the
+/// in-sim generator with wall-clock latencies; its fingerprint differs from
+/// OVER1's by design — it digests (session, idx, outcome, tags, scores)
+/// but NOT latency, which is nondeterministic on a real host.
+struct ServiceLoadResult {
+  LoadGenResult load;
+  uint64_t io_errors = 0;    // connections lost mid-replay
+  uint64_t reconnects = 0;
+  double wall_seconds = 0.0;
+  double achieved_rate = 0.0;  // completed requests per wall second
+};
+
+/// Replays the schedule: one connection per session, requests pipelined
+/// (open loop issues on the Poisson clock regardless of completions; closed
+/// loop chains think-time gaps), typed overload rejects retried with the
+/// schedule's jittered backoff. Single-threaded poll() loop — the client
+/// mirrors the daemon's discipline.
+///
+/// `catalog` is the popularity-ordered document set (index 0 = most
+/// popular); must outlive the call.
+Result<ServiceLoadResult> RunServiceLoad(
+    const ServiceLoadOptions& options,
+    const std::vector<SparseVector>& catalog);
+
+}  // namespace p2pdt
+
+#endif  // P2PDT_P2PDMT_SERVICE_LOADGEN_H_

@@ -1,0 +1,169 @@
+#!/usr/bin/env python3
+"""Validates the service-robustness CSV emitted by bench_service.
+
+Usage: check_service_csv.py <service.csv> [--strict]
+
+Pure stdlib. Checks the column schema exactly, value ranges, and the
+structural invariants every run must satisfy:
+
+- Outcome arithmetic: ok + degraded + cached + failed == completed, and
+  completed == offered (every socket request resolves — answered,
+  degraded, shed-then-given-up; nothing is silently dropped).
+- Zero replay failures and zero lost connections on every arm: the
+  daemon answered everything the schedule offered, faults or no faults.
+- Every arm's drain completed — SIGTERM-equivalent graceful shutdown
+  finished its in-flight work inside the deadline, on both arms.
+- Latency quantiles are ordered (p50 <= p95 <= p99).
+- Both arms present per algorithm, with MATCHING fingerprints: the
+  per-answer digest (session, idx, outcome, tags, scores) of the faulted
+  arm equals the clean arm's — socket-level abuse (resets, stalls,
+  fragmentation, malformed bytes) changed no prediction.
+- The faulted arm actually hurt: resets delivered, typed errors
+  received, stalled connections observably reaped by the idle deadline,
+  and the final liveness probe passed.
+
+With --strict it additionally enforces the SVC1 latency bar: the clean
+arm's p95 under the SLO, and the faulted arm's p95 within 4x the clean
+arm's (abuse may not wreck tail latency for well-behaved clients).
+Exits non-zero with one message per violation.
+"""
+
+import csv
+import sys
+
+EXPECTED_COLUMNS = [
+    "algorithm", "arm", "offered", "completed", "ok", "degraded", "cached",
+    "failed", "shed", "retries", "within_slo", "io_errors", "p50_s", "p95_s",
+    "p99_s", "achieved_rate", "wall_s", "train_wall_s", "fingerprint",
+    "daemon_accepted", "daemon_requests", "daemon_malformed",
+    "daemon_oversized", "daemon_reaped_idle", "daemon_read_errors",
+    "daemon_slow_consumer_closed", "drain_completed", "fault_resets",
+    "fault_stalls_reaped", "fault_typed_errors", "fault_predicts_ok",
+    "fault_liveness_ok",
+]
+
+KNOWN_ARMS = {"clean", "faulted"}
+
+SLO_SECONDS = 1.0
+FAULTED_P95_FACTOR = 4.0
+
+errors = []
+
+
+def check(cond, msg):
+    if not cond:
+        errors.append(msg)
+
+
+def validate(path, strict):
+    with open(path, newline="") as f:
+        reader = csv.DictReader(f)
+        check(reader.fieldnames == EXPECTED_COLUMNS,
+              f"header mismatch: got {reader.fieldnames}")
+        rows = list(reader)
+    check(rows, "no data rows")
+    if errors:
+        return
+
+    for i, row in enumerate(rows):
+        where = f"row {i + 2}"
+        check(row["algorithm"] in ("cempar", "pace"),
+              f"{where}: unknown algorithm {row['algorithm']!r}")
+        check(row["arm"] in KNOWN_ARMS,
+              f"{where}: unknown arm {row['arm']!r}")
+        for col in ("offered", "completed", "ok", "degraded", "cached",
+                    "failed", "shed", "retries", "within_slo", "io_errors",
+                    "daemon_accepted", "daemon_requests", "daemon_malformed",
+                    "daemon_oversized", "daemon_reaped_idle",
+                    "daemon_read_errors", "daemon_slow_consumer_closed",
+                    "fault_resets", "fault_stalls_reaped",
+                    "fault_typed_errors", "fault_predicts_ok"):
+            check(int(row[col]) >= 0, f"{where}: negative {col}")
+        offered = int(row["offered"])
+        completed = int(row["completed"])
+        answered = (int(row["ok"]) + int(row["degraded"]) +
+                    int(row["cached"]) + int(row["failed"]))
+        check(offered > 0, f"{where}: empty replay")
+        check(completed == offered,
+              f"{where}: completed {completed} != offered {offered} "
+              "(requests went missing)")
+        check(answered == completed,
+              f"{where}: ok+degraded+cached+failed {answered} != "
+              f"completed {completed}")
+        check(int(row["within_slo"]) <= completed,
+              f"{where}: within_slo exceeds completed")
+        # The robustness bar: nothing failed, no connection was lost, and
+        # the graceful drain finished — on BOTH arms.
+        check(int(row["failed"]) == 0,
+              f"{where}: {row['failed']} replay requests failed")
+        check(int(row["io_errors"]) == 0,
+              f"{where}: {row['io_errors']} replay connections lost")
+        check(row["drain_completed"] == "1",
+              f"{where}: graceful drain did not complete")
+        p50, p95, p99 = (float(row["p50_s"]), float(row["p95_s"]),
+                         float(row["p99_s"]))
+        check(0.0 <= p50 <= p95 + 1e-12 and p95 <= p99 + 1e-12,
+              f"{where}: latency quantiles unordered "
+              f"({p50}, {p95}, {p99})")
+        check(len(row["fingerprint"]) == 16,
+              f"{where}: fingerprint not a 16-hex-digit digest")
+        if row["arm"] == "clean":
+            check(int(row["daemon_malformed"]) == 0,
+                  f"{where}: clean arm saw malformed frames")
+            check(int(row["daemon_read_errors"]) == 0,
+                  f"{where}: clean arm saw connection resets")
+        else:
+            check(int(row["fault_resets"]) > 0,
+                  f"{where}: faulted arm delivered no resets")
+            check(int(row["fault_typed_errors"]) > 0,
+                  f"{where}: faulted arm elicited no typed errors")
+            check(int(row["fault_stalls_reaped"]) > 0,
+                  f"{where}: no stalled connection was reaped within "
+                  "the idle deadline")
+            check(int(row["daemon_reaped_idle"]) >=
+                  int(row["fault_stalls_reaped"]),
+                  f"{where}: daemon reap counter below observed reaps")
+            check(row["fault_liveness_ok"] == "1",
+                  f"{where}: liveness probe failed after the fault script")
+
+    algorithms = sorted({row["algorithm"] for row in rows})
+    for algorithm in algorithms:
+        arms = {row["arm"]: row for row in rows
+                if row["algorithm"] == algorithm}
+        check(set(arms) == KNOWN_ARMS,
+              f"{algorithm}: arm pair incomplete (have {sorted(arms)})")
+        if set(arms) != KNOWN_ARMS:
+            continue
+        check(arms["clean"]["fingerprint"] == arms["faulted"]["fingerprint"],
+              f"{algorithm}: clean/faulted fingerprints differ — "
+              "socket-level faults changed a prediction")
+        if strict:
+            clean_p95 = float(arms["clean"]["p95_s"])
+            faulted_p95 = float(arms["faulted"]["p95_s"])
+            check(clean_p95 <= SLO_SECONDS,
+                  f"{algorithm}: clean p95 {clean_p95:.4f}s over the "
+                  f"{SLO_SECONDS}s SLO")
+            check(faulted_p95 <= max(FAULTED_P95_FACTOR * clean_p95,
+                                     SLO_SECONDS),
+                  f"{algorithm}: faulted p95 {faulted_p95:.4f}s more than "
+                  f"{FAULTED_P95_FACTOR}x the clean arm's {clean_p95:.4f}s")
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--strict"]
+    strict = "--strict" in sys.argv[1:]
+    if len(args) != 1:
+        print(__doc__.strip().splitlines()[2], file=sys.stderr)
+        return 2
+    validate(args[0], strict)
+    if errors:
+        for e in errors:
+            print(f"FAIL: {e}", file=sys.stderr)
+        return 1
+    print(f"OK: {args[0]} passed service robustness validation"
+          f"{' (strict)' if strict else ''}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
